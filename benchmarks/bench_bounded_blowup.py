@@ -1,0 +1,55 @@
+"""E8 -- Proposition 6.3 and the powerset warning: unbounded recursion blows up,
+bounded recursion stays polynomial.
+"""
+
+import pytest
+
+from conftest import print_series
+from repro.complexity.fit import is_polynomial_not_exponential
+from repro.complexity.separations import (
+    arithmetic_blowup,
+    bounded_arithmetic_growth,
+    bounded_powerset_growth,
+    powerset_growth,
+)
+from repro.objects.values import from_python
+from repro.recursion.bounded import powerset_via_dcr
+
+
+def test_powerset_vs_bounded_series():
+    sizes = [2, 4, 6, 8, 10]
+    unbounded = powerset_growth(sizes)
+    bounded = bounded_powerset_growth(sizes)
+    rows = [(n, u, b) for (n, u), (_, b) in zip(unbounded, bounded)]
+    print_series(
+        "E8a powerset via dcr vs the same recursion under bdcr",
+        ["n", "unbounded |output|", "bounded |output|"],
+        rows,
+    )
+    assert [u for _, u, _ in rows] == [2 ** n for n, _, _ in rows]
+    assert all(b <= n + 1 for n, _, b in rows)
+
+
+def test_arithmetic_blowup_series():
+    rounds = [2, 4, 8, 16]
+    unbounded = arithmetic_blowup(rounds)
+    bounded = bounded_arithmetic_growth(rounds)
+    rows = [(n, u, b) for (n, u), (_, b) in zip(unbounded, bounded)]
+    print_series(
+        "E8b iterated squaring with arithmetic externals: result bit length",
+        ["iterations", "unbounded bits", "bounded bits"],
+        rows,
+    )
+    ns = [n for n, _, _ in rows]
+    assert not is_polynomial_not_exponential(ns, [u for _, u, _ in rows])
+    assert is_polynomial_not_exponential(ns, [b for _, _, b in rows])
+
+
+@pytest.mark.parametrize("n", [6, 10])
+def test_powerset_timing(benchmark, n):
+    s = from_python(set(range(n)))
+    benchmark(lambda: powerset_via_dcr(s))
+
+
+def test_bounded_powerset_timing(benchmark):
+    benchmark(lambda: bounded_powerset_growth([8]))

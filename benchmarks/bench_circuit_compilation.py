@@ -1,0 +1,63 @@
+"""E5 -- Proposition 7.7: compiling flat queries to circuit families.
+
+Paper claim: an expression of recursion-nesting depth ``k`` compiles to a
+uniform circuit family of depth ``O(log^k n)`` and polynomial size.  We build
+the circuits for the transitive-closure query at nesting depths 1 and 2 and
+for the parity output, and report measured depth/size against the fitted
+bounds.
+"""
+
+import pytest
+
+from conftest import print_series
+from repro.circuits.compile_flat import (
+    compile_query,
+    nested_loop_query,
+    parity_query,
+    tc_squaring_query,
+)
+from repro.circuits.families import CircuitFamily, looks_like_ack
+from repro.workloads.graphs import path_graph
+
+SIZES = [4, 8, 16, 32]
+
+
+def test_circuit_depth_size_series():
+    families = {
+        "tc (k=1)": (tc_squaring_query(), 1),
+        "tc nested (k=2)": (nested_loop_query(2), 2),
+        "parity": (parity_query(), 1),
+    }
+    rows = []
+    for name, (query, k) in families.items():
+        fam = CircuitFamily(name, lambda n, q=query: compile_query(q, n).circuit)
+        report = looks_like_ack(fam, k, SIZES)
+        for n, size, depth in report["measurements"]:
+            rows.append((name, n, size, depth))
+        assert report["depth_polylog_ok"], name
+        assert report["size_polynomial_ok"], name
+    print_series(
+        "E5 compiled circuit families (Prop 7.7): size and depth",
+        ["family", "n", "size", "depth"],
+        rows,
+    )
+
+
+def test_nesting_depth_multiplies_circuit_depth():
+    n = 16
+    d1 = compile_query(nested_loop_query(1), n).circuit.depth()
+    d2 = compile_query(nested_loop_query(2), n).circuit.depth()
+    print(f"\n   depth at n={n}: k=1 -> {d1}, k=2 -> {d2} (ratio {d2 / d1:.1f})")
+    assert d2 >= 2.5 * d1
+
+
+@pytest.mark.parametrize("n", [8, 16])
+def test_compile_tc_timing(benchmark, n):
+    benchmark(lambda: compile_query(tc_squaring_query(), n))
+
+
+@pytest.mark.parametrize("n", [8, 16])
+def test_evaluate_compiled_tc_timing(benchmark, n):
+    compiled = compile_query(tc_squaring_query(), n)
+    edges = frozenset(path_graph(n).tuples)
+    benchmark(lambda: compiled.run({"r": edges}))

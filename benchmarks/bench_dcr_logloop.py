@@ -1,0 +1,70 @@
+"""E4 -- Proposition 7.3: dcr and log_loop are inter-expressible over ordered
+sets.  We measure the overhead of the log_loop -> dcr direction (the one with
+the counting carrier) and the number of combining rounds of the dcr ->
+log_loop direction.
+"""
+
+import pytest
+
+from conftest import print_series
+from repro.objects.values import BaseVal, from_python
+from repro.recursion.forms import EvaluationTrace
+from repro.recursion.iterators import log_iterations, log_loop
+from repro.recursion.translations import dcr_via_log_loop, log_loop_via_dcr
+
+SIZES = [16, 64, 256, 1024]
+
+
+def test_logloop_via_dcr_overhead_series():
+    step = lambda v: BaseVal(v.value * 2 + 1)
+    rows = []
+    for n in SIZES:
+        x = from_python(set(range(n)))
+        trace_direct = EvaluationTrace()
+        direct = log_loop(step, x, BaseVal(0), trace_direct)
+        trace_sim = EvaluationTrace()
+        simulated = log_loop_via_dcr(step, x, BaseVal(0), trace_sim)
+        assert direct == simulated
+        rows.append((n, log_iterations(n), trace_direct.work, trace_sim.work))
+    print_series(
+        "E4a log_loop simulated by dcr: step applications",
+        ["n", "ceil(log(n+1))", "direct work", "simulated work"],
+        rows,
+    )
+    for n, _, direct_work, sim_work in rows:
+        # polynomial (here ~ n log n) overhead, never exponential
+        assert sim_work <= 4 * n * max(1, log_iterations(n))
+
+
+def test_dcr_via_logloop_round_series():
+    e = BaseVal(0)
+    f = lambda x: x
+    u = lambda a, b: BaseVal(a.value + b.value)
+    rows = []
+    for n in SIZES:
+        s = from_python(set(range(n)))
+        trace = EvaluationTrace()
+        dcr_via_log_loop(e, f, u, s, trace)
+        rows.append((n, log_iterations(n), trace.combine_rounds, trace.depth))
+        assert trace.combine_rounds <= log_iterations(n)
+    print_series(
+        "E4b dcr simulated by log_loop: pairing rounds",
+        ["n", "ceil(log(n+1))", "pairing rounds", "depth"],
+        rows,
+    )
+
+
+@pytest.mark.parametrize("n", [64, 256])
+def test_logloop_via_dcr_timing(benchmark, n):
+    step = lambda v: BaseVal(v.value + 1)
+    x = from_python(set(range(n)))
+    benchmark(lambda: log_loop_via_dcr(step, x, BaseVal(0)))
+
+
+@pytest.mark.parametrize("n", [64, 256])
+def test_dcr_via_logloop_timing(benchmark, n):
+    e = BaseVal(0)
+    f = lambda x: x
+    u = lambda a, b: BaseVal(a.value + b.value)
+    s = from_python(set(range(n)))
+    benchmark(lambda: dcr_via_log_loop(e, f, u, s))

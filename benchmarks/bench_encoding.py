@@ -1,0 +1,86 @@
+"""E6 -- Section 5 encodings: encode/decode cost and the duplicate-elimination
+versus blank-compaction contrast (AC^0-style single pass vs AC^1-style count).
+"""
+
+import random
+
+import pytest
+
+from conftest import print_series
+from repro.circuits.string_ops import duplicate_elimination_circuit
+from repro.objects.encoding import (
+    compact_blanks,
+    decode,
+    minimal_encoding,
+    remove_duplicates,
+    scatter_blanks,
+)
+from repro.objects.types import SetType, parse_type
+from repro.objects.values import from_python, infer_type, value_size
+from repro.workloads.nested import random_object, random_type
+
+PAIR_T = parse_type("{D x D}")
+
+
+def _random_relation(n, seed=0):
+    rng = random.Random(seed)
+    return from_python({(rng.randrange(2 * n), rng.randrange(2 * n)) for _ in range(n)})
+
+
+def test_encoding_length_series():
+    rows = []
+    for n in (8, 32, 128, 512):
+        v = _random_relation(n, seed=n)
+        enc = minimal_encoding(v)
+        rows.append((n, len(v), value_size(v), len(enc), 3 * len(enc)))
+    print_series(
+        "E6a minimal encodings of random binary relations",
+        ["requested n", "tuples", "value size", "symbols", "bits"],
+        rows,
+    )
+    # encoding length is linear in the value size (log factor from atom codes)
+    assert rows[-1][3] < 40 * rows[-1][1]
+
+
+def test_duplicate_elimination_is_constant_depth_blank_compaction_is_not():
+    depths = [(k, duplicate_elimination_circuit(k, 3).depth()) for k in (4, 8, 16, 32)]
+    print_series("E6b duplicate-elimination circuit depth vs number of elements",
+                 ["elements", "depth"], depths)
+    assert len({d for _, d in depths}) == 1  # constant depth (AC^0 shape)
+
+
+def test_random_nested_objects_roundtrip():
+    rng = random.Random(13)
+    checked = 0
+    for _ in range(20):
+        t = random_type(rng, max_height=2)
+        v = random_object(t, rng)
+        enc = minimal_encoding(v)
+        decoded = decode(enc, infer_type(v, empty_set_elem=parse_type("unit")))
+        assert value_size(decoded) == value_size(v)
+        checked += 1
+    assert checked == 20
+
+
+@pytest.mark.parametrize("n", [64, 256])
+def test_encode_timing(benchmark, n):
+    v = _random_relation(n, seed=3)
+    benchmark(lambda: minimal_encoding(v))
+
+
+@pytest.mark.parametrize("n", [64, 256])
+def test_decode_timing(benchmark, n):
+    v = _random_relation(n, seed=3)
+    enc = minimal_encoding(v)
+    benchmark(lambda: decode(enc, PAIR_T))
+
+
+def test_duplicate_removal_timing(benchmark):
+    enc = "{" + ",".join(str(i % 10) for i in range(200)) + "}"
+    benchmark(lambda: remove_duplicates(enc))
+
+
+def test_blank_compaction_timing(benchmark):
+    v = _random_relation(128, seed=5)
+    blanked = scatter_blanks(minimal_encoding(v), range(0, 400, 3))
+    benchmark(lambda: compact_blanks(blanked))

@@ -1,0 +1,68 @@
+"""E9 -- the nesting-depth / AC^k correspondence (Theorems 6.1/6.2, Example 7.2).
+
+Nesting the logarithmic iterator k times iterates the step ``(log n)^k`` times;
+the compiled circuit depth and the cost-model depth both scale accordingly,
+while the syntactic classifier reads the same k off the expression.
+"""
+
+import pytest
+
+from conftest import print_series
+from repro.circuits.compile_flat import compile_query, nested_loop_query
+from repro.complexity.classify import classify
+from repro.complexity.fit import fit_model
+from repro.nra.depth import recursion_depth
+from repro.objects.values import BaseVal, from_python
+from repro.recursion.iterators import iteration_count, nested_log_loop
+from repro.relational.queries import transitive_closure_dcr, transitive_closure_sri
+
+SIZES = [8, 16, 32, 64, 128]
+
+
+def test_nested_iteration_counts():
+    rows = []
+    for n in SIZES:
+        x = from_python(set(range(n)))
+        counts = []
+        for k in (1, 2, 3):
+            result = nested_log_loop(lambda v: BaseVal(v.value + 1), x, BaseVal(0), k)
+            assert result.value == iteration_count(x, k)
+            counts.append(result.value)
+        rows.append((n, *counts))
+    print_series(
+        "E9a nested log_loop: number of step applications (Example 7.2)",
+        ["n", "k=1", "k=2", "k=3"],
+        rows,
+    )
+    # k=1 column fits log, k=2 fits log^2, k=3 fits log^3
+    for column, model in ((1, "log"), (2, "log^2"), (3, "log^3")):
+        ys = [row[column] for row in rows]
+        fit = fit_model(model, SIZES, ys)
+        assert fit.residual <= 1.5, (model, ys)
+
+
+def test_circuit_depth_per_nesting_level():
+    rows = []
+    for n in (4, 8, 16):
+        d1 = compile_query(nested_loop_query(1), n).circuit.depth()
+        d2 = compile_query(nested_loop_query(2), n).circuit.depth()
+        rows.append((n, d1, d2, round(d2 / d1, 2)))
+    print_series(
+        "E9b compiled circuit depth at nesting depth k",
+        ["n", "depth k=1", "depth k=2", "ratio"],
+        rows,
+    )
+    assert all(ratio >= 2 for *_, ratio in rows)
+
+
+def test_classifier_reads_off_k():
+    assert recursion_depth(transitive_closure_dcr()) == 1
+    report = classify(transitive_closure_dcr())
+    assert "AC^1" in report.parallel_class
+    assert "no NC bound" in classify(transitive_closure_sri()).parallel_class
+
+
+@pytest.mark.parametrize("k", [1, 2])
+def test_nested_loop_evaluation_timing(benchmark, k):
+    x = from_python(set(range(256)))
+    benchmark(lambda: nested_log_loop(lambda v: BaseVal(v.value + 1), x, BaseVal(0), k))

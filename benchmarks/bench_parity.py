@@ -1,0 +1,55 @@
+"""E1 -- parity by divide and conquer versus element-by-element (Section 1).
+
+Paper claim: parity is expressible by a single ``dcr`` whose evaluation is a
+combining tree of depth ``Theta(log n)``, whereas the insert-style recursion
+needs ``Theta(n)`` dependent steps.  The series printed below are the measured
+critical-path depths from the work/depth cost semantics; the pytest-benchmark
+timings cover the interpreter work for the two styles.
+"""
+
+import pytest
+
+from conftest import print_series
+from repro.complexity.fit import growth_class
+from repro.nra.cost import cost_run
+from repro.nra.eval import run
+from repro.relational.queries import parity_dcr, parity_esr, tagged_boolean_set
+from repro.workloads.nested import random_bits
+
+SIZES = [16, 64, 256, 1024]
+
+
+def test_parity_depth_series():
+    rows = []
+    dcr_depths, esr_depths = [], []
+    for n in SIZES:
+        bits = random_bits(n, seed=n)
+        s = tagged_boolean_set(bits)
+        _, c_dcr = cost_run(parity_dcr(), s)
+        _, c_esr = cost_run(parity_esr(), s)
+        dcr_depths.append(c_dcr.depth)
+        esr_depths.append(c_esr.depth)
+        rows.append((n, c_dcr.depth, c_dcr.work, c_esr.depth, c_esr.work))
+    print_series(
+        "E1 parity: dcr (divide & conquer) vs esr (element by element)",
+        ["n", "dcr depth", "dcr work", "esr depth", "esr work"],
+        rows,
+    )
+    print(f"   dcr depth growth: {growth_class(SIZES, dcr_depths)}   "
+          f"esr depth growth: {growth_class(SIZES, esr_depths)}")
+    assert growth_class(SIZES, dcr_depths) in ("log", "log^2")
+    assert growth_class(SIZES, esr_depths) == "linear"
+
+
+@pytest.mark.parametrize("n", [64, 256])
+def test_parity_dcr_interpreter(benchmark, n):
+    s = tagged_boolean_set(random_bits(n, seed=1))
+    query = parity_dcr()
+    benchmark(lambda: run(query, s))
+
+
+@pytest.mark.parametrize("n", [64, 256])
+def test_parity_esr_interpreter(benchmark, n):
+    s = tagged_boolean_set(random_bits(n, seed=1))
+    query = parity_esr()
+    benchmark(lambda: run(query, s))

@@ -1,0 +1,74 @@
+"""E7 -- Stockmeyer-Vishkin view: dcr-style evaluation on a CRCW PRAM runs in
+polylog steps with polynomially many processors; sri-style needs linear steps.
+"""
+
+import math
+
+import pytest
+
+from conftest import print_series
+from repro.machines.pram import PRAM
+from repro.machines.pram_programs import (
+    decode_tc_memory,
+    reduction_tree_program,
+    sequential_fold_program,
+    tc_squaring_program,
+    xor_op,
+)
+from repro.relational.algebra import transitive_closure_squaring
+from repro.workloads.graphs import path_graph
+from repro.workloads.nested import random_bits
+
+SIZES = [16, 64, 256, 1024]
+
+
+def test_reduction_steps_series():
+    rows = []
+    for n in SIZES:
+        values = [1 if b else 0 for b in random_bits(n, seed=n)]
+        tprog, taddr, tmem = reduction_tree_program(values, xor_op)
+        fprog, faddr, fmem = sequential_fold_program(values, xor_op)
+        tree = PRAM().run(tprog, tmem)
+        fold = PRAM().run(fprog, fmem)
+        assert tree.read(taddr) == fold.read(faddr)
+        rows.append((n, tree.steps, tree.max_processors, fold.steps, fold.max_processors))
+        assert tree.steps == math.ceil(math.log2(n))
+        assert fold.steps == n
+    print_series(
+        "E7a parity on the CRCW PRAM: combining tree vs sequential fold",
+        ["n", "tree steps", "tree procs", "fold steps", "fold procs"],
+        rows,
+    )
+
+
+def test_tc_pram_series():
+    rows = []
+    for n in (4, 8, 16):
+        graph = path_graph(n)
+        prog, mem = tc_squaring_program(n, list(graph.tuples))
+        result = PRAM().run(prog, mem)
+        expected, _ = transitive_closure_squaring(frozenset(graph.tuples))
+        assert decode_tc_memory(n, result.memory) == expected
+        rows.append((n, result.steps, result.max_processors, result.total_work))
+    print_series(
+        "E7b transitive closure on the CRCW PRAM (repeated squaring)",
+        ["n", "steps", "max processors", "processor-steps"],
+        rows,
+    )
+    # steps grow logarithmically, processors polynomially (n^3)
+    assert rows[-1][1] <= 2 * (math.ceil(math.log2(16)) + 1)
+    assert rows[-1][2] == 16 ** 3
+
+
+@pytest.mark.parametrize("n", [256, 1024])
+def test_reduction_tree_timing(benchmark, n):
+    values = [1] * n
+    prog, addr, mem = reduction_tree_program(values, xor_op)
+    benchmark(lambda: PRAM().run(prog, mem))
+
+
+@pytest.mark.parametrize("n", [8, 12])
+def test_tc_pram_timing(benchmark, n):
+    graph = path_graph(n)
+    prog, mem = tc_squaring_program(n, list(graph.tuples))
+    benchmark(lambda: PRAM().run(prog, mem))

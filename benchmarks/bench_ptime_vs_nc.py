@@ -1,0 +1,56 @@
+"""E10 -- PTIME vs NC as two ways of recurring on sets (Proposition 6.6 contrast).
+
+The same transitive-closure query evaluated in the sri style (element by
+element, the PTIME capture) and in the dcr style (divide and conquer, the NC
+capture) on identical workloads: work is comparable, critical-path depth is
+not.  This is the paper's closing observation made into a table.
+"""
+
+import pytest
+
+from conftest import print_series
+from repro.complexity.fit import growth_class, is_polylog
+from repro.nra.cost import cost_run
+from repro.relational.queries import reachable_pairs_query
+from repro.workloads.graphs import layered_dag, path_graph
+
+SIZES = [8, 16, 32, 64]
+
+
+def test_ptime_vs_nc_depth_series():
+    rows = []
+    dcr_depths, sri_depths = [], []
+    for n in SIZES:
+        g = path_graph(n)
+        _, c_dcr = cost_run(reachable_pairs_query("dcr"), g.value())
+        _, c_sri = cost_run(reachable_pairs_query("sri"), g.value())
+        dcr_depths.append(c_dcr.depth)
+        sri_depths.append(c_sri.depth)
+        ratio = round(c_sri.depth / c_dcr.depth, 2)
+        rows.append((n, c_dcr.depth, c_sri.depth, ratio, c_dcr.work, c_sri.work))
+    print_series(
+        "E10 the same query, two recursions: dcr (NC) vs sri (PTIME)",
+        ["n", "dcr depth", "sri depth", "depth ratio", "dcr work", "sri work"],
+        rows,
+    )
+    print(f"   dcr: {growth_class(SIZES, dcr_depths)}   sri: {growth_class(SIZES, sri_depths)}")
+    assert is_polylog(SIZES, dcr_depths)
+    assert not is_polylog(SIZES, sri_depths)
+    # the advantage widens with n
+    ratios = [r for *_, r, _, _ in [(row[0], row[1], row[2], row[3], row[4], row[5]) for row in rows]]
+    assert rows[-1][3] > rows[0][3]
+
+
+def test_dag_workload_depth_contrast():
+    g = layered_dag(6, 4, seed=2)
+    _, c_dcr = cost_run(reachable_pairs_query("dcr"), g.value())
+    _, c_sri = cost_run(reachable_pairs_query("sri"), g.value())
+    print(f"\n   layered DAG (24 nodes): dcr depth {c_dcr.depth}, sri depth {c_sri.depth}")
+    assert c_dcr.depth < c_sri.depth
+
+
+@pytest.mark.parametrize("style", ["dcr", "sri"])
+def test_style_timing_on_dag(benchmark, style):
+    g = layered_dag(5, 3, seed=4)
+    query = reachable_pairs_query(style)
+    benchmark(lambda: cost_run(query, g.value()))

@@ -1,0 +1,71 @@
+"""E2 -- transitive closure: dcr / log-loop squaring versus sri / semi-naive.
+
+Paper claim (Section 1, Example 7.1): transitive closure needs only
+``ceil(log(n+1))`` squaring rounds under ``dcr``/``log_loop``, against
+``Theta(n)`` rounds for the element-by-element strategies.  We report both the
+language-level parallel depths (cost semantics) and the round counts of the
+imperative baseline algorithms on the same graphs.
+"""
+
+import pytest
+
+from conftest import print_series
+from repro.complexity.fit import growth_class
+from repro.nra.cost import cost_run
+from repro.relational.algebra import (
+    transitive_closure_seminaive,
+    transitive_closure_squaring,
+)
+from repro.relational.queries import reachable_pairs_query, run_tc
+from repro.workloads.graphs import path_graph, random_graph
+
+SIZES = [8, 16, 32, 64]
+
+
+def test_tc_depth_and_round_series():
+    rows = []
+    dcr_depths, sri_depths = [], []
+    for n in SIZES:
+        g = path_graph(n)
+        edges = frozenset(g.tuples)
+        _, c_dcr = cost_run(reachable_pairs_query("dcr"), g.value())
+        _, c_log = cost_run(reachable_pairs_query("logloop"), g.value())
+        _, c_sri = cost_run(reachable_pairs_query("sri"), g.value())
+        _, semi_rounds = transitive_closure_seminaive(edges)
+        _, sq_rounds = transitive_closure_squaring(edges)
+        dcr_depths.append(c_dcr.depth)
+        sri_depths.append(c_sri.depth)
+        rows.append((n, c_dcr.depth, c_log.depth, c_sri.depth, sq_rounds, semi_rounds))
+    print_series(
+        "E2 transitive closure on the n-node path",
+        ["n", "dcr depth", "logloop depth", "sri depth", "squaring rounds", "semi-naive rounds"],
+        rows,
+    )
+    print(f"   dcr depth growth: {growth_class(SIZES, dcr_depths)}   "
+          f"sri depth growth: {growth_class(SIZES, sri_depths)}")
+    assert dcr_depths[-1] < sri_depths[-1]
+    assert growth_class(SIZES, sri_depths) in ("linear", "n log n")
+
+
+@pytest.mark.parametrize("style", ["dcr", "logloop", "sri"])
+def test_tc_interpreter_path(benchmark, style):
+    g = path_graph(16)
+    query = reachable_pairs_query(style)
+    benchmark(lambda: run_tc(query, g))
+
+
+@pytest.mark.parametrize("style", ["logloop", "sri"])
+def test_tc_interpreter_random_graph(benchmark, style):
+    g = random_graph(14, 0.25, seed=7)
+    query = reachable_pairs_query(style)
+    benchmark(lambda: run_tc(query, g))
+
+
+def test_tc_baseline_squaring(benchmark):
+    edges = frozenset(path_graph(64).tuples)
+    benchmark(lambda: transitive_closure_squaring(edges))
+
+
+def test_tc_baseline_seminaive(benchmark):
+    edges = frozenset(path_graph(64).tuples)
+    benchmark(lambda: transitive_closure_seminaive(edges))

@@ -1,0 +1,55 @@
+"""E3 -- the Proposition 2.1 translations: correctness already tested, here we
+measure the promised "at most polynomial overhead" of dcr -> esr -> sri.
+"""
+
+import pytest
+
+from conftest import print_series
+from repro.objects.values import BaseVal, from_python
+from repro.recursion.forms import EvaluationTrace, dcr
+from repro.recursion.translations import dcr_via_esr, dcr_via_log_loop, dcr_via_sri
+
+SIZES = [16, 64, 256]
+
+
+def _sum_instance():
+    return BaseVal(0), lambda x: x, lambda a, b: BaseVal(a.value + b.value)
+
+
+def test_translation_overhead_series():
+    rows = []
+    for n in SIZES:
+        s = from_python(set(range(n)))
+        e, f, u = _sum_instance()
+        work = {}
+        for name, fn in (
+            ("dcr", lambda: dcr(e, f, u, s, traces["dcr"])),
+            ("via esr", lambda: dcr_via_esr(e, f, u, s, traces["via esr"])),
+            ("via sri", lambda: dcr_via_sri(e, f, u, s, traces["via sri"])),
+            ("via log_loop", lambda: dcr_via_log_loop(e, f, u, s, traces["via log_loop"])),
+        ):
+            traces = {k: EvaluationTrace() for k in ("dcr", "via esr", "via sri", "via log_loop")}
+            fn()
+            work[name] = traces[name].work
+        rows.append((n, work["dcr"], work["via esr"], work["via sri"], work["via log_loop"]))
+    print_series(
+        "E3 dcr and its translations: parameter-function applications (work)",
+        ["n", "dcr", "via esr", "via sri", "via log_loop"],
+        rows,
+    )
+    for n, base_work, esr_w, sri_w, ll_w in rows:
+        assert esr_w <= 4 * base_work + 10
+        assert sri_w <= 8 * base_work + 10
+        assert ll_w <= 4 * base_work + 10
+
+
+@pytest.mark.parametrize("name,translation", [
+    ("direct", dcr),
+    ("via_esr", dcr_via_esr),
+    ("via_sri", dcr_via_sri),
+    ("via_log_loop", dcr_via_log_loop),
+])
+def test_translation_timing(benchmark, name, translation):
+    e, f, u = _sum_instance()
+    s = from_python(set(range(128)))
+    benchmark(lambda: translation(e, f, u, s))

@@ -1,0 +1,29 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark module regenerates one experiment of EXPERIMENTS.md (E1-E10).
+Besides the pytest-benchmark timings, each experiment prints the *series the
+paper's claim is about* (depth, rounds, circuit size, ...), because the claims
+are about asymptotic shape rather than wall-clock seconds.  The printed tables
+are collected by running ``pytest benchmarks/ --benchmark-only -s`` and are the
+numbers recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Make the src/ layout importable when the package is not installed.
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+
+def print_series(title: str, header: list[str], rows: list[tuple]) -> None:
+    """Print one experiment's series as a compact aligned table."""
+    print()
+    print(f"== {title}")
+    widths = [max(len(str(h)), max((len(str(r[i])) for r in rows), default=0)) for i, h in enumerate(header)]
+    print("   " + "  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("   " + "  ".join(str(v).rjust(w) for v, w in zip(row, widths)))

@@ -1,0 +1,104 @@
+"""Complex objects: nested data, bounded recursion and string encodings.
+
+Run with::
+
+    PYTHONPATH=src python examples/complex_objects.py
+
+Builds a nested "departments" database of type ``{D x ({D} x {D})}``, runs
+bounded divide-and-conquer aggregations over it (the Theorem 6.1 setting),
+shows why the bound is necessary (powerset growth), and round-trips the data
+through the Section 5 string encoding.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.objects.encoding import minimal_encoding
+from repro.objects.types import SetType, BASE
+from repro.objects.values import PairVal, SetVal, Value, mkset, to_python, value_size
+from repro.recursion.bounded import bdcr, powerset_via_dcr
+from repro.workloads.nested import DEPARTMENTS_T, department_database
+
+
+def all_skills(db: SetVal) -> SetVal:
+    """The union of every department's skill set, by *bounded* dcr.
+
+    The bound is the set of skills mentioned anywhere in the database --
+    computable in the nested relational algebra (flatten + union), and of
+    polynomial size, which is what keeps the recursion inside NC.
+    """
+    bound = mkset(
+        skill
+        for dept in db
+        for skill in dept.snd.snd  # type: ignore[union-attr]
+    )
+
+    def item(dept: Value) -> Value:
+        assert isinstance(dept, PairVal)
+        return dept.snd.snd  # the department's skill set
+
+    def combine(a: Value, b: Value) -> Value:
+        assert isinstance(a, SetVal) and isinstance(b, SetVal)
+        return a.union(b)
+
+    result = bdcr(mkset(), item, combine, bound, SetType(BASE), db)
+    assert isinstance(result, SetVal)
+    return result
+
+
+def largest_department(db: SetVal) -> Value:
+    """The department record with the most employees, by plain dcr (a max)."""
+    from repro.recursion.forms import dcr
+
+    def item(dept: Value) -> Value:
+        return dept
+
+    def bigger(a: Value, b: Value) -> Value:
+        assert isinstance(a, PairVal) and isinstance(b, PairVal)
+        size_a = len(a.snd.fst)  # type: ignore[union-attr]
+        size_b = len(b.snd.fst)  # type: ignore[union-attr]
+        return a if size_a >= size_b else b
+
+    seed = next(iter(db))
+    return dcr(seed, item, bigger, db)
+
+
+def main() -> None:
+    print("=" * 72)
+    print("Complex objects: bounded recursion over nested data")
+    print("=" * 72)
+
+    db = department_database(num_departments=5, employees_per_department=4, seed=3)
+    print(f"\n1. Departments database: {len(db)} departments, value size {value_size(db)}")
+    for dept in list(db)[:2]:
+        print("   sample record:", to_python(dept))
+
+    print("\n2. Bounded dcr aggregation: the union of all required skills")
+    skills = all_skills(db)
+    print("   all skills:", sorted(to_python(skills)))
+
+    print("\n3. Plain dcr as a combining maximum: the largest department")
+    biggest = largest_department(db)
+    print("   largest department record:", to_python(biggest))
+
+    print("\n4. Why bounding matters: powerset via unbounded dcr")
+    for n in (4, 8, 12):
+        subsets = powerset_via_dcr(mkset(list(db)[:1]).union(mkset()))  # tiny demo input
+        small = powerset_via_dcr(SetVal(list(db)[: min(n // 4 + 1, len(db))]))
+        print(f"   powerset of {len(small).bit_length() - 1 if len(small) else 0}+ records -> "
+              f"{len(small)} subsets (doubles with every element)")
+    print("   bdcr clips every intermediate value against its bound, so the")
+    print("   bounded language cannot fall into this trap (Theorem 6.1).")
+
+    print("\n5. Section 5 string encoding of the database (first 100 symbols)")
+    encoding = minimal_encoding(db)
+    print(f"   length: {len(encoding)} symbols = {3 * len(encoding)} bits")
+    print(f"   prefix: {encoding[:100]}...")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Quickstart: divide-and-conquer recursion, the NRA, and the NC claims.
+
+Run with::
+
+    PYTHONPATH=src python examples/quickstart.py
+
+Walks through the paper's two running examples (parity and transitive
+closure), shows the same query written in the dcr, log-loop and sri styles,
+and prints the work/depth numbers that make the NC-versus-PTIME contrast
+concrete.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.complexity.classify import classify
+from repro.nra.cost import cost_run
+from repro.nra.eval import run
+from repro.nra.pretty import pretty
+from repro.relational.queries import (
+    parity_dcr,
+    reachable_pairs_query,
+    run_tc,
+    tagged_boolean_set,
+)
+from repro.workloads.graphs import path_graph
+from repro.workloads.nested import random_bits
+
+
+def main() -> None:
+    print("=" * 72)
+    print("A Query Language for NC -- quickstart")
+    print("=" * 72)
+
+    # ------------------------------------------------------------------ parity
+    print("\n1. Parity via divide-and-conquer recursion (Section 1)")
+    parity = parity_dcr()
+    print("   expression:", pretty(parity))
+    bits = random_bits(9, seed=1)
+    result = run(parity, tagged_boolean_set(bits))
+    print(f"   input bits : {[int(b) for b in bits]}")
+    print(f"   parity     : {result}   (python check: {sum(bits) % 2 == 1})")
+
+    # ------------------------------------------------ transitive closure, 3 ways
+    print("\n2. Transitive closure of a 12-node path, three evaluation styles")
+    graph = path_graph(12)
+    for style in ("dcr", "logloop", "sri"):
+        query = reachable_pairs_query(style)
+        closure = run_tc(query, graph)
+        _, cost = cost_run(query, graph.value())
+        print(
+            f"   {style:8s}: |closure| = {len(closure):3d}   "
+            f"parallel depth = {cost.depth:4d}   work = {cost.work}"
+        )
+    print("   -> dcr / log-loop reach the same answer with logarithmic depth;")
+    print("      sri needs a linear chain of dependent steps (the PTIME style).")
+
+    # ------------------------------------------------------------ classification
+    print("\n3. What the capture theorems say about these queries")
+    for style in ("dcr", "sri"):
+        report = classify(reachable_pairs_query(style))
+        print(f"   {style:8s}: {report.parallel_class}")
+
+    print("\nDone.  See examples/graph_reachability.py and the benchmarks/")
+    print("directory for the full experiment series.")
+
+
+if __name__ == "__main__":
+    main()

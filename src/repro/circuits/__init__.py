@@ -1,0 +1,96 @@
+"""Unbounded fan-in circuits, AC^k families and the flat-query compiler.
+
+* :mod:`repro.circuits.circuit` -- the circuit model of Section 4;
+* :mod:`repro.circuits.builders` -- reusable blocks (equality, comparison,
+  duplicate masks, parity trees, multiplexers);
+* :mod:`repro.circuits.string_ops` -- circuits over Section 5 encodings
+  (Lemmas 7.4-7.6);
+* :mod:`repro.circuits.compile_flat` -- the flat-query IR and its compilation
+  to circuit families (the measurable face of Proposition 7.7);
+* :mod:`repro.circuits.families` -- size/depth measurement and empirical AC^k
+  membership;
+* :mod:`repro.circuits.dcl` -- the direct connection language and
+  DLOGSPACE-uniformity checking.
+"""
+
+from .circuit import Circuit, CircuitError, Gate, GateType
+from .builders import (
+    and_tree,
+    duplicate_mask_block,
+    equality_block,
+    inequality_block,
+    leq_block,
+    membership_block,
+    mux_block,
+    or_tree,
+    parity_tree,
+)
+from .compile_flat import (
+    ComposeQ,
+    CompiledQuery,
+    ConverseQ,
+    DiffQ,
+    EmptyQ,
+    FlatQuery,
+    FullQ,
+    IdentityQ,
+    InputRel,
+    IntersectQ,
+    LogLoopQ,
+    LoopVar,
+    NonEmptyQ,
+    ParityQ,
+    UnionQ,
+    compile_query,
+    connectivity_query,
+    decode_relation,
+    encode_relations,
+    evaluate_query,
+    nested_loop_query,
+    parity_query,
+    tc_squaring_query,
+)
+from .families import (
+    CircuitFamily,
+    FamilyMeasurement,
+    looks_like_ack,
+    polylog_depth_bound,
+    polynomial_size_bound,
+)
+from .dcl import (
+    UniformityWitness,
+    and_or_family,
+    and_or_family_witness,
+    check_uniformity,
+    direct_connection_language,
+    encode_dcl_tuple,
+)
+from .string_ops import (
+    duplicate_elimination_circuit,
+    element_start_wires,
+    encoding_equality_circuit,
+    encoding_to_bits,
+    new_encoding_circuit,
+    paren_depth_wires,
+    symbol_equals,
+    symbol_in,
+    symbol_wires,
+)
+
+__all__ = [
+    "Circuit", "CircuitError", "Gate", "GateType",
+    "equality_block", "inequality_block", "leq_block", "duplicate_mask_block",
+    "membership_block", "or_tree", "and_tree", "parity_tree", "mux_block",
+    "FlatQuery", "InputRel", "LoopVar", "UnionQ", "IntersectQ", "DiffQ",
+    "ComposeQ", "ConverseQ", "IdentityQ", "EmptyQ", "FullQ", "LogLoopQ",
+    "NonEmptyQ", "ParityQ", "CompiledQuery", "compile_query", "evaluate_query",
+    "encode_relations", "decode_relation", "tc_squaring_query", "parity_query",
+    "connectivity_query", "nested_loop_query",
+    "CircuitFamily", "FamilyMeasurement", "looks_like_ack",
+    "polylog_depth_bound", "polynomial_size_bound",
+    "direct_connection_language", "encode_dcl_tuple", "UniformityWitness",
+    "check_uniformity", "and_or_family", "and_or_family_witness",
+    "new_encoding_circuit", "encoding_to_bits", "symbol_wires", "symbol_equals",
+    "symbol_in", "paren_depth_wires", "element_start_wires",
+    "encoding_equality_circuit", "duplicate_elimination_circuit",
+]

@@ -1,0 +1,134 @@
+"""Reusable circuit building blocks (Lemmas 7.4 - 7.6 and friends).
+
+These are the gadgets the Proposition 7.7 compilation keeps reaching for:
+
+* :func:`equality_block` -- Lemma 7.6: equality of two bit blocks in constant
+  depth (an AND of XNORs);
+* :func:`duplicate_mask_block` -- the duplicate-elimination step of Section 5:
+  each element compares itself against every earlier element in parallel and
+  is masked out when an equal one exists; constant depth;
+* :func:`leq_block` -- unsigned comparison of two bit blocks in constant
+  depth, used wherever the simulations need the order;
+* :func:`parity_tree` -- XOR of ``n`` bits as a balanced tree of binary XORs,
+  depth ``Theta(log n)``: parity is *not* in AC^0, so logarithmic depth is
+  unavoidable, and this block is the circuit-level shadow of the parity-by-dcr
+  query;
+* :func:`or_tree` / :func:`and_tree` -- single unbounded fan-in gates (depth
+  1), provided for symmetry with the bounded fan-in variants;
+* :func:`mux_block` -- a 2-way multiplexer, the circuit form of ``if``.
+
+Every builder *appends* gates to an existing :class:`Circuit` and returns the
+ids of the result wires, so larger constructions compose them freely.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .circuit import Circuit
+
+
+def equality_block(c: Circuit, a: Sequence[int], b: Sequence[int]) -> int:
+    """One wire that is 1 iff the two equal-length wire blocks carry equal bits."""
+    if len(a) != len(b):
+        raise ValueError("equality_block requires blocks of equal length")
+    if not a:
+        return c.add_const(True)
+    agreements = [c.add_xnor2(x, y) for x, y in zip(a, b)]
+    return c.add_and(agreements)
+
+
+def inequality_block(c: Circuit, a: Sequence[int], b: Sequence[int]) -> int:
+    """One wire that is 1 iff the blocks differ somewhere."""
+    return c.add_not(equality_block(c, a, b))
+
+
+def leq_block(c: Circuit, a: Sequence[int], b: Sequence[int]) -> int:
+    """Unsigned ``a <= b`` on two equal-length big-endian bit blocks, constant depth.
+
+    ``a <= b`` iff for no position ``i``: ``a_i > b_i`` while all higher
+    positions agree.  Each such condition is a single AND; their OR, negated,
+    gives the result -- three levels of unbounded fan-in gates.
+    """
+    if len(a) != len(b):
+        raise ValueError("leq_block requires blocks of equal length")
+    greater_witnesses = []
+    for i in range(len(a)):
+        higher_agree = [c.add_xnor2(a[j], b[j]) for j in range(i)]
+        strictly_greater_here = c.add_and([a[i], c.add_not(b[i])])
+        greater_witnesses.append(c.add_and(higher_agree + [strictly_greater_here]))
+    a_greater = c.add_or(greater_witnesses)
+    return c.add_not(a_greater)
+
+
+def duplicate_mask_block(
+    c: Circuit, elements: Sequence[Sequence[int]]
+) -> list[int]:
+    """Keep-masks for duplicate elimination over equal-width element blocks.
+
+    Output wire ``i`` is 1 iff element ``i`` is *not* equal to any earlier
+    element -- exactly the parallel comparison pass the paper uses to remove
+    duplicates from set encodings (Section 5).  Constant depth: every
+    comparison is independent.
+    """
+    masks: list[int] = []
+    for i, elem in enumerate(elements):
+        earlier_equal = [equality_block(c, elem, elements[j]) for j in range(i)]
+        if earlier_equal:
+            masks.append(c.add_not(c.add_or(earlier_equal)))
+        else:
+            masks.append(c.add_const(True))
+    return masks
+
+
+def membership_block(
+    c: Circuit, needle: Sequence[int], haystack: Sequence[Sequence[int]]
+) -> int:
+    """One wire that is 1 iff the needle block equals some haystack block."""
+    if not haystack:
+        return c.add_const(False)
+    return c.add_or([equality_block(c, needle, h) for h in haystack])
+
+
+def or_tree(c: Circuit, wires: Sequence[int]) -> int:
+    """OR of many wires; with unbounded fan-in this is a single gate."""
+    return c.add_or(list(wires))
+
+
+def and_tree(c: Circuit, wires: Sequence[int]) -> int:
+    """AND of many wires; with unbounded fan-in this is a single gate."""
+    return c.add_and(list(wires))
+
+
+def parity_tree(c: Circuit, wires: Sequence[int]) -> int:
+    """XOR of many wires as a balanced binary tree, depth ``Theta(log n)``.
+
+    Parity is the canonical function outside AC^0 (with unbounded fan-in but
+    constant depth), so unlike :func:`or_tree` this block genuinely needs
+    logarithmic depth -- matching the single level of ``dcr`` nesting the
+    parity query uses.
+    """
+    if not wires:
+        return c.add_const(False)
+    level = list(wires)
+    while len(level) > 1:
+        nxt = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(c.add_xor2(level[i], level[i + 1]))
+        if len(level) % 2 == 1:
+            nxt.append(level[-1])
+        level = nxt
+    return level[0]
+
+
+def mux_block(c: Circuit, sel: int, when_true: int, when_false: int) -> int:
+    """2-way multiplexer: ``sel ? when_true : when_false`` (the circuit ``if``)."""
+    return c.add_or([
+        c.add_and([sel, when_true]),
+        c.add_and([c.add_not(sel), when_false]),
+    ])
+
+
+def constant_block(c: Circuit, bits: str) -> list[int]:
+    """A block of constant wires carrying the given 0/1 string."""
+    return [c.add_const(ch == "1") for ch in bits]

@@ -1,0 +1,204 @@
+"""Unbounded fan-in Boolean circuits (Section 4).
+
+The AC^k classes are defined with circuits "made up of input gates, NOT gates,
+unbounded AND and OR gates", of polynomial size and depth ``O(log^k n)``.
+:class:`Circuit` is a straightforward DAG of such gates:
+
+* gates are numbered consecutively; gate 1..n are the inputs (the paper gives
+  the input gates "the special assigned numbers 1..n");
+* AND/OR gates have arbitrarily many children, NOT has one, constants none;
+* any gate may be designated an output (outputs are ordered);
+* :meth:`Circuit.evaluate` computes all gate values for a given input string;
+* :meth:`Circuit.depth` and :meth:`Circuit.size` are the complexity measures
+  the AC^k definition constrains (size = number of gates, depth = longest
+  path from an input/constant to an output).
+
+Construction is append-only: a gate may only reference gates created before
+it, so the DAG is topologically ordered by construction and evaluation is a
+single forward pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Sequence
+
+
+class GateType(Enum):
+    """The gate kinds of the AC^k circuit model."""
+
+    INPUT = "input"
+    CONST0 = "const0"
+    CONST1 = "const1"
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate: its type and the ids of its children (inputs to the gate)."""
+
+    gid: int
+    type: GateType
+    children: tuple[int, ...] = ()
+
+
+class CircuitError(ValueError):
+    """Raised on malformed circuit constructions."""
+
+
+class Circuit:
+    """A Boolean circuit with unbounded fan-in AND/OR gates.
+
+    ``Circuit(n)`` starts with ``n`` input gates numbered ``1..n``.  Gates are
+    added with :meth:`add_not`, :meth:`add_and`, :meth:`add_or`,
+    :meth:`add_const`; outputs are declared with :meth:`set_outputs`.
+    """
+
+    def __init__(self, num_inputs: int) -> None:
+        if num_inputs < 0:
+            raise CircuitError("number of inputs must be non-negative")
+        self.num_inputs = num_inputs
+        self._gates: list[Gate] = [
+            Gate(i + 1, GateType.INPUT) for i in range(num_inputs)
+        ]
+        self._outputs: list[int] = []
+
+    # -- construction -------------------------------------------------------------
+    def _add(self, gtype: GateType, children: Iterable[int]) -> int:
+        kids = tuple(children)
+        next_id = len(self._gates) + 1
+        for c in kids:
+            if not 1 <= c < next_id:
+                raise CircuitError(
+                    f"gate {next_id} of type {gtype.value} references unknown gate {c}"
+                )
+        gate = Gate(next_id, gtype, kids)
+        self._gates.append(gate)
+        return next_id
+
+    def add_const(self, value: bool) -> int:
+        """Add a constant gate and return its id."""
+        return self._add(GateType.CONST1 if value else GateType.CONST0, ())
+
+    def add_not(self, child: int) -> int:
+        """Add a NOT gate over one child."""
+        return self._add(GateType.NOT, (child,))
+
+    def add_and(self, children: Iterable[int]) -> int:
+        """Add an unbounded fan-in AND gate (empty AND is the constant 1)."""
+        kids = tuple(children)
+        if not kids:
+            return self.add_const(True)
+        if len(kids) == 1:
+            return kids[0]
+        return self._add(GateType.AND, kids)
+
+    def add_or(self, children: Iterable[int]) -> int:
+        """Add an unbounded fan-in OR gate (empty OR is the constant 0)."""
+        kids = tuple(children)
+        if not kids:
+            return self.add_const(False)
+        if len(kids) == 1:
+            return kids[0]
+        return self._add(GateType.OR, kids)
+
+    def add_xor2(self, a: int, b: int) -> int:
+        """Binary XOR as the usual two-level AND/OR/NOT combination."""
+        return self.add_or([
+            self.add_and([a, self.add_not(b)]),
+            self.add_and([self.add_not(a), b]),
+        ])
+
+    def add_xnor2(self, a: int, b: int) -> int:
+        """Binary equivalence (XNOR)."""
+        return self.add_not(self.add_xor2(a, b))
+
+    def set_outputs(self, gate_ids: Sequence[int]) -> None:
+        """Declare the ordered list of output gates."""
+        for g in gate_ids:
+            if not 1 <= g <= len(self._gates):
+                raise CircuitError(f"output references unknown gate {g}")
+        self._outputs = list(gate_ids)
+
+    # -- inspection ---------------------------------------------------------------
+    @property
+    def gates(self) -> list[Gate]:
+        return list(self._gates)
+
+    @property
+    def outputs(self) -> list[int]:
+        return list(self._outputs)
+
+    def gate(self, gid: int) -> Gate:
+        return self._gates[gid - 1]
+
+    def size(self) -> int:
+        """Number of gates (the AC^k size measure)."""
+        return len(self._gates)
+
+    def num_wires(self) -> int:
+        """Total fan-in over all gates (a finer size measure, reported in benches)."""
+        return sum(len(g.children) for g in self._gates)
+
+    def depth(self) -> int:
+        """Longest path from an input or constant to any output gate."""
+        depths = [0] * (len(self._gates) + 1)
+        for g in self._gates:
+            if g.type in (GateType.INPUT, GateType.CONST0, GateType.CONST1):
+                depths[g.gid] = 0
+            else:
+                depths[g.gid] = 1 + max((depths[c] for c in g.children), default=0)
+        if not self._outputs:
+            return max(depths, default=0)
+        return max(depths[o] for o in self._outputs)
+
+    # -- evaluation ---------------------------------------------------------------
+    def evaluate(self, inputs: Sequence[bool] | str) -> list[bool]:
+        """Evaluate the circuit on an input assignment, returning the outputs.
+
+        ``inputs`` may be a sequence of booleans or a string of ``0``/``1``
+        characters of length ``num_inputs``.
+        """
+        bits = _coerce_bits(inputs)
+        if len(bits) != self.num_inputs:
+            raise CircuitError(
+                f"expected {self.num_inputs} input bits, got {len(bits)}"
+            )
+        values = [False] * (len(self._gates) + 1)
+        for g in self._gates:
+            if g.type is GateType.INPUT:
+                values[g.gid] = bits[g.gid - 1]
+            elif g.type is GateType.CONST0:
+                values[g.gid] = False
+            elif g.type is GateType.CONST1:
+                values[g.gid] = True
+            elif g.type is GateType.NOT:
+                values[g.gid] = not values[g.children[0]]
+            elif g.type is GateType.AND:
+                values[g.gid] = all(values[c] for c in g.children)
+            elif g.type is GateType.OR:
+                values[g.gid] = any(values[c] for c in g.children)
+            else:  # pragma: no cover - exhaustive
+                raise CircuitError(f"unknown gate type {g.type}")
+        return [values[o] for o in self._outputs]
+
+    def evaluate_to_string(self, inputs: Sequence[bool] | str) -> str:
+        """Evaluate and render the outputs as a 0/1 string."""
+        return "".join("1" if b else "0" for b in self.evaluate(inputs))
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit(inputs={self.num_inputs}, size={self.size()}, "
+            f"depth={self.depth()}, outputs={len(self._outputs)})"
+        )
+
+
+def _coerce_bits(inputs: Sequence[bool] | str) -> list[bool]:
+    if isinstance(inputs, str):
+        if any(ch not in "01" for ch in inputs):
+            raise CircuitError(f"input string must be over 0/1, got {inputs!r}")
+        return [ch == "1" for ch in inputs]
+    return [bool(b) for b in inputs]

@@ -1,0 +1,394 @@
+"""Compiling flat queries to circuit families (Proposition 7.7, flat case).
+
+Proposition 7.7 compiles every ``NRA(blog_loop^(k))`` expression into a
+DLOGSPACE-uniform circuit family of depth ``O(log^k n)`` and polynomial size.
+This module carries that construction out, executably, for the **flat**
+fragment the benchmarks measure: queries over binary relations on an ordered
+domain of ``n`` elements.
+
+Encoding.  A binary relation over ``n`` nodes is presented to the circuit as
+an ``n x n`` bit matrix (one input gate per potential edge).  This is
+Immerman's encoding of flat relations [22]; the paper notes (Section 5) that
+for flat relations it is inter-translatable with its own string encoding
+within AC^1, so measuring depth/size against it preserves the AC^k claims for
+k >= 1.
+
+The source language is a tiny *flat query IR* mirroring the relational core of
+NRA plus the iterators:
+
+* ``InputRel(name)`` -- an input relation;
+* ``LoopVar(name)`` -- the variable bound by an enclosing loop;
+* ``UnionQ``, ``IntersectQ``, ``DiffQ`` -- boolean combinations (depth O(1));
+* ``ComposeQ`` -- relation composition, one existential quantification:
+  an OR over ``n`` AND gates per output position (depth O(1), size O(n^3));
+* ``ConverseQ``, ``IdentityQ``, ``EmptyQ``, ``FullQ`` -- trivial shapes;
+* ``LogLoopQ(var, body, init)`` -- iterate ``body`` (which may mention
+  ``LoopVar(var)``) ``ceil(log2(n+1))`` times starting from ``init``: the
+  circuit is ``ceil(log2(n+1))`` stacked copies of the body circuit, exactly
+  the ``blog_loop`` case of the Proposition 7.7 proof;
+* ``NonEmptyQ``, ``ParityQ`` -- bit-valued outputs (a single OR; a
+  logarithmic-depth XOR tree).
+
+:func:`compile_query` turns an IR term into a :class:`Circuit` for a given
+``n``; :func:`evaluate_query` is the reference semantics on plain Python
+relations, used by the tests to check the circuits gate-for-gate; and the
+ready-made families at the bottom (:func:`tc_squaring_family`,
+:func:`parity_family`, :func:`nested_loop_family`) are what experiment E5
+measures: depth grows as ``Theta(log^k n)`` while size stays polynomial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..recursion.iterators import log_iterations
+from .builders import parity_tree
+from .circuit import Circuit
+
+#: A relation signal: an n x n matrix of wire ids, row-major.
+Signal = list
+
+
+class FlatQuery:
+    """Base class of flat query IR terms."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class InputRel(FlatQuery):
+    """An input relation, fed to the circuit as an n x n bit matrix."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class LoopVar(FlatQuery):
+    """The relation variable bound by an enclosing :class:`LogLoopQ`."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class UnionQ(FlatQuery):
+    left: FlatQuery
+    right: FlatQuery
+
+
+@dataclass(frozen=True)
+class IntersectQ(FlatQuery):
+    left: FlatQuery
+    right: FlatQuery
+
+
+@dataclass(frozen=True)
+class DiffQ(FlatQuery):
+    left: FlatQuery
+    right: FlatQuery
+
+
+@dataclass(frozen=True)
+class ComposeQ(FlatQuery):
+    """Relation composition ``left o right``."""
+
+    left: FlatQuery
+    right: FlatQuery
+
+
+@dataclass(frozen=True)
+class ConverseQ(FlatQuery):
+    arg: FlatQuery
+
+
+@dataclass(frozen=True)
+class IdentityQ(FlatQuery):
+    """The identity relation ``{(i, i)}``."""
+
+
+@dataclass(frozen=True)
+class EmptyQ(FlatQuery):
+    """The empty relation."""
+
+
+@dataclass(frozen=True)
+class FullQ(FlatQuery):
+    """The full relation ``[n] x [n]``."""
+
+
+@dataclass(frozen=True)
+class LogLoopQ(FlatQuery):
+    """Iterate ``body`` ``ceil(log2(n+1))`` times, starting from ``init``.
+
+    Inside ``body`` the term ``LoopVar(var)`` refers to the previous iterate.
+    This is the circuit-level ``blog_loop``: the bound is implicit (the full
+    n x n matrix), so intermediate relations stay polynomial by construction.
+    """
+
+    var: str
+    body: FlatQuery
+    init: FlatQuery
+
+
+@dataclass(frozen=True)
+class NonEmptyQ(FlatQuery):
+    """A single output bit: is the relation non-empty?  (one OR gate)."""
+
+    arg: FlatQuery
+
+
+@dataclass(frozen=True)
+class ParityQ(FlatQuery):
+    """A single output bit: the parity of the number of pairs in the relation.
+
+    Parity is not in AC^0, so this output necessarily contributes a
+    ``Theta(log n)`` depth XOR tree -- the circuit shadow of the parity query.
+    """
+
+    arg: FlatQuery
+
+
+# ---------------------------------------------------------------------------
+# Compilation to circuits
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CompiledQuery:
+    """A compiled query: the circuit plus the input layout.
+
+    ``input_layout`` maps each input relation name to the offset of its
+    ``n*n`` block inside the circuit's input string.
+    """
+
+    circuit: Circuit
+    n: int
+    input_names: tuple[str, ...]
+    relation_output: bool
+
+    def input_bits(self, relations: Mapping[str, frozenset]) -> str:
+        """Encode Python relations as the circuit's input bit string."""
+        return encode_relations(self.n, self.input_names, relations)
+
+    def run(self, relations: Mapping[str, frozenset]) -> "frozenset | bool":
+        """Evaluate the circuit on the given relations and decode the output."""
+        out = self.circuit.evaluate(self.input_bits(relations))
+        if self.relation_output:
+            return decode_relation(self.n, out)
+        return out[0]
+
+
+def input_names_of(q: FlatQuery) -> tuple[str, ...]:
+    """The input relation names mentioned by a query, in first-use order."""
+    names: list[str] = []
+
+    def walk(t: FlatQuery) -> None:
+        if isinstance(t, InputRel) and t.name not in names:
+            names.append(t.name)
+        for f in getattr(t, "__dataclass_fields__", {}):
+            v = getattr(t, f)
+            if isinstance(v, FlatQuery):
+                walk(v)
+
+    walk(q)
+    return tuple(names)
+
+
+def compile_query(q: FlatQuery, n: int) -> CompiledQuery:
+    """Compile a flat query over an ``n``-element domain into a circuit."""
+    if n < 1:
+        raise ValueError("domain size must be >= 1")
+    names = input_names_of(q)
+    circuit = Circuit(n * n * len(names))
+    env: dict[str, Signal] = {}
+    for idx, name in enumerate(names):
+        base = idx * n * n
+        env[name] = [base + k + 1 for k in range(n * n)]
+    signal_or_bit = _compile(q, circuit, n, env, {})
+    if isinstance(signal_or_bit, int):
+        circuit.set_outputs([signal_or_bit])
+        return CompiledQuery(circuit, n, names, relation_output=False)
+    circuit.set_outputs(signal_or_bit)
+    return CompiledQuery(circuit, n, names, relation_output=True)
+
+
+def _compile(
+    q: FlatQuery,
+    c: Circuit,
+    n: int,
+    inputs: Mapping[str, Signal],
+    loops: Mapping[str, Signal],
+):
+    if isinstance(q, InputRel):
+        return list(inputs[q.name])
+    if isinstance(q, LoopVar):
+        if q.name not in loops:
+            raise ValueError(f"loop variable {q.name!r} used outside its loop")
+        return list(loops[q.name])
+    if isinstance(q, UnionQ):
+        a = _compile(q.left, c, n, inputs, loops)
+        b = _compile(q.right, c, n, inputs, loops)
+        return [c.add_or([x, y]) for x, y in zip(a, b)]
+    if isinstance(q, IntersectQ):
+        a = _compile(q.left, c, n, inputs, loops)
+        b = _compile(q.right, c, n, inputs, loops)
+        return [c.add_and([x, y]) for x, y in zip(a, b)]
+    if isinstance(q, DiffQ):
+        a = _compile(q.left, c, n, inputs, loops)
+        b = _compile(q.right, c, n, inputs, loops)
+        return [c.add_and([x, c.add_not(y)]) for x, y in zip(a, b)]
+    if isinstance(q, ComposeQ):
+        a = _compile(q.left, c, n, inputs, loops)
+        b = _compile(q.right, c, n, inputs, loops)
+        out: Signal = []
+        for i in range(n):
+            for j in range(n):
+                witnesses = [
+                    c.add_and([a[i * n + k], b[k * n + j]]) for k in range(n)
+                ]
+                out.append(c.add_or(witnesses))
+        return out
+    if isinstance(q, ConverseQ):
+        a = _compile(q.arg, c, n, inputs, loops)
+        return [a[j * n + i] for i in range(n) for j in range(n)]
+    if isinstance(q, IdentityQ):
+        return [c.add_const(i == j) for i in range(n) for j in range(n)]
+    if isinstance(q, EmptyQ):
+        return [c.add_const(False) for _ in range(n * n)]
+    if isinstance(q, FullQ):
+        return [c.add_const(True) for _ in range(n * n)]
+    if isinstance(q, LogLoopQ):
+        current = _compile(q.init, c, n, inputs, loops)
+        rounds = log_iterations(n)
+        for _ in range(rounds):
+            inner_loops = dict(loops)
+            inner_loops[q.var] = current
+            current = _compile(q.body, c, n, inputs, inner_loops)
+        return current
+    if isinstance(q, NonEmptyQ):
+        a = _compile(q.arg, c, n, inputs, loops)
+        return c.add_or(a)
+    if isinstance(q, ParityQ):
+        a = _compile(q.arg, c, n, inputs, loops)
+        return parity_tree(c, a)
+    raise TypeError(f"unknown flat query node {type(q).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Reference semantics (oracle for the circuits)
+# ---------------------------------------------------------------------------
+
+def evaluate_query(
+    q: FlatQuery, n: int, relations: Mapping[str, frozenset]
+) -> "frozenset | bool":
+    """Evaluate a flat query directly on Python relations over ``{0..n-1}``."""
+    full = frozenset((i, j) for i in range(n) for j in range(n))
+
+    def ev(t: FlatQuery, loops: Mapping[str, frozenset]) -> "frozenset | bool":
+        if isinstance(t, InputRel):
+            return frozenset(relations[t.name])
+        if isinstance(t, LoopVar):
+            return loops[t.name]
+        if isinstance(t, UnionQ):
+            return ev(t.left, loops) | ev(t.right, loops)  # type: ignore[operator]
+        if isinstance(t, IntersectQ):
+            return ev(t.left, loops) & ev(t.right, loops)  # type: ignore[operator]
+        if isinstance(t, DiffQ):
+            return ev(t.left, loops) - ev(t.right, loops)  # type: ignore[operator]
+        if isinstance(t, ComposeQ):
+            a = ev(t.left, loops)
+            b = ev(t.right, loops)
+            assert isinstance(a, frozenset) and isinstance(b, frozenset)
+            return frozenset(
+                (i, j) for i, k1 in a for k2, j in b if k1 == k2
+            )
+        if isinstance(t, ConverseQ):
+            a = ev(t.arg, loops)
+            assert isinstance(a, frozenset)
+            return frozenset((j, i) for i, j in a)
+        if isinstance(t, IdentityQ):
+            return frozenset((i, i) for i in range(n))
+        if isinstance(t, EmptyQ):
+            return frozenset()
+        if isinstance(t, FullQ):
+            return full
+        if isinstance(t, LogLoopQ):
+            current = ev(t.init, loops)
+            for _ in range(log_iterations(n)):
+                inner = dict(loops)
+                inner[t.var] = current  # type: ignore[assignment]
+                current = ev(t.body, inner)
+            return current
+        if isinstance(t, NonEmptyQ):
+            a = ev(t.arg, loops)
+            assert isinstance(a, frozenset)
+            return len(a) > 0
+        if isinstance(t, ParityQ):
+            a = ev(t.arg, loops)
+            assert isinstance(a, frozenset)
+            return len(a) % 2 == 1
+        raise TypeError(f"unknown flat query node {type(t).__name__}")
+
+    return ev(q, {})
+
+
+def encode_relations(
+    n: int, names: Sequence[str], relations: Mapping[str, frozenset]
+) -> str:
+    """Encode relations over ``{0..n-1}`` as the circuit input bit string."""
+    bits: list[str] = []
+    for name in names:
+        rel = relations.get(name, frozenset())
+        for i in range(n):
+            for j in range(n):
+                bits.append("1" if (i, j) in rel else "0")
+    return "".join(bits)
+
+
+def decode_relation(n: int, bits: Sequence[bool]) -> frozenset:
+    """Decode an ``n*n`` output bit vector back into a relation."""
+    return frozenset(
+        (i, j) for i in range(n) for j in range(n) if bits[i * n + j]
+    )
+
+
+# ---------------------------------------------------------------------------
+# The measured query families (experiment E5)
+# ---------------------------------------------------------------------------
+
+def tc_squaring_query() -> FlatQuery:
+    """Transitive closure by repeated squaring: nesting depth 1, AC^1 shape."""
+    return LogLoopQ("T", UnionQ(LoopVar("T"), ComposeQ(LoopVar("T"), LoopVar("T"))), InputRel("r"))
+
+
+def parity_query() -> FlatQuery:
+    """Parity of the number of edges: the canonical not-in-AC^0 output."""
+    return ParityQ(InputRel("r"))
+
+
+def connectivity_query() -> FlatQuery:
+    """Is every ordered pair connected by a directed path?  (strong connectivity)."""
+    closure = UnionQ(IdentityQ(), tc_squaring_query())
+    return NonEmptyQ(DiffQ(FullQ(), closure))
+
+
+def nested_loop_query(k: int) -> FlatQuery:
+    """A depth-``k`` nest of ``LogLoopQ``: the Example 7.2 ``log^k n`` iterator.
+
+    Level 1 is the squaring loop; level ``j > 1`` iterates the whole
+    level-``j-1`` nest ``ceil(log2(n+1))`` times, so in total the squaring
+    step runs ``(log n)^k`` times.  Semantically the result equals the
+    transitive closure for every ``k >= 1`` (squaring converges and is then
+    idempotent), but the compiled circuit's depth grows as ``Theta(log^k n)``
+    -- exactly the nesting-depth / AC^k correspondence of the main theorems.
+    """
+    if k < 1:
+        raise ValueError("nesting depth must be >= 1")
+
+    def build(level: int, init: FlatQuery) -> FlatQuery:
+        var = f"T{level}"
+        if level == 1:
+            body: FlatQuery = UnionQ(LoopVar(var), ComposeQ(LoopVar(var), LoopVar(var)))
+            return LogLoopQ(var, body, init)
+        return LogLoopQ(var, build(level - 1, LoopVar(var)), init)
+
+    return build(k, InputRel("r"))

@@ -1,0 +1,120 @@
+"""Circuit families and empirical AC^k membership (Section 4).
+
+A function is in AC^k when it is computed by a *family* of circuits
+``{alpha_n}`` of polynomial size and ``O(log^k n)`` depth (plus uniformity,
+handled in :mod:`repro.circuits.dcl`).  A :class:`CircuitFamily` packages a
+builder ``n -> Circuit`` with caching and measurement helpers; the membership
+checks are necessarily empirical -- they fit the measured size/depth curves
+over a range of ``n`` -- which is exactly what experiment E5 reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from .circuit import Circuit
+
+
+@dataclass
+class FamilyMeasurement:
+    """Size/depth of one member of a circuit family."""
+
+    n: int
+    size: int
+    depth: int
+    wires: int
+
+
+@dataclass
+class CircuitFamily:
+    """A uniform-by-construction family of circuits, one per input parameter ``n``.
+
+    ``parameter`` is the natural size parameter of the family (number of graph
+    nodes, number of bits, ...); ``builder(n)`` constructs the ``n``-th
+    circuit.  The same Python function builds every member, which is the
+    practical reading of uniformity; the formal DCL check lives in
+    :mod:`repro.circuits.dcl`.
+    """
+
+    name: str
+    builder: Callable[[int], Circuit]
+    description: str = ""
+    _cache: dict = field(default_factory=dict, repr=False)
+
+    def circuit(self, n: int) -> Circuit:
+        if n not in self._cache:
+            self._cache[n] = self.builder(n)
+        return self._cache[n]
+
+    def measure(self, sizes: Iterable[int]) -> list[FamilyMeasurement]:
+        out = []
+        for n in sizes:
+            c = self.circuit(n)
+            out.append(FamilyMeasurement(n, c.size(), c.depth(), c.num_wires()))
+        return out
+
+    def depth_profile(self, sizes: Iterable[int]) -> list[tuple[int, int]]:
+        return [(m.n, m.depth) for m in self.measure(sizes)]
+
+    def size_profile(self, sizes: Iterable[int]) -> list[tuple[int, int]]:
+        return [(m.n, m.size) for m in self.measure(sizes)]
+
+
+def polylog_depth_bound(
+    measurements: Sequence[FamilyMeasurement], k: int
+) -> tuple[float, bool]:
+    """Fit ``depth <= c * log2(n+1)^k`` and report (c, all points satisfy it).
+
+    Returns the smallest constant ``c`` making the bound hold on the measured
+    points, and whether the *ratio* ``depth / log^k n`` is non-increasing in
+    the tail (a practical signature of genuinely polylogarithmic growth rather
+    than a polynomial hiding behind a generous constant).
+    """
+    ratios = []
+    for m in measurements:
+        denom = math.log2(m.n + 1) ** k
+        ratios.append(m.depth / denom if denom > 0 else float(m.depth))
+    c = max(ratios) if ratios else 0.0
+    tail = ratios[len(ratios) // 2 :]
+    non_increasing_tail = all(tail[i + 1] <= tail[i] * 1.10 for i in range(len(tail) - 1))
+    return c, non_increasing_tail
+
+
+def polynomial_size_bound(
+    measurements: Sequence[FamilyMeasurement], degree: int
+) -> tuple[float, bool]:
+    """Fit ``size <= c * n^degree`` analogously to :func:`polylog_depth_bound`."""
+    ratios = [m.size / (m.n ** degree) for m in measurements if m.n > 0]
+    c = max(ratios) if ratios else 0.0
+    tail = ratios[len(ratios) // 2 :]
+    bounded_tail = all(tail[i + 1] <= tail[i] * 1.10 for i in range(len(tail) - 1))
+    return c, bounded_tail
+
+
+def looks_like_ack(
+    family: CircuitFamily,
+    k: int,
+    sizes: Sequence[int],
+    size_degree: int = 4,
+) -> dict:
+    """Empirical AC^k membership report for a circuit family.
+
+    Returns a dictionary with the measurements, the fitted constants and the
+    two verdicts (depth polylogarithmic of exponent ``k``; size polynomial of
+    degree at most ``size_degree``).  This is the summary printed by the
+    experiment E5 benchmark.
+    """
+    ms = family.measure(sizes)
+    depth_c, depth_ok = polylog_depth_bound(ms, k)
+    size_c, size_ok = polynomial_size_bound(ms, size_degree)
+    return {
+        "family": family.name,
+        "k": k,
+        "measurements": [(m.n, m.size, m.depth) for m in ms],
+        "depth_constant": depth_c,
+        "depth_polylog_ok": depth_ok,
+        "size_constant": size_c,
+        "size_polynomial_ok": size_ok,
+    }

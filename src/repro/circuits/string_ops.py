@@ -1,0 +1,212 @@
+"""Circuits over string encodings of complex objects (Lemmas 7.4 - 7.6).
+
+Section 7.2 builds its circuits over the Section 5 string encodings: every
+position of the encoding is a symbol from the eight-letter alphabet, carried
+on three wires.  The lemmas used throughout the compilation are:
+
+* **Lemma 7.4** -- identify matching parenthesis pairs.  The nesting depth of
+  any encoding of a fixed type is bounded by a constant ``d_t``, so a circuit
+  of depth ``O(d_t)`` suffices.  :func:`paren_depth_wires` computes, for every
+  position and every level ``<= d_t``, a wire saying "this position is at
+  nesting depth exactly level" -- which is all the later constructions need
+  (they never chase an unbounded stack).
+* **Lemma 7.5** -- mark the first position of every top-level element of a
+  set encoding: :func:`element_start_wires` (a comma at depth 1, or the
+  opening brace, followed by the next non-blank position).
+* **Lemma 7.6** -- equality of two encoded objects of the same type.  For the
+  *minimal* encodings our compiler feeds circuits (no blanks, atoms numbered
+  canonically), equality of objects is equality of strings, so
+  :func:`encoding_equality_circuit` is an AND of per-position XNORs --
+  constant depth, as the lemma requires.  (For non-minimal encodings the
+  normalisation is exactly the duplicate-elimination + blank-compaction
+  pipeline measured in experiment E6.)
+
+Each builder works on a fixed encoding length ``m`` (circuits are per-length,
+as families always are) and takes/returns wire ids in an existing
+:class:`Circuit`.  The reference semantics they are tested against is
+:mod:`repro.objects.encoding`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..objects.encoding import ALPHABET, SYMBOL_TO_BITS
+from .builders import and_tree, equality_block, or_tree
+from .circuit import Circuit
+
+#: Number of wires per encoded symbol.
+BITS_PER_SYMBOL = 3
+
+
+def symbol_wires(position: int) -> tuple[int, int, int]:
+    """The three input wire ids carrying the symbol at the given 0-based position."""
+    base = position * BITS_PER_SYMBOL
+    return (base + 1, base + 2, base + 3)
+
+
+def symbol_equals(c: Circuit, position_wires: Sequence[int], symbol: str) -> int:
+    """A wire that is 1 iff the three position wires spell the given symbol."""
+    bits = SYMBOL_TO_BITS[symbol]
+    literals = []
+    for wire, bit in zip(position_wires, bits):
+        literals.append(wire if bit == "1" else c.add_not(wire))
+    return c.add_and(literals)
+
+
+def symbol_in(c: Circuit, position_wires: Sequence[int], symbols: str) -> int:
+    """A wire that is 1 iff the position carries one of the given symbols."""
+    return c.add_or([symbol_equals(c, position_wires, s) for s in symbols])
+
+
+def new_encoding_circuit(length: int) -> Circuit:
+    """A circuit whose inputs are the 3-bit codes of ``length`` symbols."""
+    return Circuit(length * BITS_PER_SYMBOL)
+
+
+def encoding_to_bits(encoding: str) -> str:
+    """Input bit string for a symbol string (3 bits per symbol)."""
+    return "".join(SYMBOL_TO_BITS[ch] for ch in encoding)
+
+
+# ---------------------------------------------------------------------------
+# Lemma 7.4: nesting depth, with the constant type-bounded depth
+# ---------------------------------------------------------------------------
+
+def paren_depth_wires(c: Circuit, length: int, max_depth: int) -> list[list[int]]:
+    """Wires ``d[pos][level]``: position ``pos`` is at nesting depth exactly ``level``.
+
+    The depth of a position is (number of opening brackets at or before it)
+    minus (number of closing brackets strictly before it, plus closing at it
+    counting itself)... operationally we replicate the reference semantics of
+    :func:`repro.objects.encoding.match_parentheses`: an opener or closer is at
+    the depth it opens/closes, other symbols at the depth of the enclosing
+    bracket.  Because ``max_depth`` is a constant of the *type*, the circuit
+    enumerates, for every position and level, all the ways the prefix counts
+    can realise that level -- unbounded fan-in makes each level a two-layer
+    circuit, so the whole block has depth ``O(1)`` for fixed ``max_depth``.
+
+    The construction here trades gate count for clarity: for every position it
+    builds, level by level, a running "depth so far" in unary, using one OR/AND
+    layer per level (hence depth ``O(max_depth)``, still constant for a fixed
+    type, exactly as Lemma 7.4 states).
+    """
+    opener = [symbol_in(c, symbol_wires(p), "{(") for p in range(length)]
+    closer = [symbol_in(c, symbol_wires(p), "})") for p in range(length)]
+
+    # at_least[p][k]: after reading positions 0..p (inclusive of an opener at p,
+    # exclusive of a closer's effect until after p), the depth is >= k.
+    # We build it iteratively position by position; the per-position update is
+    # constant depth, and unrolling over positions does not add *logical*
+    # depth beyond max_depth levels because each level's wires only feed the
+    # next level's at the same or later positions.
+    depth_exact: list[list[int]] = []
+    prev_at_least: list[int] = [c.add_const(True)] + [
+        c.add_const(False) for _ in range(max_depth)
+    ]
+    for p in range(length):
+        neither = c.add_and([c.add_not(opener[p]), c.add_not(closer[p])])
+        at_least: list[int] = [c.add_const(True)]
+        for k in range(1, max_depth + 1):
+            # depth >= k after p  iff  opener at p and it was >= k-1,
+            #                      or  closer at p and it was >= k+1,
+            #                      or  a plain symbol and it was >= k.
+            rise = c.add_and([opener[p], prev_at_least[k - 1]])
+            above_before = prev_at_least[k + 1] if k + 1 <= max_depth else c.add_const(False)
+            fall = c.add_and([closer[p], above_before])
+            stay = c.add_and([neither, prev_at_least[k]])
+            at_least.append(c.add_or([rise, fall, stay]))
+        # The *position's* depth is the depth it opens/closes: an opener sits at
+        # the depth reached after it, a closer at the depth held before it, and
+        # any other symbol at the (unchanged) surrounding depth.  So "position
+        # at depth >= k" is the disjunction of before and after.
+        position_at_least = [c.add_const(True)] + [
+            c.add_or([prev_at_least[k], at_least[k]]) for k in range(1, max_depth + 1)
+        ]
+        exact: list[int] = []
+        for k in range(max_depth + 1):
+            above = (
+                position_at_least[k + 1] if k + 1 <= max_depth else c.add_const(False)
+            )
+            exact.append(c.add_and([position_at_least[k], c.add_not(above)]))
+        depth_exact.append(exact)
+        prev_at_least = at_least
+    return depth_exact
+
+
+# ---------------------------------------------------------------------------
+# Lemma 7.5: element start marks
+# ---------------------------------------------------------------------------
+
+def element_start_wires(c: Circuit, length: int, max_depth: int) -> list[int]:
+    """One wire per position: 1 iff a top-level element of the set starts there.
+
+    A top-level element starts at the first non-blank position following the
+    opening brace or an outermost comma (a comma at nesting depth 1); the
+    closing brace never starts an element.  Matches
+    :func:`repro.objects.encoding.element_starts` on blank-free encodings (and
+    on encodings whose blanks do not precede the first symbol of an element,
+    which minimal encodings never have).
+    """
+    depth_exact = paren_depth_wires(c, length, max_depth)
+    marks: list[int] = []
+    for p in range(length):
+        if p == 0:
+            marks.append(c.add_const(False))
+            continue
+        wires_prev = symbol_wires(p - 1)
+        boundary_before = c.add_or([
+            c.add_and([symbol_equals(c, wires_prev, ","), depth_exact[p - 1][1]])
+            if max_depth >= 1 else c.add_const(False),
+            c.add_and([symbol_equals(c, wires_prev, "{"), depth_exact[p - 1][1]])
+            if max_depth >= 1 else c.add_const(False),
+        ])
+        not_closing_here = c.add_not(symbol_in(c, symbol_wires(p), "})"))
+        not_blank_here = c.add_not(symbol_equals(c, symbol_wires(p), "_"))
+        marks.append(c.add_and([boundary_before, not_closing_here, not_blank_here]))
+    return marks
+
+
+# ---------------------------------------------------------------------------
+# Lemma 7.6: equality of encoded objects
+# ---------------------------------------------------------------------------
+
+def encoding_equality_circuit(length: int) -> Circuit:
+    """Equality of two minimal encodings of the same length, constant depth.
+
+    The circuit has ``2 * length`` symbols of input (first string followed by
+    the second) and a single output: 1 iff the two symbol strings are equal.
+    On minimal encodings string equality coincides with object equality
+    (canonical sets, no blanks, canonical atom numbering), which is how the
+    compiled queries use it.
+    """
+    c = Circuit(2 * length * BITS_PER_SYMBOL)
+    first = list(range(1, length * BITS_PER_SYMBOL + 1))
+    second = list(range(length * BITS_PER_SYMBOL + 1, 2 * length * BITS_PER_SYMBOL + 1))
+    out = equality_block(c, first, second)
+    c.set_outputs([out])
+    return c
+
+
+# ---------------------------------------------------------------------------
+# Section 5: duplicate elimination over encoded elements
+# ---------------------------------------------------------------------------
+
+def duplicate_elimination_circuit(num_elements: int, element_length: int) -> Circuit:
+    """Keep-masks for a sequence of equal-length encoded elements, constant depth.
+
+    Inputs: ``num_elements`` blocks of ``element_length`` symbols each.
+    Outputs: one bit per element, 1 iff no earlier element is symbol-for-symbol
+    equal -- the parallel comparison pass the paper uses to remove duplicates
+    from set encodings before blank compaction.
+    """
+    c = Circuit(num_elements * element_length * BITS_PER_SYMBOL)
+    blocks: list[list[int]] = []
+    for i in range(num_elements):
+        start = i * element_length * BITS_PER_SYMBOL
+        blocks.append(list(range(start + 1, start + element_length * BITS_PER_SYMBOL + 1)))
+    from .builders import duplicate_mask_block
+
+    masks = duplicate_mask_block(c, blocks)
+    c.set_outputs(masks)
+    return c

@@ -1,0 +1,27 @@
+"""Complexity analysis: classification, growth fitting and separations."""
+
+from .classify import ComplexityReport, classify
+from .fit import (
+    FitResult,
+    best_fit,
+    doubling_ratios,
+    fit_model,
+    growth_class,
+    is_polylog,
+    is_polynomial_not_exponential,
+)
+from .separations import (
+    arithmetic_blowup,
+    bounded_arithmetic_growth,
+    bounded_powerset_growth,
+    dcr_vs_sri_depth,
+    powerset_growth,
+)
+
+__all__ = [
+    "ComplexityReport", "classify",
+    "FitResult", "fit_model", "best_fit", "growth_class", "doubling_ratios",
+    "is_polylog", "is_polynomial_not_exponential",
+    "powerset_growth", "bounded_powerset_growth", "arithmetic_blowup",
+    "bounded_arithmetic_growth", "dcr_vs_sri_depth",
+]

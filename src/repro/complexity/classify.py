@@ -1,0 +1,115 @@
+"""Classifying NRA expressions by the paper's capture theorems.
+
+Given a query expression, the main theorems read off its complexity class from
+purely syntactic features:
+
+* recursion-nesting depth ``k`` with order available  =>  AC^k (Theorems 6.1
+  and 6.2), hence NC for any finite ``k``;
+* recursion-free NRA  =>  (uniform) AC^0 (Proposition 6.4);
+* ``sri``/``bsri`` present (depth >= 1)  =>  only the PTIME bound is claimed
+  (Proposition 6.6) -- the element-by-element recursion is the one that is
+  *not* known to parallelise;
+* unbounded ``dcr``/``sru``/iterators over non-flat types  =>  no NC claim:
+  the expression can express ``powerset`` (Section 2), so only the general
+  complex-object bound applies;
+* external functions beyond the order: NC-computable externals preserve the
+  classification only for the *bounded* language (Proposition 6.3).
+
+:func:`classify` packages this reading into a :class:`ComplexityReport` that
+the examples print and the tests assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..nra import ast
+from ..nra.ast import Expr, subexpressions
+from ..nra.depth import recursion_depth
+from ..nra.externals import Signature, ORDER_SIGMA
+from ..nra.typecheck import externals_used, in_nra1, uses_only_bounded_recursion
+from ..objects.types import Type
+
+
+@dataclass
+class ComplexityReport:
+    """What the capture theorems say about one query expression."""
+
+    nesting_depth: int
+    flat: bool
+    bounded_only: bool
+    uses_insert_recursion: bool
+    externals: frozenset[str]
+    parallel_class: str
+    sequential_class: str
+    notes: list[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        lines = [
+            f"nesting depth      : {self.nesting_depth}",
+            f"flat (NRA1)        : {self.flat}",
+            f"bounded recursion  : {self.bounded_only}",
+            f"insert recursion   : {self.uses_insert_recursion}",
+            f"externals          : {sorted(self.externals) or '-'}",
+            f"parallel class     : {self.parallel_class}",
+            f"sequential class   : {self.sequential_class}",
+        ]
+        lines.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(lines)
+
+
+def classify(
+    e: Expr,
+    env: Optional[dict[str, Type]] = None,
+    sigma: Signature = ORDER_SIGMA,
+) -> ComplexityReport:
+    """Read the complexity classification of a query off its syntax."""
+    depth = recursion_depth(e)
+    flat = _safe_in_nra1(e, env, sigma)
+    bounded = uses_only_bounded_recursion(e)
+    insert_recursion = any(
+        isinstance(sub, (ast.Sri, ast.Esr, ast.Bsri)) for sub in subexpressions(e)
+    )
+    used = externals_used(e)
+    notes: list[str] = []
+
+    non_order_externals = used - {"leq"}
+    if depth == 0:
+        parallel = "AC^0 (Proposition 6.4: recursion-free NRA)"
+    elif insert_recursion:
+        parallel = "no NC bound claimed (insert recursion present)"
+    elif flat or bounded:
+        parallel = f"AC^{depth} (Theorems 6.1/6.2: nesting depth {depth} with order)"
+    else:
+        parallel = "no NC bound (unbounded set recursion over nested types)"
+        notes.append(
+            "unbounded dcr over complex objects expresses powerset; add a bound "
+            "(bdcr/blog_loop) to regain the AC^k classification"
+        )
+    if non_order_externals and not bounded and not flat:
+        notes.append(
+            "externals beyond the order combined with unbounded recursion can leave "
+            "NC entirely (Proposition 6.3)"
+        )
+    if insert_recursion:
+        sequential = "PTIME (Proposition 6.6: sri/bsri with order)"
+    else:
+        sequential = "PTIME (NC is contained in PTIME)"
+    return ComplexityReport(
+        nesting_depth=depth,
+        flat=flat,
+        bounded_only=bounded,
+        uses_insert_recursion=insert_recursion,
+        externals=used,
+        parallel_class=parallel,
+        sequential_class=sequential,
+        notes=notes,
+    )
+
+
+def _safe_in_nra1(e: Expr, env, sigma: Signature) -> bool:
+    try:
+        return in_nra1(e, env, sigma)
+    except Exception:
+        return False

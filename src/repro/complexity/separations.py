@@ -1,0 +1,160 @@
+"""Separation and blow-up demonstrations (Section 2 and Proposition 6.3).
+
+Three cautionary constructions from the paper, made measurable:
+
+* :func:`powerset_growth` -- over complex objects, plain ``dcr`` expresses
+  ``powerset``; the output size doubles with every input element, so the
+  unbounded language cannot sit inside NC (this is why ``bdcr`` exists);
+* :func:`bounded_powerset_growth` -- the same recursion run through ``bdcr``
+  with a polynomial bound: every intermediate value is clipped to the bound,
+  so sizes stay polynomial (what Theorem 6.1 relies on);
+* :func:`arithmetic_blowup` -- Proposition 6.3: with the naturals and
+  arithmetic available as externals, the *unbounded* flat language reaches
+  exponential-space values (iterated squaring doubles the bit length every
+  step); :func:`bounded_arithmetic_growth` shows the bounded language with the
+  same externals stays polynomial, which is the positive half of the
+  proposition.
+
+Each function returns a list of ``(n, size)`` measurements so the benchmarks
+can print the growth series and the tests can assert the exponential /
+polynomial split.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..objects.values import BaseVal, SetVal, Value, from_python, mkset, value_size
+from ..recursion.bounded import bdcr, powerset_via_dcr
+from ..recursion.forms import dcr
+from ..recursion.iterators import loop
+from ..objects.types import SetType, BASE
+
+
+def powerset_growth(sizes: Sequence[int]) -> list[tuple[int, int]]:
+    """Output cardinality of powerset-via-dcr for inputs of the given sizes."""
+    out = []
+    for n in sizes:
+        s = from_python(set(range(n)))
+        assert isinstance(s, SetVal)
+        result = powerset_via_dcr(s)
+        out.append((n, len(result)))
+    return out
+
+
+def bounded_powerset_growth(sizes: Sequence[int]) -> list[tuple[int, int]]:
+    """The same recursion bounded by "subsets of size <= 1": stays linear.
+
+    The bound is the set of singletons and the empty set -- a polynomially
+    sized value.  ``bdcr`` intersects every intermediate result with it, so
+    the output (and every intermediate value) has at most ``n + 1`` elements:
+    bounding really does cap the growth, mechanically.
+    """
+    out = []
+    result_type = SetType(SetType(BASE))
+    for n in sizes:
+        s = from_python(set(range(n)))
+        assert isinstance(s, SetVal)
+        bound = mkset([mkset()] + [mkset([BaseVal(i)]) for i in range(n)])
+
+        def item(x: Value) -> Value:
+            return mkset([mkset(), mkset([x])])
+
+        def combine(p1: Value, p2: Value) -> Value:
+            assert isinstance(p1, SetVal) and isinstance(p2, SetVal)
+            return mkset(
+                a.union(b)
+                for a in p1
+                for b in p2
+                if isinstance(a, SetVal) and isinstance(b, SetVal)
+            )
+
+        result = bdcr(mkset([mkset()]), item, combine, bound, result_type, s)
+        assert isinstance(result, SetVal)
+        out.append((n, len(result)))
+    return out
+
+
+def arithmetic_blowup(rounds: Sequence[int]) -> list[tuple[int, int]]:
+    """Bit length of iterated squaring ``x <- x * x`` (Proposition 6.3).
+
+    ``loop`` over an ``n``-element set applies the squaring step ``n`` times
+    starting from 2; the result is ``2^(2^n)``, whose representation needs
+    ``2^n`` bits -- exponential space from a constant-size program, which is
+    why arbitrary arithmetic externals cannot be added to the *unbounded*
+    language without leaving NC.
+    """
+    out = []
+    for n in rounds:
+        driver = from_python(set(range(n)))
+        assert isinstance(driver, SetVal)
+
+        def square(v: Value) -> Value:
+            assert isinstance(v, BaseVal) and isinstance(v.value, int)
+            return BaseVal(v.value * v.value)
+
+        result = loop(square, driver, BaseVal(2))
+        assert isinstance(result, BaseVal) and isinstance(result.value, int)
+        out.append((n, result.value.bit_length()))
+    return out
+
+
+def bounded_arithmetic_growth(rounds: Sequence[int], cap: int = 10_000) -> list[tuple[int, int]]:
+    """The bounded counterpart: clipping to a finite carrier keeps sizes flat.
+
+    The bounded language can only produce values inside its (polynomially
+    sized) bound; we model that by squaring *within the finite carrier*
+    ``{0..cap}`` (values escaping the carrier are truncated to it, as the
+    intersection with the bound would).  The measured bit length is constant,
+    the shape Proposition 6.3 claims for NC-computable externals + ``bdcr``.
+    """
+    out = []
+    for n in rounds:
+        driver = from_python(set(range(n)))
+        assert isinstance(driver, SetVal)
+
+        def square_clipped(v: Value) -> Value:
+            assert isinstance(v, BaseVal) and isinstance(v.value, int)
+            return BaseVal(min(v.value * v.value, cap))
+
+        result = loop(square_clipped, driver, BaseVal(2))
+        assert isinstance(result, BaseVal) and isinstance(result.value, int)
+        out.append((n, result.value.bit_length()))
+    return out
+
+
+def dcr_vs_sri_depth(sizes: Sequence[int]) -> list[tuple[int, int, int]]:
+    """Combining-tree depth of ``dcr`` vs chain length of ``sri`` on the same sets.
+
+    Returns ``(n, dcr_depth, sri_depth)`` triples; the first column grows like
+    ``ceil(log2 n)`` and the second like ``n`` -- the NC-versus-PTIME contrast
+    in its purest form (the combined operation is just XOR on booleans).
+    """
+    from ..objects.values import BoolVal, PairVal
+    from ..recursion.forms import EvaluationTrace, sri
+
+    out = []
+    for n in sizes:
+        s = mkset(PairVal(BaseVal(i), BoolVal(i % 3 == 0)) for i in range(n))
+
+        def item(x: Value) -> Value:
+            assert isinstance(x, PairVal)
+            return x.snd
+
+        def combine(a: Value, b: Value) -> Value:
+            assert isinstance(a, BoolVal) and isinstance(b, BoolVal)
+            return BoolVal(a.value != b.value)
+
+        t_dcr = EvaluationTrace()
+        dcr(BoolVal(False), item, combine, s, t_dcr)
+
+        def insert(x: Value, acc: Value) -> Value:
+            assert isinstance(x, PairVal) and isinstance(acc, BoolVal)
+            snd = x.snd
+            assert isinstance(snd, BoolVal)
+            return BoolVal(snd.value != acc.value)
+
+        t_sri = EvaluationTrace()
+        sri(BoolVal(False), insert, s, t_sri)
+        out.append((n, t_dcr.depth, t_sri.depth))
+    return out

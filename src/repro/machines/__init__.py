@@ -1,0 +1,41 @@
+"""Machine substrates: the DLOGSPACE Turing machine and the CRCW PRAM."""
+
+from .turing import (
+    BLANK,
+    LogSpaceChecker,
+    TMRun,
+    TMTransition,
+    TuringMachine,
+    binary_counting_machine,
+    unary_length_parity_machine,
+)
+from .pram import (
+    PRAM,
+    PRAMError,
+    PRAMProgram,
+    PRAMResult,
+    ParallelStep,
+    WritePolicy,
+    WriteRequest,
+)
+from .pram_programs import (
+    add_op,
+    decode_tc_memory,
+    max_op,
+    or_op,
+    or_program,
+    reduction_tree_program,
+    sequential_fold_program,
+    tc_squaring_program,
+    xor_op,
+)
+
+__all__ = [
+    "TuringMachine", "TMTransition", "TMRun", "BLANK", "LogSpaceChecker",
+    "unary_length_parity_machine", "binary_counting_machine",
+    "PRAM", "PRAMProgram", "PRAMResult", "ParallelStep", "WritePolicy",
+    "WriteRequest", "PRAMError",
+    "reduction_tree_program", "sequential_fold_program", "or_program",
+    "tc_squaring_program", "decode_tc_memory",
+    "xor_op", "max_op", "add_op", "or_op",
+]

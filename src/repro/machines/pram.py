@@ -1,0 +1,135 @@
+"""A CRCW PRAM simulator with step and processor accounting (Section 4).
+
+NC is "polylogarithmic time with polynomially many processors on a parallel
+random access machine"; by Stockmeyer-Vishkin this coincides with uniform
+circuit families of polylog depth.  The simulator here makes the PRAM side of
+that equation executable:
+
+* shared memory is a dictionary of integer cells;
+* computation proceeds in synchronous **steps**; in each step every active
+  processor reads any cells it likes, computes locally, and issues write
+  requests;
+* reads all happen before writes (concurrent reads are free);
+* concurrent writes to the same cell are resolved by the selected CRCW policy:
+  ``COMMON`` (all written values must agree), ``ARBITRARY`` (an arbitrary,
+  here the lowest-numbered, processor wins) or ``PRIORITY`` (same as
+  arbitrary, made explicit).
+
+A :class:`PRAMProgram` is a list of :class:`ParallelStep`; each step names the
+processors it activates and the per-processor work.  The simulator reports the
+two quantities the paper's complexity claims are about: the number of steps
+(parallel time) and the maximum number of processors active in any step,
+together with total work.  Ready-made programs (combining trees, transitive
+closure by repeated matrix squaring) live in
+:mod:`repro.machines.pram_programs`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Iterable, Mapping, Sequence
+
+
+class WritePolicy(Enum):
+    """Concurrent-write resolution policies of the CRCW PRAM."""
+
+    COMMON = "common"
+    ARBITRARY = "arbitrary"
+    PRIORITY = "priority"
+
+
+class PRAMError(RuntimeError):
+    """Raised on write conflicts under the COMMON policy or malformed programs."""
+
+
+@dataclass(frozen=True)
+class WriteRequest:
+    """One write issued by a processor during a step."""
+
+    address: int
+    value: int
+
+
+#: Per-processor step body: receives the processor id and a *read-only* view of
+#: shared memory, returns the writes it wants to perform.
+StepBody = Callable[[int, Mapping[int, int]], Sequence[WriteRequest]]
+
+
+@dataclass
+class ParallelStep:
+    """One synchronous step: which processors run, and what each does."""
+
+    processors: Sequence[int]
+    body: StepBody
+    label: str = ""
+
+
+@dataclass
+class PRAMProgram:
+    """A straight-line sequence of parallel steps (loops are unrolled by builders)."""
+
+    steps: list[ParallelStep] = field(default_factory=list)
+    name: str = ""
+
+    def add_step(self, processors: Iterable[int], body: StepBody, label: str = "") -> None:
+        self.steps.append(ParallelStep(list(processors), body, label))
+
+
+@dataclass
+class PRAMResult:
+    """Outcome of a PRAM run: the complexity measures plus the final memory."""
+
+    steps: int
+    max_processors: int
+    total_work: int
+    memory: dict[int, int]
+
+    def read(self, address: int, default: int = 0) -> int:
+        return self.memory.get(address, default)
+
+
+class PRAM:
+    """The CRCW PRAM simulator."""
+
+    def __init__(self, policy: WritePolicy = WritePolicy.ARBITRARY) -> None:
+        self.policy = policy
+
+    def run(
+        self,
+        program: PRAMProgram,
+        initial_memory: Mapping[int, int] | None = None,
+    ) -> PRAMResult:
+        """Execute a program from the given initial shared memory."""
+        memory: dict[int, int] = dict(initial_memory or {})
+        max_procs = 0
+        total_work = 0
+        for step in program.steps:
+            procs = list(step.processors)
+            max_procs = max(max_procs, len(procs))
+            total_work += len(procs)
+            snapshot = dict(memory)  # reads see the state before any write
+            pending: dict[int, tuple[int, int]] = {}  # address -> (proc, value)
+            for proc in procs:
+                for req in step.body(proc, snapshot):
+                    if req.address in pending:
+                        winner_proc, winner_value = pending[req.address]
+                        if self.policy is WritePolicy.COMMON:
+                            if winner_value != req.value:
+                                raise PRAMError(
+                                    f"COMMON write conflict at address {req.address}: "
+                                    f"{winner_value} vs {req.value} "
+                                    f"(step {step.label or program.steps.index(step)})"
+                                )
+                        elif proc < winner_proc:
+                            pending[req.address] = (proc, req.value)
+                    else:
+                        pending[req.address] = (proc, req.value)
+            for address, (_, value) in pending.items():
+                memory[address] = value
+        return PRAMResult(
+            steps=len(program.steps),
+            max_processors=max_procs,
+            total_work=total_work,
+            memory=memory,
+        )

@@ -1,0 +1,196 @@
+"""PRAM programs for the paper's running examples.
+
+These builders unroll the divide-and-conquer evaluations of Section 1 into
+straight-line CRCW PRAM programs whose step counts realise the complexity
+claims:
+
+* :func:`reduction_tree_program` -- the generic ``dcr`` combining tree: ``n``
+  values are reduced with a binary operation in ``ceil(log2 n)`` steps using
+  ``n/2`` processors (parity, maximum, boolean OR...);
+* :func:`sequential_fold_program` -- the ``sri`` counterpart: the same
+  reduction done element by element in ``n`` steps with a single processor
+  (the PTIME baseline measured against the tree in experiment E7);
+* :func:`tc_squaring_program` -- transitive closure by repeated boolean matrix
+  squaring: ``ceil(log2 n)`` rounds, each a constant number of steps with
+  ``n^3`` processors (the classic CRCW one-step and/or matrix product);
+* :func:`or_program` -- the one-step CRCW OR of ``n`` bits, the textbook
+  example of what concurrent writes buy.
+
+Memory layout conventions are documented per builder; every builder returns
+the program plus the address at which the result will be found.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from .pram import PRAMProgram, WriteRequest
+
+#: A binary operation on integers used by the reduction programs.
+BinOp = Callable[[int, int], int]
+
+
+def xor_op(a: int, b: int) -> int:
+    return a ^ b
+
+
+def max_op(a: int, b: int) -> int:
+    return a if a >= b else b
+
+
+def add_op(a: int, b: int) -> int:
+    return a + b
+
+
+def or_op(a: int, b: int) -> int:
+    return 1 if (a or b) else 0
+
+
+# ---------------------------------------------------------------------------
+# Reduction: the dcr combining tree vs the sri sequential fold
+# ---------------------------------------------------------------------------
+
+def reduction_tree_program(
+    values: Sequence[int], op: BinOp, identity: int = 0
+) -> tuple[PRAMProgram, int, dict[int, int]]:
+    """The balanced combining tree over ``values``.
+
+    Memory layout: cell ``i`` holds ``values[i]`` initially; the reduction is
+    performed in place with stride doubling, so after ``ceil(log2 n)`` steps
+    cell ``0`` holds the result.  Step ``t`` activates one processor per pair
+    at stride ``2^t`` -- at most ``n/2`` processors, each doing one ``op``.
+
+    Returns ``(program, result_address, initial_memory)``.
+    """
+    n = len(values)
+    program = PRAMProgram(name=f"reduction-tree[{n}]")
+    memory = {i: v for i, v in enumerate(values)}
+    if n == 0:
+        memory[0] = identity
+        return program, 0, memory
+    stride = 1
+    while stride < n:
+        pairs = [
+            (i, i + stride)
+            for i in range(0, n, 2 * stride)
+            if i + stride < n
+        ]
+
+        def body(proc: int, mem, pairs=pairs, op=op) -> list[WriteRequest]:
+            left, right = pairs[proc]
+            return [WriteRequest(left, op(mem.get(left, identity), mem.get(right, identity)))]
+
+        program.add_step(range(len(pairs)), body, label=f"stride {stride}")
+        stride *= 2
+    return program, 0, memory
+
+
+def sequential_fold_program(
+    values: Sequence[int], op: BinOp, identity: int = 0
+) -> tuple[PRAMProgram, int, dict[int, int]]:
+    """The element-by-element fold of the same values: ``n`` dependent steps.
+
+    Memory layout: cell ``i`` holds ``values[i]``; the accumulator lives at
+    cell ``n``; after ``n`` steps it holds the result.  Exactly one processor
+    is ever active -- this is what ``sri`` evaluation looks like on a PRAM,
+    and the contrast with :func:`reduction_tree_program` is experiment E7.
+    """
+    n = len(values)
+    program = PRAMProgram(name=f"sequential-fold[{n}]")
+    memory = {i: v for i, v in enumerate(values)}
+    acc = n
+    memory[acc] = identity
+    for i in range(n):
+
+        def body(proc: int, mem, i=i, op=op) -> list[WriteRequest]:
+            return [WriteRequest(acc, op(mem.get(acc, identity), mem.get(i, identity)))]
+
+        program.add_step([0], body, label=f"fold {i}")
+    return program, acc, memory
+
+
+def or_program(num_bits: int) -> tuple[PRAMProgram, int, dict[int, int]]:
+    """The one-step CRCW OR: every processor holding a 1 writes to the result cell.
+
+    Bits live at cells ``0..n-1``; the result cell is ``n`` (initialised to
+    0).  A single step with ``n`` processors suffices under ARBITRARY (or
+    COMMON, since every written value is 1) -- constant parallel time, which
+    is why ``ext`` can be a single parallel step in the paper's reading.
+    """
+    program = PRAMProgram(name=f"crcw-or[{num_bits}]")
+    result = num_bits
+
+    def body(proc: int, mem) -> list[WriteRequest]:
+        if mem.get(proc, 0):
+            return [WriteRequest(result, 1)]
+        return []
+
+    program.add_step(range(num_bits), body, label="or")
+    memory = {result: 0}
+    return program, result, memory
+
+
+# ---------------------------------------------------------------------------
+# Transitive closure by repeated squaring
+# ---------------------------------------------------------------------------
+
+def _matrix_cell(n: int, i: int, j: int) -> int:
+    return i * n + j
+
+
+def tc_squaring_program(
+    n: int, edges: Sequence[tuple[int, int]]
+) -> tuple[PRAMProgram, dict[int, int]]:
+    """Transitive closure of an ``n``-node graph by ``ceil(log2 n)`` squarings.
+
+    Memory layout: the adjacency matrix occupies cells ``0 .. n*n-1`` (cell
+    ``i*n + j`` is 1 iff the edge ``(i, j)`` is known); a scratch matrix for
+    the freshly discovered pairs occupies cells ``n*n .. 2*n*n - 1``.  Each
+    squaring round is two steps:
+
+    1. ``n^3`` processors: processor ``(i, j, k)`` writes 1 into scratch cell
+       ``(i, j)`` when both ``(i, k)`` and ``(k, j)`` are present (an
+       ARBITRARY concurrent write -- this is the constant-time CRCW and/or
+       product);
+    2. ``n^2`` processors: merge the scratch matrix into the main one and
+       clear the scratch.
+
+    Total: ``2 * ceil(log2 n)`` steps, max ``n^3`` processors, matching the
+    NC^1-ish shape the paper assigns to transitive closure via ``dcr``.
+    """
+    program = PRAMProgram(name=f"tc-squaring[{n}]")
+    memory: dict[int, int] = {}
+    for i, j in edges:
+        memory[_matrix_cell(n, i, j)] = 1
+    scratch_base = n * n
+    rounds = max(1, (n).bit_length())
+    for round_index in range(rounds):
+
+        def square_body(proc: int, mem, n=n, scratch_base=scratch_base) -> list[WriteRequest]:
+            i, rest = divmod(proc, n * n)
+            j, k = divmod(rest, n)
+            if mem.get(_matrix_cell(n, i, k), 0) and mem.get(_matrix_cell(n, k, j), 0):
+                return [WriteRequest(scratch_base + _matrix_cell(n, i, j), 1)]
+            return []
+
+        program.add_step(range(n * n * n), square_body, label=f"square {round_index}")
+
+        def merge_body(proc: int, mem, n=n, scratch_base=scratch_base) -> list[WriteRequest]:
+            new_bit = mem.get(scratch_base + proc, 0)
+            writes = [WriteRequest(scratch_base + proc, 0)]
+            if new_bit or mem.get(proc, 0):
+                writes.append(WriteRequest(proc, 1))
+            return writes
+
+        program.add_step(range(n * n), merge_body, label=f"merge {round_index}")
+    return program, memory
+
+
+def decode_tc_memory(n: int, memory: dict[int, int]) -> frozenset:
+    """Read the closure matrix back out of a finished run's memory."""
+    return frozenset(
+        (i, j)
+        for i in range(n)
+        for j in range(n)
+        if memory.get(_matrix_cell(n, i, j), 0)
+    )

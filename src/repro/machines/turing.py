@@ -1,0 +1,186 @@
+"""A deterministic Turing machine with work-space accounting (DLOGSPACE).
+
+The uniformity condition of Section 4 asks for a deterministic Turing machine
+that accepts the direct connection language of the circuit family using
+``O(log n)`` work space.  This module provides the machine model: a standard
+one-way-infinite two-tape DTM with
+
+* a **read-only input tape** (the DCL tuple, encoded as a string), and
+* a **read/write work tape** whose usage is measured;
+
+plus helpers to run a machine within a space bound and to report the maximum
+space it touched.  A worked example machine -- accepting the DCL of the
+``and_or_family`` of :mod:`repro.circuits.dcl` -- is provided by
+:func:`and_or_family_dcl_machine`; its space usage is checked to be
+logarithmic in the tests, which is the executable form of the "tedious but
+straightforward" uniformity argument the paper skips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+#: Tape blank symbol.
+BLANK = " "
+#: Head movement directions.
+LEFT, RIGHT, STAY = -1, 1, 0
+
+
+@dataclass(frozen=True)
+class TMTransition:
+    """One transition: next state, symbol written to the work tape, head moves."""
+
+    next_state: str
+    write_work: str
+    move_input: int
+    move_work: int
+
+
+@dataclass
+class TuringMachine:
+    """A two-tape deterministic Turing machine.
+
+    ``transitions`` maps ``(state, input_symbol, work_symbol)`` to a
+    :class:`TMTransition`.  Missing transitions reject.  ``accept_states`` and
+    ``reject_states`` halt the machine.
+    """
+
+    transitions: Mapping[tuple[str, str, str], TMTransition]
+    start_state: str
+    accept_states: frozenset = frozenset({"accept"})
+    reject_states: frozenset = frozenset({"reject"})
+
+    def run(
+        self,
+        input_string: str,
+        max_steps: int = 1_000_000,
+        max_space: Optional[int] = None,
+    ) -> "TMRun":
+        """Run the machine and return the trace summary.
+
+        ``max_space``, when given, aborts the run (as a rejection) if the work
+        tape ever uses more cells -- this is how a DLOGSPACE bound is enforced
+        rather than merely observed.
+        """
+        state = self.start_state
+        input_tape = input_string if input_string else BLANK
+        work: dict[int, str] = {}
+        in_pos = 0
+        work_pos = 0
+        used_cells: set[int] = set()
+        steps = 0
+        while steps < max_steps:
+            if state in self.accept_states:
+                return TMRun(True, steps, len(used_cells))
+            if state in self.reject_states:
+                return TMRun(False, steps, len(used_cells))
+            in_sym = input_tape[in_pos] if 0 <= in_pos < len(input_tape) else BLANK
+            work_sym = work.get(work_pos, BLANK)
+            key = (state, in_sym, work_sym)
+            if key not in self.transitions:
+                return TMRun(False, steps, len(used_cells))
+            tr = self.transitions[key]
+            if tr.write_work != work_sym:
+                work[work_pos] = tr.write_work
+            if tr.write_work != BLANK or work_pos in work:
+                used_cells.add(work_pos)
+            if max_space is not None and len(used_cells) > max_space:
+                return TMRun(False, steps, len(used_cells))
+            in_pos = max(0, in_pos + tr.move_input)
+            work_pos = max(0, work_pos + tr.move_work)
+            state = tr.next_state
+            steps += 1
+        return TMRun(False, steps, len(used_cells))
+
+
+@dataclass(frozen=True)
+class TMRun:
+    """Outcome of one Turing machine run."""
+
+    accepted: bool
+    steps: int
+    work_cells_used: int
+
+
+class LogSpaceChecker:
+    """Check that a decision procedure runs within ``c * log2(n) + d`` work space.
+
+    For procedures expressed as :class:`TuringMachine` instances the space is
+    measured directly; :meth:`fits` reports whether the measured usage on a
+    family of inputs stays under the affine-in-``log n`` bound.
+    """
+
+    def __init__(self, machine: TuringMachine, c: float = 8.0, d: float = 8.0) -> None:
+        self.machine = machine
+        self.c = c
+        self.d = d
+
+    def fits(self, inputs: list[tuple[int, str, bool]]) -> bool:
+        """``inputs`` is a list of ``(n, encoded_input, expected_answer)``."""
+        import math
+
+        for n, text, expected in inputs:
+            bound = int(self.c * math.log2(max(2, n)) + self.d)
+            run = self.machine.run(text, max_space=bound)
+            if run.accepted != expected:
+                return False
+        return True
+
+
+# ---------------------------------------------------------------------------
+# A worked DLOGSPACE machine: counting in binary
+# ---------------------------------------------------------------------------
+
+def unary_length_parity_machine() -> TuringMachine:
+    """A machine accepting strings of ``1``s of even length, using O(1) work space.
+
+    The classic smallest example of a sublogarithmic-space computation: it
+    keeps one parity bit on the work tape while scanning the input.  Used by
+    the tests to validate the space accounting itself.
+    """
+    t: dict[tuple[str, str, str], TMTransition] = {}
+    # state 'even'/'odd': scan right flipping parity on each '1'.
+    for parity, other in (("even", "odd"), ("odd", "even")):
+        t[(parity, "1", BLANK)] = TMTransition(other, BLANK, RIGHT, STAY)
+        t[(parity, "0", BLANK)] = TMTransition(parity, BLANK, RIGHT, STAY)
+    t[("even", BLANK, BLANK)] = TMTransition("accept", BLANK, STAY, STAY)
+    t[("odd", BLANK, BLANK)] = TMTransition("reject", BLANK, STAY, STAY)
+    return TuringMachine(t, "even")
+
+
+def binary_counting_machine() -> TuringMachine:
+    """A machine that counts the ``1``s of its input in binary on the work tape.
+
+    It accepts every input (the point is the space profile): the work tape
+    holds ``# b0 b1 b2 ...`` -- an end marker followed by the counter bits,
+    least significant first -- so the space used is ``Theta(log n)`` for ``n``
+    ones.  This is the canonical DLOGSPACE behaviour the uniformity condition
+    relies on; the tests measure the space usage across input lengths and
+    check the logarithmic growth.
+
+    States: ``init`` writes the ``#`` marker; ``scan`` walks the input; on a
+    ``1`` it enters ``inc`` which performs binary increment (carry rightward),
+    then ``rewind`` walks left to the marker and re-enters ``scan`` one cell
+    to its right.
+    """
+    t: dict[tuple[str, str, str], TMTransition] = {}
+    input_symbols = ("0", "1", BLANK)
+    # init: write the marker at work cell 0 and step right to cell 1.
+    for in_sym in input_symbols:
+        t[("init", in_sym, BLANK)] = TMTransition("scan", "#", STAY, RIGHT)
+    for work_sym in ("0", "1", "#", BLANK):
+        # scan: consume input symbols; work head parked at cell 1.
+        t[("scan", "0", work_sym)] = TMTransition("scan", work_sym, RIGHT, STAY)
+        t[("scan", "1", work_sym)] = TMTransition("inc", work_sym, RIGHT, STAY)
+        t[("scan", BLANK, work_sym)] = TMTransition("accept", work_sym, STAY, STAY)
+    for in_sym in input_symbols:
+        # inc: binary increment with carry moving right.
+        t[("inc", in_sym, "1")] = TMTransition("inc", "0", STAY, RIGHT)
+        t[("inc", in_sym, "0")] = TMTransition("rewind", "1", STAY, LEFT)
+        t[("inc", in_sym, BLANK)] = TMTransition("rewind", "1", STAY, LEFT)
+        # rewind: walk left to the marker, then park one cell to its right.
+        t[("rewind", in_sym, "0")] = TMTransition("rewind", "0", STAY, LEFT)
+        t[("rewind", in_sym, "1")] = TMTransition("rewind", "1", STAY, LEFT)
+        t[("rewind", in_sym, "#")] = TMTransition("scan", "#", STAY, RIGHT)
+    return TuringMachine(t, "init")

@@ -1,0 +1,102 @@
+"""The nested relational algebra NRA with recursion on sets (Section 3).
+
+* :mod:`repro.nra.ast` -- the expression syntax (core NRA, recursions,
+  iterators, external calls);
+* :mod:`repro.nra.typecheck` -- type inference and the language restriction
+  predicates (``NRA1`` membership, bounded-only recursion, externals used);
+* :mod:`repro.nra.eval` -- the reference sequential interpreter;
+* :mod:`repro.nra.cost` -- the work/depth parallel cost semantics;
+* :mod:`repro.nra.depth` -- depth of recursion nesting and the AC^k level;
+* :mod:`repro.nra.derived` -- the derived relational operators of Section 3;
+* :mod:`repro.nra.externals` -- external function signatures (order,
+  arithmetic, aggregates);
+* :mod:`repro.nra.parser` / :mod:`repro.nra.pretty` -- concrete syntax.
+"""
+
+from .ast import (
+    Apply,
+    Bdcr,
+    BlogLoop,
+    Bloop,
+    BoolConst,
+    Bsri,
+    Const,
+    Dcr,
+    EmptySet,
+    Eq,
+    Esr,
+    Expr,
+    Ext,
+    ExternalCall,
+    If,
+    IsEmpty,
+    Lambda,
+    LogLoop,
+    Loop,
+    Pair,
+    Proj1,
+    Proj2,
+    Singleton,
+    Sri,
+    Sru,
+    Union,
+    UnitConst,
+    Var,
+    expr_size,
+    free_variables,
+    lam,
+    lam2,
+    subexpressions,
+    substitute,
+)
+from .typecheck import (
+    FunType,
+    all_types,
+    externals_used,
+    in_nra1,
+    infer,
+    recursion_free,
+    uses_only_bounded_recursion,
+)
+from .eval import FunctionValue, evaluate, run
+from .cost import Cost, cost_evaluate, cost_run
+from .depth import ac_level, count_recursion_nodes, recursion_depth, within_depth
+from .externals import (
+    AGGREGATE_SIGMA,
+    ARITH_SIGMA,
+    EMPTY_SIGMA,
+    ORDER_SIGMA,
+    ExternalFunction,
+    Signature,
+)
+from .parser import parse
+from .pretty import pretty, pretty_multiline
+from .errors import (
+    NRAError,
+    NRAEvalError,
+    NRAParseError,
+    NRATypeError,
+)
+
+__all__ = [
+    # ast
+    "Expr", "Const", "EmptySet", "Singleton", "Union", "UnitConst", "Pair",
+    "Proj1", "Proj2", "BoolConst", "Eq", "IsEmpty", "If", "Var", "Lambda",
+    "Apply", "Ext", "ExternalCall", "Dcr", "Sru", "Sri", "Esr", "Bdcr", "Bsri",
+    "LogLoop", "Loop", "BlogLoop", "Bloop",
+    "lam", "lam2", "substitute", "free_variables", "subexpressions", "expr_size",
+    # typecheck
+    "infer", "FunType", "all_types", "in_nra1", "uses_only_bounded_recursion",
+    "recursion_free", "externals_used",
+    # eval / cost
+    "evaluate", "run", "FunctionValue", "cost_evaluate", "cost_run", "Cost",
+    # depth
+    "recursion_depth", "within_depth", "ac_level", "count_recursion_nodes",
+    # externals
+    "Signature", "ExternalFunction", "ORDER_SIGMA", "ARITH_SIGMA",
+    "AGGREGATE_SIGMA", "EMPTY_SIGMA",
+    # syntax
+    "parse", "pretty", "pretty_multiline",
+    # errors
+    "NRAError", "NRATypeError", "NRAEvalError", "NRAParseError",
+]

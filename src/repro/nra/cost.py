@@ -1,0 +1,361 @@
+"""Work/depth parallel cost semantics for NRA expressions.
+
+The paper's complexity claims are about *parallel* resources: ``dcr`` is in NC
+because its combining tree has logarithmic depth, ``ext`` is a single parallel
+step, ``sri`` is inherently sequential in the number of elements.  Executing
+Python threads would not measure any of this (see the substitution note in
+DESIGN.md), so this module evaluates expressions under an explicit **work /
+depth cost model** -- the standard PRAM abstraction (Brent): *work* is the
+total number of elementary operations, *depth* is the length of the critical
+path of operations that must happen one after another.  Parallel time on
+polynomially many processors is proportional to depth.
+
+Cost rules (each elementary constructor/test counts 1 work, 1 depth):
+
+* independent subexpressions evaluate in parallel: work adds, depth is the
+  maximum;
+* ``ext(f)(s)``: all ``f(x)`` evaluate in parallel -- depth is the *maximum*
+  over the elements plus one union step, work is the sum;
+* ``dcr``/``sru``/``bdcr``: the item applications run in parallel, then a
+  balanced combining tree of ``ceil(log2 n)`` rounds; the depth of each round
+  is the maximum depth of its combine applications;
+* ``sri``/``esr``/``bsri`` and the iterators: a sequential chain -- the depth
+  of every step *adds*;
+* external functions cost one unit (they are assumed NC-computable, as in
+  Proposition 6.3; their internal cost is not the object of study);
+* bounding intersections cost one extra unit of depth per step.
+
+The benchmarks regenerate the paper's qualitative claims from these numbers:
+``dcr``-based queries show Theta(log n) (or Theta(log^k n)) depth growth while
+their ``sri`` counterparts show Theta(n) depth growth on identical inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional, Union
+
+from ..objects.values import BoolVal, PairVal, SetVal, UnitVal, Value
+from ..recursion.bounded import ps_intersect_values
+from ..recursion.iterators import log_iterations
+from . import ast
+from .ast import Expr
+from .errors import NRAEvalError
+from .externals import EMPTY_SIGMA, Signature
+
+
+@dataclass(frozen=True)
+class Cost:
+    """Parallel cost: total work and critical-path depth."""
+
+    work: int
+    depth: int
+
+    def then(self, other: "Cost") -> "Cost":
+        """Sequential composition: work adds, depth adds."""
+        return Cost(self.work + other.work, self.depth + other.depth)
+
+    def beside(self, other: "Cost") -> "Cost":
+        """Parallel composition: work adds, depth is the maximum."""
+        return Cost(self.work + other.work, max(self.depth, other.depth))
+
+    def step(self, work: int = 1, depth: int = 1) -> "Cost":
+        """Add a constant amount of work/depth after this cost."""
+        return Cost(self.work + work, self.depth + depth)
+
+
+ZERO = Cost(0, 0)
+UNIT_COST = Cost(1, 1)
+
+
+def parallel_all(costs: list[Cost]) -> Cost:
+    """Parallel composition of many independent costs."""
+    if not costs:
+        return ZERO
+    return Cost(sum(c.work for c in costs), max(c.depth for c in costs))
+
+
+def sequential_all(costs: list[Cost]) -> Cost:
+    """Sequential composition of many dependent costs."""
+    return Cost(sum(c.work for c in costs), sum(c.depth for c in costs))
+
+
+@dataclass
+class CostFunction:
+    """Runtime denotation of a function under the cost semantics."""
+
+    name: str
+    call: Callable[[Value], tuple[Value, Cost]]
+
+    def __call__(self, v: Value) -> tuple[Value, Cost]:
+        return self.call(v)
+
+
+CostDenotation = Union[Value, CostFunction]
+CostEnv = Mapping[str, CostDenotation]
+
+
+def cost_evaluate(
+    e: Expr,
+    env: Optional[dict[str, CostDenotation]] = None,
+    sigma: Signature = EMPTY_SIGMA,
+) -> tuple[CostDenotation, Cost]:
+    """Evaluate ``e`` and return its denotation together with its parallel cost."""
+    return _ceval(e, dict(env or {}), sigma)
+
+
+def cost_run(
+    e: Expr,
+    arg: Optional[Value] = None,
+    env: Optional[dict[str, CostDenotation]] = None,
+    sigma: Signature = EMPTY_SIGMA,
+) -> tuple[Value, Cost]:
+    """Evaluate ``e`` (optionally applying it to ``arg``) and return value and cost."""
+    d, c = cost_evaluate(e, env, sigma)
+    if arg is not None:
+        if not isinstance(d, CostFunction):
+            raise NRAEvalError("cost_run: expression did not denote a function")
+        v, c_app = d(arg)
+        return v, c.then(c_app)
+    if isinstance(d, CostFunction):
+        raise NRAEvalError("cost_run: result is a function; supply an argument")
+    return d, c
+
+
+def _value(d: CostDenotation, what: str) -> Value:
+    if isinstance(d, CostFunction):
+        raise NRAEvalError(f"{what}: expected a value, got a function")
+    return d
+
+
+def _function(d: CostDenotation, what: str) -> CostFunction:
+    if not isinstance(d, CostFunction):
+        raise NRAEvalError(f"{what}: expected a function")
+    return d
+
+
+def _set(v: Value, what: str) -> SetVal:
+    if not isinstance(v, SetVal):
+        raise NRAEvalError(f"{what}: expected a set, got {v!r}")
+    return v
+
+
+def _pair(v: Value, what: str) -> PairVal:
+    if not isinstance(v, PairVal):
+        raise NRAEvalError(f"{what}: expected a pair, got {v!r}")
+    return v
+
+
+def _ceval(
+    e: Expr, env: dict[str, CostDenotation], sigma: Signature
+) -> tuple[CostDenotation, Cost]:
+    if isinstance(e, ast.Const):
+        return e.value, UNIT_COST
+    if isinstance(e, ast.EmptySet):
+        return SetVal(), UNIT_COST
+    if isinstance(e, ast.Singleton):
+        d, c = _ceval(e.item, env, sigma)
+        return SetVal([_value(d, "singleton")]), c.step()
+    if isinstance(e, ast.Union):
+        dl, cl = _ceval(e.left, env, sigma)
+        dr, cr = _ceval(e.right, env, sigma)
+        result = _set(_value(dl, "union"), "union").union(_set(_value(dr, "union"), "union"))
+        return result, cl.beside(cr).step()
+    if isinstance(e, ast.UnitConst):
+        return UnitVal(), UNIT_COST
+    if isinstance(e, ast.Pair):
+        df, cf = _ceval(e.fst, env, sigma)
+        ds, cs = _ceval(e.snd, env, sigma)
+        return PairVal(_value(df, "pair"), _value(ds, "pair")), cf.beside(cs).step()
+    if isinstance(e, ast.Proj1):
+        d, c = _ceval(e.pair, env, sigma)
+        return _pair(_value(d, "pi1"), "pi1").fst, c.step()
+    if isinstance(e, ast.Proj2):
+        d, c = _ceval(e.pair, env, sigma)
+        return _pair(_value(d, "pi2"), "pi2").snd, c.step()
+    if isinstance(e, ast.BoolConst):
+        return BoolVal(e.value), UNIT_COST
+    if isinstance(e, ast.Eq):
+        dl, cl = _ceval(e.left, env, sigma)
+        dr, cr = _ceval(e.right, env, sigma)
+        return BoolVal(_value(dl, "eq") == _value(dr, "eq")), cl.beside(cr).step()
+    if isinstance(e, ast.IsEmpty):
+        d, c = _ceval(e.set, env, sigma)
+        return BoolVal(len(_set(_value(d, "empty"), "empty")) == 0), c.step()
+    if isinstance(e, ast.If):
+        dc, cc = _ceval(e.cond, env, sigma)
+        cond = _value(dc, "if")
+        if not isinstance(cond, BoolVal):
+            raise NRAEvalError(f"if-condition must be boolean, got {cond!r}")
+        branch = e.then if cond.value else e.orelse
+        db, cb = _ceval(branch, env, sigma)
+        return db, cc.then(cb).step(work=0, depth=0)
+    if isinstance(e, ast.Var):
+        if e.name not in env:
+            raise NRAEvalError(f"unbound variable {e.name!r}")
+        return env[e.name], Cost(1, 1)
+    if isinstance(e, ast.Lambda):
+        captured = dict(env)
+
+        def call(v: Value, e=e, captured=captured) -> tuple[Value, Cost]:
+            inner = dict(captured)
+            inner[e.var] = v
+            d, c = _ceval(e.body, inner, sigma)
+            return _value(d, "lambda body"), c
+
+        return CostFunction(f"\\{e.var}", call), UNIT_COST
+    if isinstance(e, ast.Apply):
+        df, cf = _ceval(e.func, env, sigma)
+        da, ca = _ceval(e.arg, env, sigma)
+        fn = _function(df, "application")
+        v, c_app = fn(_value(da, "argument"))
+        return v, cf.beside(ca).then(c_app)
+    if isinstance(e, ast.Ext):
+        df, cf = _ceval(e.func, env, sigma)
+        fn = _function(df, "ext parameter")
+
+        def ext_call(v: Value, fn=fn) -> tuple[Value, Cost]:
+            s = _set(v, "ext argument")
+            pieces: list[Value] = []
+            costs: list[Cost] = []
+            for x in s:
+                piece, c = fn(x)
+                pieces.append(_set(piece, "ext piece"))
+                costs.append(c)
+            result = SetVal()
+            for piece in pieces:
+                result = result.union(piece)  # type: ignore[arg-type]
+            # One parallel fan-out (max depth) followed by one union step.
+            return result, parallel_all(costs).step()
+
+        return CostFunction("ext", ext_call), cf
+    if isinstance(e, ast.ExternalCall):
+        fn = sigma[e.name]
+        d, c = _ceval(e.arg, env, sigma)
+        return fn(_value(d, f"external {e.name}")), c.step()
+    if isinstance(e, (ast.Dcr, ast.Sru, ast.Bdcr)):
+        return _cost_union_recursion(e, env, sigma)
+    if isinstance(e, (ast.Sri, ast.Esr, ast.Bsri)):
+        return _cost_insert_recursion(e, env, sigma)
+    if isinstance(e, (ast.LogLoop, ast.Loop, ast.BlogLoop, ast.Bloop)):
+        return _cost_iterator(e, env, sigma)
+    raise NRAEvalError(f"cannot cost-evaluate node {type(e).__name__}")
+
+
+def _cost_union_recursion(
+    e: Expr, env: dict[str, CostDenotation], sigma: Signature
+) -> tuple[CostDenotation, Cost]:
+    bounded = isinstance(e, ast.Bdcr)
+    d_seed, c_seed = _ceval(e.seed, env, sigma)
+    d_item, c_item = _ceval(e.item, env, sigma)
+    d_comb, c_comb = _ceval(e.combine, env, sigma)
+    seed = _value(d_seed, "recursion seed")
+    item = _function(d_item, "recursion item")
+    combine = _function(d_comb, "recursion combine")
+    setup = parallel_all([c_seed, c_item, c_comb])
+    bound: Optional[Value] = None
+    if bounded:
+        d_bound, c_bound = _ceval(e.bound, env, sigma)
+        bound = _value(d_bound, "recursion bound")
+        setup = setup.beside(c_bound)
+
+    def clip(v: Value) -> Value:
+        return ps_intersect_values(v, bound) if bound is not None else v
+
+    def call(v: Value) -> tuple[Value, Cost]:
+        s = _set(v, "recursion argument")
+        if not len(s):
+            return clip(seed), Cost(1, 1)
+        # Leaf applications of the item function, all in parallel.
+        leaves: list[Value] = []
+        leaf_costs: list[Cost] = []
+        for x in s:
+            value, c = item(x)
+            leaves.append(clip(value))
+            leaf_costs.append(c)
+        total = parallel_all(leaf_costs)
+        # Balanced combining tree: each round combines adjacent pairs in parallel.
+        current = leaves
+        while len(current) > 1:
+            nxt: list[Value] = []
+            round_costs: list[Cost] = []
+            for j in range(0, len(current) - 1, 2):
+                value, c = combine(PairVal(current[j], current[j + 1]))
+                nxt.append(clip(value))
+                round_costs.append(c)
+            if len(current) % 2 == 1:
+                nxt.append(current[-1])
+            total = total.then(parallel_all(round_costs))
+            current = nxt
+        extra = 1 if bound is not None else 0
+        return current[0], total.step(work=extra, depth=extra)
+
+    name = type(e).__name__.lower()
+    return CostFunction(name, call), setup
+
+
+def _cost_insert_recursion(
+    e: Expr, env: dict[str, CostDenotation], sigma: Signature
+) -> tuple[CostDenotation, Cost]:
+    bounded = isinstance(e, ast.Bsri)
+    d_seed, c_seed = _ceval(e.seed, env, sigma)
+    d_ins, c_ins = _ceval(e.insert, env, sigma)
+    seed = _value(d_seed, "recursion seed")
+    insert = _function(d_ins, "recursion insert")
+    setup = parallel_all([c_seed, c_ins])
+    bound: Optional[Value] = None
+    if bounded:
+        d_bound, c_bound = _ceval(e.bound, env, sigma)
+        bound = _value(d_bound, "recursion bound")
+        setup = setup.beside(c_bound)
+
+    def clip(v: Value) -> Value:
+        return ps_intersect_values(v, bound) if bound is not None else v
+
+    def call(v: Value) -> tuple[Value, Cost]:
+        s = _set(v, "recursion argument")
+        acc = clip(seed)
+        total = Cost(1, 1)
+        # Element-by-element: every step depends on the previous accumulator.
+        for x in reversed(s.elements):
+            acc_next, c = insert(PairVal(x, acc))
+            acc = clip(acc_next)
+            total = total.then(c)
+        return acc, total
+
+    name = type(e).__name__.lower()
+    return CostFunction(name, call), setup
+
+
+def _cost_iterator(
+    e: Expr, env: dict[str, CostDenotation], sigma: Signature
+) -> tuple[CostDenotation, Cost]:
+    bounded = isinstance(e, (ast.BlogLoop, ast.Bloop))
+    logarithmic = isinstance(e, (ast.LogLoop, ast.BlogLoop))
+    d_step, c_step = _ceval(e.step, env, sigma)
+    step = _function(d_step, "iterator step")
+    setup = c_step
+    bound: Optional[Value] = None
+    if bounded:
+        d_bound, c_bound = _ceval(e.bound, env, sigma)
+        bound = _value(d_bound, "iterator bound")
+        setup = setup.beside(c_bound)
+
+    def clip(v: Value) -> Value:
+        return ps_intersect_values(v, bound) if bound is not None else v
+
+    def call(v: Value) -> tuple[Value, Cost]:
+        p = _pair(v, "iterator argument")
+        x, y = p.fst, p.snd
+        s = _set(x, "iterator cardinality argument")
+        rounds = log_iterations(len(s)) if logarithmic else len(s)
+        acc = clip(y)
+        total = Cost(1, 1)
+        for _ in range(rounds):
+            acc_next, c = step(acc)
+            acc = clip(acc_next)
+            total = total.then(c)
+        return acc, total
+
+    name = type(e).__name__.lower()
+    return CostFunction(name, call), setup

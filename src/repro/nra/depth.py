@@ -1,0 +1,62 @@
+"""Depth of recursion nesting (Section 3) and the AC^k stratification.
+
+The paper defines the depth of recursion nesting of an expression by::
+
+    depth(dcr(e, f, u)) = max(depth(e), depth(f), 1 + depth(u))
+
+-- only the combining function ``u`` is actually iterated, so only it counts
+towards the nesting -- and similarly for ``sri(e, i)`` (the insert function is
+iterated) and for the iterators (``depth(log_loop(f)) = 1 + depth(f)``).  All
+other constructs take the maximum over their subexpressions.
+
+The languages of the main theorems are the restrictions to nesting depth at
+most ``k``: ``NRA1(dcr^(k), <=) = FLAT-AC^k`` and ``NRA(bdcr^(k), <=) =
+CMPX-OBJ-AC^k`` for ``k >= 1``.  :func:`recursion_depth` computes the depth,
+and :func:`within_depth` / :func:`ac_level` phrase the restriction.
+"""
+
+from __future__ import annotations
+
+from . import ast
+from .ast import Expr
+
+
+def recursion_depth(e: Expr) -> int:
+    """The paper's depth of recursion (and iteration) nesting."""
+    if isinstance(e, (ast.Dcr, ast.Sru, ast.Bdcr)):
+        parts = [recursion_depth(e.seed), recursion_depth(e.item), 1 + recursion_depth(e.combine)]
+        if isinstance(e, ast.Bdcr):
+            parts.append(recursion_depth(e.bound))
+        return max(parts)
+    if isinstance(e, (ast.Sri, ast.Esr, ast.Bsri)):
+        parts = [recursion_depth(e.seed), 1 + recursion_depth(e.insert)]
+        if isinstance(e, ast.Bsri):
+            parts.append(recursion_depth(e.bound))
+        return max(parts)
+    if isinstance(e, (ast.LogLoop, ast.Loop)):
+        return 1 + recursion_depth(e.step)
+    if isinstance(e, (ast.BlogLoop, ast.Bloop)):
+        return max(1 + recursion_depth(e.step), recursion_depth(e.bound))
+    depths = [recursion_depth(c) for c in e.children()]
+    return max(depths, default=0)
+
+
+def within_depth(e: Expr, k: int) -> bool:
+    """True iff ``e`` lies in the depth-``k`` fragment (``dcr^(k)`` etc.)."""
+    return recursion_depth(e) <= k
+
+
+def ac_level(e: Expr) -> int:
+    """The AC^k level the main theorems assign to the expression.
+
+    An expression of recursion-nesting depth ``k >= 1`` (with order) defines a
+    query in AC^k; recursion-free expressions are already in (uniform) AC^0 by
+    Proposition 6.4, so they are reported as level 0.
+    """
+    return recursion_depth(e)
+
+
+def count_recursion_nodes(e: Expr) -> int:
+    """Total number of recursion/iteration constructs in the expression."""
+    nodes = ast.RECURSION_NODES + ast.ITERATOR_NODES
+    return sum(1 for sub in ast.subexpressions(e) if isinstance(sub, nodes))

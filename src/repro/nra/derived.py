@@ -1,0 +1,230 @@
+"""Derived operators of the nested relational algebra.
+
+Section 3 of the paper notes that NRA "is powerful enough to express the
+following functions: set difference, set intersection, cartesian product,
+database projections, equalities at all types, selections over predicates
+definable in the language, nest and unnest".  This module provides exactly
+those derivations as *expression builders*: each function assembles an NRA
+syntax tree from given subexpressions, so everything downstream (the type
+checker, both evaluators, the circuit compiler) sees only the core constructs.
+
+Builders that introduce a bound variable take the element type(s) explicitly,
+since NRA is explicitly typed at binders.  Naming convention: builders take
+and return :class:`repro.nra.ast.Expr` values; nothing here evaluates
+anything.
+"""
+
+from __future__ import annotations
+
+from ..objects.types import ProdType, SetType, Type
+from .ast import (
+    Apply,
+    BoolConst,
+    EmptySet,
+    Eq,
+    Expr,
+    Ext,
+    If,
+    IsEmpty,
+    Lambda,
+    Pair,
+    Proj1,
+    Proj2,
+    Singleton,
+    Union,
+    Var,
+    fresh_name,
+)
+
+
+# ---------------------------------------------------------------------------
+# Booleans
+# ---------------------------------------------------------------------------
+
+def bool_not(e: Expr) -> Expr:
+    """Boolean negation, via the conditional."""
+    return If(e, BoolConst(False), BoolConst(True))
+
+
+def bool_and(a: Expr, b: Expr) -> Expr:
+    """Boolean conjunction, via the conditional (short-circuiting on ``a``)."""
+    return If(a, b, BoolConst(False))
+
+
+def bool_or(a: Expr, b: Expr) -> Expr:
+    """Boolean disjunction, via the conditional."""
+    return If(a, BoolConst(True), b)
+
+
+def not_empty(s: Expr) -> Expr:
+    """``not empty(s)``: the set is inhabited."""
+    return bool_not(IsEmpty(s))
+
+
+# ---------------------------------------------------------------------------
+# Mapping, filtering and membership
+# ---------------------------------------------------------------------------
+
+def ext_apply(f: Lambda, s: Expr) -> Expr:
+    """``ext(f)(s)``: map ``f`` (returning sets) over ``s`` and union the results."""
+    return Apply(Ext(f), s)
+
+
+def smap(f: Lambda, s: Expr) -> Expr:
+    """Map a function ``f : s -> t`` over a set: ``ext(\\x. {f(x)})(s)``."""
+    x = fresh_name("m")
+    singleton_f = Lambda(x, f.var_type, Singleton(Apply(f, Var(x))))
+    return ext_apply(singleton_f, s)
+
+
+def select(pred: Lambda, s: Expr) -> Expr:
+    """Selection: keep the elements satisfying the definable predicate ``pred``."""
+    x = fresh_name("sel")
+    body = If(Apply(pred, Var(x)), Singleton(Var(x)), EmptySet(pred.var_type))
+    return ext_apply(Lambda(x, pred.var_type, body), s)
+
+
+def member(x: Expr, s: Expr, elem_type: Type) -> Expr:
+    """Membership test ``x in s``, via an emptiness check of a selection."""
+    y = fresh_name("mem")
+    matches = ext_apply(
+        Lambda(
+            y,
+            elem_type,
+            If(Eq(Var(y), x), Singleton(Var(y)), EmptySet(elem_type)),
+        ),
+        s,
+    )
+    return not_empty(matches)
+
+
+def flatten(ss: Expr, elem_type: Type) -> Expr:
+    """Flatten a set of sets: ``ext(\\s. s)(ss)``."""
+    x = fresh_name("fl")
+    return ext_apply(Lambda(x, SetType(elem_type), Var(x)), ss)
+
+
+# ---------------------------------------------------------------------------
+# The relational operations of Section 3
+# ---------------------------------------------------------------------------
+
+def intersection(s1: Expr, s2: Expr, elem_type: Type) -> Expr:
+    """Set intersection ``s1 n s2``."""
+    x = fresh_name("int")
+    body = If(member(Var(x), s2, elem_type), Singleton(Var(x)), EmptySet(elem_type))
+    return ext_apply(Lambda(x, elem_type, body), s1)
+
+
+def difference(s1: Expr, s2: Expr, elem_type: Type) -> Expr:
+    """Set difference ``s1 \\ s2``."""
+    x = fresh_name("dif")
+    body = If(member(Var(x), s2, elem_type), EmptySet(elem_type), Singleton(Var(x)))
+    return ext_apply(Lambda(x, elem_type, body), s1)
+
+
+def cartesian(s1: Expr, s2: Expr, t1: Type, t2: Type) -> Expr:
+    """Cartesian product ``s1 x s2``."""
+    x = fresh_name("cx")
+    y = fresh_name("cy")
+    inner = ext_apply(Lambda(y, t2, Singleton(Pair(Var(x), Var(y)))), s2)
+    return ext_apply(Lambda(x, t1, inner), s1)
+
+
+def rel_proj1(r: Expr, t1: Type, t2: Type) -> Expr:
+    """Database projection ``Pi_1`` of a binary relation: the set of first components."""
+    p = fresh_name("p1")
+    return ext_apply(Lambda(p, ProdType(t1, t2), Singleton(Proj1(Var(p)))), r)
+
+
+def rel_proj2(r: Expr, t1: Type, t2: Type) -> Expr:
+    """Database projection ``Pi_2`` of a binary relation: the set of second components."""
+    p = fresh_name("p2")
+    return ext_apply(Lambda(p, ProdType(t1, t2), Singleton(Proj2(Var(p)))), r)
+
+
+def field_of(r: Expr, t1: Type, t2: Type) -> Expr:
+    """``Pi_1(r) U Pi_2(r)``: all values mentioned by a binary relation over one type.
+
+    Only meaningful when ``t1 == t2``; this is the ``v`` of Example 7.1.
+    """
+    if t1 != t2:
+        raise ValueError("field_of requires a homogeneous binary relation")
+    return Union(rel_proj1(r, t1, t2), rel_proj2(r, t1, t2))
+
+
+def compose(r1: Expr, r2: Expr, t: Type) -> Expr:
+    """Relation composition ``r1 o r2`` of binary relations over ``t``.
+
+    ``{(x, z) | (x, y) in r1, (y, z) in r2}`` -- the join used by the
+    repeated-squaring transitive closure of Example 7.1.
+    """
+    rel_t = ProdType(t, t)
+    p = fresh_name("cp")
+    q = fresh_name("cq")
+    inner_body = If(
+        Eq(Proj2(Var(p)), Proj1(Var(q))),
+        Singleton(Pair(Proj1(Var(p)), Proj2(Var(q)))),
+        EmptySet(rel_t),
+    )
+    inner = ext_apply(Lambda(q, rel_t, inner_body), r2)
+    return ext_apply(Lambda(p, rel_t, inner), r1)
+
+
+def nest(r: Expr, t1: Type, t2: Type) -> Expr:
+    """Nest a binary relation on its first column: ``{s x t} -> {s x {t}}``.
+
+    Each first-component value ``a`` is paired with the set of second
+    components it is related to.  Duplicate groups collapse because sets are
+    canonical.
+    """
+    rel_t = ProdType(t1, t2)
+    p = fresh_name("np")
+    q = fresh_name("nq")
+    group = ext_apply(
+        Lambda(
+            q,
+            rel_t,
+            If(Eq(Proj1(Var(q)), Proj1(Var(p))), Singleton(Proj2(Var(q))), EmptySet(t2)),
+        ),
+        r,
+    )
+    return ext_apply(Lambda(p, rel_t, Singleton(Pair(Proj1(Var(p)), group))), r)
+
+
+def unnest(r: Expr, t1: Type, t2: Type) -> Expr:
+    """Unnest ``{s x {t}} -> {s x t}``: flatten the grouped second column."""
+    nested_t = ProdType(t1, SetType(t2))
+    p = fresh_name("up")
+    y = fresh_name("uy")
+    inner = ext_apply(Lambda(y, t2, Singleton(Pair(Proj1(Var(p)), Var(y)))), Proj2(Var(p)))
+    return ext_apply(Lambda(p, nested_t, inner), r)
+
+
+def subset(s1: Expr, s2: Expr, elem_type: Type) -> Expr:
+    """``s1 subseteq s2``: the difference ``s1 \\ s2`` is empty."""
+    return IsEmpty(difference(s1, s2, elem_type))
+
+
+def set_equal(s1: Expr, s2: Expr, elem_type: Type) -> Expr:
+    """Extensional equality of sets, as mutual inclusion.
+
+    The primitive :class:`repro.nra.ast.Eq` already decides equality at all
+    types on canonical values; this derived form shows it is definable from
+    equality at the element type alone, as the paper asserts.
+    """
+    return bool_and(subset(s1, s2, elem_type), subset(s2, s1, elem_type))
+
+
+# ---------------------------------------------------------------------------
+# Convenience wrappers
+# ---------------------------------------------------------------------------
+
+def let(var: str, var_type: Type, value: Expr, body: Expr) -> Expr:
+    """``let var = value in body`` as a beta-redex."""
+    return Apply(Lambda(var, var_type, body), value)
+
+
+def pair_with_all(x: Expr, s: Expr, x_type: Type, elem_type: Type) -> Expr:
+    """``{(x, y) | y in s}``: tag every element of ``s`` with ``x``."""
+    y = fresh_name("tw")
+    return ext_apply(Lambda(y, elem_type, Singleton(Pair(x, Var(y)))), s)

@@ -1,0 +1,23 @@
+"""Exception hierarchy of the NRA language implementation."""
+
+from __future__ import annotations
+
+
+class NRAError(Exception):
+    """Base class for all errors raised by the NRA implementation."""
+
+
+class NRATypeError(NRAError):
+    """A static typing error: an expression does not have a valid type."""
+
+
+class NRAEvalError(NRAError):
+    """A dynamic error: evaluation failed (unbound variable, bad value, ...)."""
+
+
+class NRAParseError(NRAError):
+    """The surface syntax could not be parsed."""
+
+
+class NRAScopeError(NRAError):
+    """A variable is used outside the scope of its binder."""

@@ -1,0 +1,193 @@
+"""External functions: the signature ``Sigma`` of ``NRA(Sigma)`` (Section 3).
+
+The paper parameterises the language by a set ``Sigma`` of external functions
+``p : dom(p) -> codom(p)``.  Two members of ``Sigma`` play special roles:
+
+* the **order predicate** ``<= : D x D -> B`` -- the languages that capture
+  NC / AC^k are ``NRA1(dcr, <=)`` and ``NRA(bdcr, <=)``, i.e. the order is
+  always available;
+* **arithmetic and aggregates** (``+``, ``*``, ``-``, ``card``, ``sum`` ...)
+  -- Proposition 6.3 shows any NC-computable externals can be added to the
+  *bounded* language without leaving NC, whereas adding ``N`` with ``+`` to
+  the unbounded flat language already yields exponential-space queries.
+
+An :class:`ExternalFunction` packages a name, a typing rule and a Python
+implementation over complex-object values.  A :class:`Signature` is a named
+collection of them; the module ships the signatures used throughout the
+examples, tests and benchmarks:
+
+* :data:`ORDER_SIGMA` -- just ``leq``;
+* :data:`ARITH_SIGMA` -- ``leq``, ``plus``, ``times``, ``monus`` on integer
+  atoms;
+* :data:`AGGREGATE_SIGMA` -- ``card``, ``sum_``, ``max_`` on sets of integer
+  atoms (all NC-computable, as required by Proposition 6.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Optional
+
+from ..objects.types import BASE, BOOL, ProdType, SetType, Type
+from ..objects.values import BaseVal, BoolVal, PairVal, SetVal, Value
+from ..objects.order import co_le
+from .errors import NRAEvalError, NRATypeError
+
+#: Implementation of an external function: a map on complex object values.
+Impl = Callable[[Value], Value]
+#: Optional custom typing rule, mapping the argument type to the result type.
+TypeRule = Callable[[Type], Type]
+
+
+@dataclass(frozen=True)
+class ExternalFunction:
+    """A named external function with its typing rule and implementation.
+
+    When ``type_rule`` is ``None`` the function has the fixed type
+    ``arg_type -> result_type``; otherwise ``type_rule`` receives the actual
+    argument type and must return the result type (or raise
+    :class:`NRATypeError`), which allows polymorphic externals such as
+    cardinality.
+    """
+
+    name: str
+    arg_type: Optional[Type]
+    result_type: Optional[Type]
+    impl: Impl
+    description: str = ""
+    type_rule: Optional[TypeRule] = None
+
+    def result_type_for(self, actual_arg: Type) -> Type:
+        if self.type_rule is not None:
+            return self.type_rule(actual_arg)
+        if self.arg_type is None or self.result_type is None:
+            raise NRATypeError(f"external {self.name!r} has no typing rule")
+        if actual_arg != self.arg_type:
+            raise NRATypeError(
+                f"external {self.name!r} expects argument type {self.arg_type!r}, "
+                f"got {actual_arg!r}"
+            )
+        return self.result_type
+
+    def __call__(self, v: Value) -> Value:
+        return self.impl(v)
+
+
+class Signature:
+    """A collection of external functions, looked up by name."""
+
+    def __init__(self, functions: Iterable[ExternalFunction] = ()) -> None:
+        self._functions: dict[str, ExternalFunction] = {}
+        for fn in functions:
+            self.add(fn)
+
+    def add(self, fn: ExternalFunction) -> None:
+        if fn.name in self._functions:
+            raise ValueError(f"external function {fn.name!r} already defined")
+        self._functions[fn.name] = fn
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._functions
+
+    def __getitem__(self, name: str) -> ExternalFunction:
+        if name not in self._functions:
+            raise NRAEvalError(f"unknown external function {name!r}")
+        return self._functions[name]
+
+    def __iter__(self) -> Iterator[ExternalFunction]:
+        return iter(self._functions.values())
+
+    def names(self) -> list[str]:
+        return sorted(self._functions)
+
+    def extend(self, other: "Signature") -> "Signature":
+        """A new signature containing the functions of both (names must not clash)."""
+        return Signature(list(self) + list(other))
+
+
+# ---------------------------------------------------------------------------
+# Implementations of the standard externals
+# ---------------------------------------------------------------------------
+
+def _expect_pair(v: Value, who: str) -> PairVal:
+    if not isinstance(v, PairVal):
+        raise NRAEvalError(f"{who} expects a pair argument, got {v!r}")
+    return v
+
+
+def _expect_int(v: Value, who: str) -> int:
+    if not isinstance(v, BaseVal) or not isinstance(v.value, int):
+        raise NRAEvalError(f"{who} expects an integer atom, got {v!r}")
+    return v.value
+
+
+def _leq_impl(v: Value) -> Value:
+    p = _expect_pair(v, "leq")
+    return BoolVal(co_le(p.fst, p.snd))
+
+
+def _plus_impl(v: Value) -> Value:
+    p = _expect_pair(v, "plus")
+    return BaseVal(_expect_int(p.fst, "plus") + _expect_int(p.snd, "plus"))
+
+
+def _times_impl(v: Value) -> Value:
+    p = _expect_pair(v, "times")
+    return BaseVal(_expect_int(p.fst, "times") * _expect_int(p.snd, "times"))
+
+
+def _monus_impl(v: Value) -> Value:
+    p = _expect_pair(v, "monus")
+    return BaseVal(max(0, _expect_int(p.fst, "monus") - _expect_int(p.snd, "monus")))
+
+
+def _card_impl(v: Value) -> Value:
+    if not isinstance(v, SetVal):
+        raise NRAEvalError(f"card expects a set, got {v!r}")
+    return BaseVal(len(v))
+
+
+def _card_type_rule(arg: Type) -> Type:
+    if not isinstance(arg, SetType):
+        raise NRATypeError(f"card expects a set type, got {arg!r}")
+    return BASE
+
+
+def _sum_impl(v: Value) -> Value:
+    if not isinstance(v, SetVal):
+        raise NRAEvalError(f"sum expects a set, got {v!r}")
+    return BaseVal(sum(_expect_int(e, "sum") for e in v))
+
+
+def _max_impl(v: Value) -> Value:
+    if not isinstance(v, SetVal):
+        raise NRAEvalError(f"max expects a set, got {v!r}")
+    if not len(v):
+        return BaseVal(0)
+    return BaseVal(max(_expect_int(e, "max") for e in v))
+
+
+#: The pair type ``D x D`` used by the binary externals.
+_DXD = ProdType(BASE, BASE)
+
+LEQ = ExternalFunction(
+    "leq", _DXD, BOOL, _leq_impl,
+    "the linear order <= on the base type (lifted order on atoms)",
+)
+PLUS = ExternalFunction("plus", _DXD, BASE, _plus_impl, "integer addition")
+TIMES = ExternalFunction("times", _DXD, BASE, _times_impl, "integer multiplication")
+MONUS = ExternalFunction("monus", _DXD, BASE, _monus_impl, "truncated subtraction")
+CARD = ExternalFunction(
+    "card", None, None, _card_impl, "cardinality of a set", type_rule=_card_type_rule
+)
+SUM = ExternalFunction("sum", SetType(BASE), BASE, _sum_impl, "sum of a set of integers")
+MAX = ExternalFunction("max", SetType(BASE), BASE, _max_impl, "maximum of a set of integers")
+
+#: ``NRA(<=)``: just the order.
+ORDER_SIGMA = Signature([LEQ])
+#: Order plus integer arithmetic (the ``NRA1(N, +, dcr)`` setting of Prop 6.3).
+ARITH_SIGMA = Signature([LEQ, PLUS, TIMES, MONUS])
+#: Order, arithmetic and NC-computable aggregates (the positive side of Prop 6.3).
+AGGREGATE_SIGMA = Signature([LEQ, PLUS, TIMES, MONUS, CARD, SUM, MAX])
+#: The empty signature: plain ``NRA``.
+EMPTY_SIGMA = Signature([])

@@ -1,0 +1,99 @@
+"""Pretty printing of NRA expressions.
+
+The output follows the concrete syntax accepted by :mod:`repro.nra.parser`,
+so ``parse(pretty(e))`` is the identity up to alpha-renaming of bound
+variables; this round-trip is one of the property-based tests.
+"""
+
+from __future__ import annotations
+
+from ..objects.types import format_type
+from . import ast
+from .ast import Expr
+
+
+def pretty(e: Expr) -> str:
+    """Render an expression as a single-line string."""
+    if isinstance(e, ast.Const):
+        from ..objects.types import BASE
+        from ..objects.values import BaseVal
+
+        if isinstance(e.value, BaseVal) and isinstance(e.value.value, int) and e.type == BASE:
+            return str(e.value.value)
+        return f"const[{e.value!r} : {format_type(e.type)}]"
+    if isinstance(e, ast.EmptySet):
+        return f"empty[{format_type(e.elem_type)}]"
+    if isinstance(e, ast.Singleton):
+        return f"{{{pretty(e.item)}}}"
+    if isinstance(e, ast.Union):
+        return f"union({pretty(e.left)}, {pretty(e.right)})"
+    if isinstance(e, ast.UnitConst):
+        return "()"
+    if isinstance(e, ast.Pair):
+        return f"({pretty(e.fst)}, {pretty(e.snd)})"
+    if isinstance(e, ast.Proj1):
+        return f"pi1({pretty(e.pair)})"
+    if isinstance(e, ast.Proj2):
+        return f"pi2({pretty(e.pair)})"
+    if isinstance(e, ast.BoolConst):
+        return "true" if e.value else "false"
+    if isinstance(e, ast.Eq):
+        return f"eq({pretty(e.left)}, {pretty(e.right)})"
+    if isinstance(e, ast.IsEmpty):
+        return f"isempty({pretty(e.set)})"
+    if isinstance(e, ast.If):
+        return f"if {pretty(e.cond)} then {pretty(e.then)} else {pretty(e.orelse)}"
+    if isinstance(e, ast.Var):
+        return e.name
+    if isinstance(e, ast.Lambda):
+        return f"\\{e.var}:{format_type(e.var_type)}. {pretty(e.body)}"
+    if isinstance(e, ast.Apply):
+        return f"({pretty(e.func)})({pretty(e.arg)})"
+    if isinstance(e, ast.Ext):
+        return f"ext({pretty(e.func)})"
+    if isinstance(e, ast.ExternalCall):
+        return f"@{e.name}({pretty(e.arg)})"
+    if isinstance(e, ast.Dcr):
+        return f"dcr({pretty(e.seed)}; {pretty(e.item)}; {pretty(e.combine)})"
+    if isinstance(e, ast.Sru):
+        return f"sru({pretty(e.seed)}; {pretty(e.item)}; {pretty(e.combine)})"
+    if isinstance(e, ast.Sri):
+        return f"sri({pretty(e.seed)}; {pretty(e.insert)})"
+    if isinstance(e, ast.Esr):
+        return f"esr({pretty(e.seed)}; {pretty(e.insert)})"
+    if isinstance(e, ast.Bdcr):
+        return (
+            f"bdcr({pretty(e.seed)}; {pretty(e.item)}; {pretty(e.combine)}; "
+            f"{pretty(e.bound)})"
+        )
+    if isinstance(e, ast.Bsri):
+        return f"bsri({pretty(e.seed)}; {pretty(e.insert)}; {pretty(e.bound)})"
+    if isinstance(e, ast.LogLoop):
+        return f"logloop[{format_type(e.set_elem_type)}]({pretty(e.step)})"
+    if isinstance(e, ast.Loop):
+        return f"loop[{format_type(e.set_elem_type)}]({pretty(e.step)})"
+    if isinstance(e, ast.BlogLoop):
+        return (
+            f"blogloop[{format_type(e.set_elem_type)}]({pretty(e.step)}; {pretty(e.bound)})"
+        )
+    if isinstance(e, ast.Bloop):
+        return f"bloop[{format_type(e.set_elem_type)}]({pretty(e.step)}; {pretty(e.bound)})"
+    return f"<unknown {type(e).__name__}>"
+
+
+def pretty_multiline(e: Expr, indent: int = 0, width: int = 72) -> str:
+    """Render an expression over multiple lines when it would overflow ``width``.
+
+    A best-effort formatter for examples and error messages: short expressions
+    stay on one line, larger ones indent their principal subexpressions.
+    """
+    flat = pretty(e)
+    pad = " " * indent
+    if len(flat) + indent <= width or not list(e.children()):
+        return pad + flat
+    head = type(e).__name__.lower()
+    lines = [pad + head + "("]
+    for child in e.children():
+        lines.append(pretty_multiline(child, indent + 2, width) + ",")
+    lines.append(pad + ")")
+    return "\n".join(lines)

@@ -1,0 +1,303 @@
+"""Type checking for NRA expressions.
+
+The paper's NRA is simply typed over the complex object types; functions
+``s -> t`` occur only as parameters of ``ext``, the recursions and the
+iterators -- they are second class (no sets of functions).  The checker infers
+a :class:`FunType` for lambdas and the recursion constructs, and a complex
+object type for everything else.
+
+Besides plain inference the module provides the *language restriction*
+predicates the theorems are phrased with:
+
+* :func:`in_nra1` -- all types occurring in the expression (inputs, outputs
+  and intermediates) have set height <= 1, i.e. the expression lives in the
+  flat language ``NRA1``;
+* :func:`uses_only_bounded_recursion` -- every recursion/iteration construct
+  is one of the bounded forms (``bdcr``, ``bsri``, ``blog_loop``, ``bloop``),
+  as required over complex objects (Theorem 6.1);
+* :func:`externals_used` -- which names of the signature the expression
+  mentions (e.g. to check membership in ``NRA(<=)`` rather than a richer
+  signature).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..objects.types import ProdType, SetType, Type, is_ps_type, set_height
+from ..objects.values import check_type
+from . import ast
+from .ast import Expr
+from .errors import NRATypeError
+from .externals import EMPTY_SIGMA, Signature
+
+
+@dataclass(frozen=True)
+class FunType:
+    """The type ``arg -> result`` of a function expression.
+
+    Not a complex object type: functions cannot be stored in sets or pairs,
+    mirroring the paper where function types only appear in typing rules.
+    """
+
+    arg: Type
+    result: Type
+
+    def __repr__(self) -> str:
+        return f"({self.arg!r} -> {self.result!r})"
+
+
+#: A type as assigned to an expression: either a complex object type or a
+#: function type.
+ExprType = "Type | FunType"
+
+#: A typing environment: variable name -> complex object type.
+TypeEnv = dict
+
+
+def infer(
+    e: Expr,
+    env: Optional[dict[str, Type]] = None,
+    sigma: Signature = EMPTY_SIGMA,
+    collected: Optional[list[tuple[Expr, object]]] = None,
+) -> "Type | FunType":
+    """Infer the type of an NRA expression.
+
+    ``env`` maps free variables to their (complex object) types; ``sigma`` is
+    the signature of external functions; if ``collected`` is given, every
+    visited subexpression is appended together with its inferred type (used by
+    the NRA1 membership check).  Raises :class:`NRATypeError` on ill-typed
+    expressions.
+    """
+    env = env or {}
+    t = _infer(e, env, sigma, collected)
+    return t
+
+
+def _co(t: "Type | FunType", what: str) -> Type:
+    if isinstance(t, FunType):
+        raise NRATypeError(f"{what} must have a complex object type, found function type {t!r}")
+    return t
+
+
+def _fn(t: "Type | FunType", what: str) -> FunType:
+    if not isinstance(t, FunType):
+        raise NRATypeError(f"{what} must be a function, found {t!r}")
+    return t
+
+
+def _same(a: Type, b: Type, what: str) -> Type:
+    if a != b:
+        raise NRATypeError(f"{what}: type mismatch, {a!r} vs {b!r}")
+    return a
+
+
+def _infer(
+    e: Expr,
+    env: dict[str, Type],
+    sigma: Signature,
+    collected: Optional[list[tuple[Expr, object]]],
+) -> "Type | FunType":
+    result = _infer_node(e, env, sigma, collected)
+    if collected is not None:
+        collected.append((e, result))
+    return result
+
+
+def _infer_node(
+    e: Expr,
+    env: dict[str, Type],
+    sigma: Signature,
+    collected: Optional[list[tuple[Expr, object]]],
+) -> "Type | FunType":
+    if isinstance(e, ast.Const):
+        if not check_type(e.value, e.type):
+            raise NRATypeError(f"constant {e.value!r} does not have declared type {e.type!r}")
+        return e.type
+    if isinstance(e, ast.EmptySet):
+        return SetType(e.elem_type)
+    if isinstance(e, ast.Singleton):
+        return SetType(_co(_infer(e.item, env, sigma, collected), "singleton element"))
+    if isinstance(e, ast.Union):
+        lt = _infer(e.left, env, sigma, collected)
+        rt = _infer(e.right, env, sigma, collected)
+        lt = _co(lt, "union operand")
+        rt = _co(rt, "union operand")
+        if not isinstance(lt, SetType) or not isinstance(rt, SetType):
+            raise NRATypeError(f"union expects sets, got {lt!r} and {rt!r}")
+        return _same(lt, rt, "union")
+    if isinstance(e, ast.UnitConst):
+        from ..objects.types import UNIT
+
+        return UNIT
+    if isinstance(e, ast.Pair):
+        return ProdType(
+            _co(_infer(e.fst, env, sigma, collected), "pair component"),
+            _co(_infer(e.snd, env, sigma, collected), "pair component"),
+        )
+    if isinstance(e, ast.Proj1):
+        pt = _co(_infer(e.pair, env, sigma, collected), "projection argument")
+        if not isinstance(pt, ProdType):
+            raise NRATypeError(f"pi1 expects a pair, got {pt!r}")
+        return pt.fst
+    if isinstance(e, ast.Proj2):
+        pt = _co(_infer(e.pair, env, sigma, collected), "projection argument")
+        if not isinstance(pt, ProdType):
+            raise NRATypeError(f"pi2 expects a pair, got {pt!r}")
+        return pt.snd
+    if isinstance(e, ast.BoolConst):
+        from ..objects.types import BOOL
+
+        return BOOL
+    if isinstance(e, ast.Eq):
+        lt = _co(_infer(e.left, env, sigma, collected), "equality operand")
+        rt = _co(_infer(e.right, env, sigma, collected), "equality operand")
+        _same(lt, rt, "equality")
+        from ..objects.types import BOOL
+
+        return BOOL
+    if isinstance(e, ast.IsEmpty):
+        st = _co(_infer(e.set, env, sigma, collected), "empty() argument")
+        if not isinstance(st, SetType):
+            raise NRATypeError(f"empty() expects a set, got {st!r}")
+        from ..objects.types import BOOL
+
+        return BOOL
+    if isinstance(e, ast.If):
+        from ..objects.types import BOOL
+
+        ct = _co(_infer(e.cond, env, sigma, collected), "condition")
+        if ct != BOOL:
+            raise NRATypeError(f"if-condition must be boolean, got {ct!r}")
+        tt = _co(_infer(e.then, env, sigma, collected), "then-branch")
+        et = _co(_infer(e.orelse, env, sigma, collected), "else-branch")
+        return _same(tt, et, "if-branches")
+    if isinstance(e, ast.Var):
+        if e.name not in env:
+            raise NRATypeError(f"unbound variable {e.name!r}")
+        return env[e.name]
+    if isinstance(e, ast.Lambda):
+        inner_env = dict(env)
+        inner_env[e.var] = e.var_type
+        body_t = _co(_infer(e.body, inner_env, sigma, collected), "lambda body")
+        return FunType(e.var_type, body_t)
+    if isinstance(e, ast.Apply):
+        ft = _fn(_infer(e.func, env, sigma, collected), "applied expression")
+        at = _co(_infer(e.arg, env, sigma, collected), "argument")
+        _same(ft.arg, at, "application")
+        return ft.result
+    if isinstance(e, ast.Ext):
+        ft = _fn(_infer(e.func, env, sigma, collected), "ext parameter")
+        if not isinstance(ft.result, SetType):
+            raise NRATypeError(f"ext(f) needs f : s -> {{t}}, got result {ft.result!r}")
+        return FunType(SetType(ft.arg), ft.result)
+    if isinstance(e, ast.ExternalCall):
+        fn = sigma[e.name]
+        at = _co(_infer(e.arg, env, sigma, collected), "external argument")
+        return fn.result_type_for(at)
+    if isinstance(e, (ast.Dcr, ast.Sru)):
+        return _infer_union_recursion(e, env, sigma, collected, bounded=False)
+    if isinstance(e, ast.Bdcr):
+        return _infer_union_recursion(e, env, sigma, collected, bounded=True)
+    if isinstance(e, (ast.Sri, ast.Esr)):
+        return _infer_insert_recursion(e, env, sigma, collected, bounded=False)
+    if isinstance(e, ast.Bsri):
+        return _infer_insert_recursion(e, env, sigma, collected, bounded=True)
+    if isinstance(e, (ast.LogLoop, ast.Loop)):
+        ft = _fn(_infer(e.step, env, sigma, collected), "loop step")
+        _same(ft.arg, ft.result, "loop step must have type t -> t")
+        return FunType(ProdType(SetType(e.set_elem_type), ft.arg), ft.result)
+    if isinstance(e, (ast.BlogLoop, ast.Bloop)):
+        ft = _fn(_infer(e.step, env, sigma, collected), "bounded loop step")
+        _same(ft.arg, ft.result, "loop step must have type t -> t")
+        bt = _co(_infer(e.bound, env, sigma, collected), "loop bound")
+        _same(bt, ft.result, "loop bound")
+        if not is_ps_type(ft.result):
+            raise NRATypeError(
+                f"bounded iteration requires a PS-type, got {ft.result!r}"
+            )
+        return FunType(ProdType(SetType(e.set_elem_type), ft.arg), ft.result)
+    raise NRATypeError(f"unknown expression node {type(e).__name__}")
+
+
+def _infer_union_recursion(e, env, sigma, collected, bounded: bool) -> FunType:
+    name = type(e).__name__.lower()
+    seed_t = _co(_infer(e.seed, env, sigma, collected), f"{name} seed")
+    item_t = _fn(_infer(e.item, env, sigma, collected), f"{name} item function")
+    comb_t = _fn(_infer(e.combine, env, sigma, collected), f"{name} combine function")
+    _same(item_t.result, seed_t, f"{name}: item function result vs seed")
+    expected_comb_arg = ProdType(seed_t, seed_t)
+    _same(comb_t.arg, expected_comb_arg, f"{name}: combine argument")
+    _same(comb_t.result, seed_t, f"{name}: combine result")
+    if bounded:
+        bound_t = _co(_infer(e.bound, env, sigma, collected), f"{name} bound")
+        _same(bound_t, seed_t, f"{name}: bound")
+        if not is_ps_type(seed_t):
+            raise NRATypeError(f"{name} requires a PS-type result, got {seed_t!r}")
+    return FunType(SetType(item_t.arg), seed_t)
+
+
+def _infer_insert_recursion(e, env, sigma, collected, bounded: bool) -> FunType:
+    name = type(e).__name__.lower()
+    seed_t = _co(_infer(e.seed, env, sigma, collected), f"{name} seed")
+    ins_t = _fn(_infer(e.insert, env, sigma, collected), f"{name} insert function")
+    if not isinstance(ins_t.arg, ProdType):
+        raise NRATypeError(f"{name}: insert function must take a pair, got {ins_t.arg!r}")
+    _same(ins_t.arg.snd, seed_t, f"{name}: insert accumulator type")
+    _same(ins_t.result, seed_t, f"{name}: insert result type")
+    if bounded:
+        bound_t = _co(_infer(e.bound, env, sigma, collected), f"{name} bound")
+        _same(bound_t, seed_t, f"{name}: bound")
+        if not is_ps_type(seed_t):
+            raise NRATypeError(f"{name} requires a PS-type result, got {seed_t!r}")
+    return FunType(SetType(ins_t.arg.fst), seed_t)
+
+
+# ---------------------------------------------------------------------------
+# Language restriction predicates
+# ---------------------------------------------------------------------------
+
+def all_types(
+    e: Expr, env: Optional[dict[str, Type]] = None, sigma: Signature = EMPTY_SIGMA
+) -> list["Type | FunType"]:
+    """All types assigned to subexpressions of ``e`` during inference."""
+    collected: list[tuple[Expr, object]] = []
+    infer(e, env, sigma, collected)
+    return [t for _, t in collected]  # type: ignore[misc]
+
+
+def in_nra1(
+    e: Expr, env: Optional[dict[str, Type]] = None, sigma: Signature = EMPTY_SIGMA
+) -> bool:
+    """True iff every type occurring in ``e`` has set height <= 1 (NRA1).
+
+    The paper restricts inputs, outputs *and intermediate types*; we check the
+    type of every subexpression, including both sides of every function type.
+    """
+    for t in all_types(e, env, sigma):
+        if isinstance(t, FunType):
+            if set_height(t.arg) > 1 or set_height(t.result) > 1:
+                return False
+        elif set_height(t) > 1:
+            return False
+    return True
+
+
+def uses_only_bounded_recursion(e: Expr) -> bool:
+    """True iff every recursion/iteration node in ``e`` is a bounded form."""
+    unbounded = (ast.Dcr, ast.Sru, ast.Sri, ast.Esr, ast.LogLoop, ast.Loop)
+    return not any(isinstance(sub, unbounded) for sub in ast.subexpressions(e))
+
+
+def recursion_free(e: Expr) -> bool:
+    """True iff ``e`` contains no recursion or iteration construct at all."""
+    nodes = ast.RECURSION_NODES + ast.ITERATOR_NODES
+    return not any(isinstance(sub, nodes) for sub in ast.subexpressions(e))
+
+
+def externals_used(e: Expr) -> frozenset[str]:
+    """The names of the external functions mentioned in ``e``."""
+    return frozenset(
+        sub.name for sub in ast.subexpressions(e) if isinstance(sub, ast.ExternalCall)
+    )

@@ -1,0 +1,99 @@
+"""Complex object model: types, values, lifted order and string encodings.
+
+This subpackage is the data layer everything else builds on:
+
+* :mod:`repro.objects.types` -- the type grammar ``D | B | unit | t x t | {t}``
+  with the *flat type* and *PS-type* predicates;
+* :mod:`repro.objects.values` -- immutable, canonical complex object values;
+* :mod:`repro.objects.order` -- the linear order lifted from the base type to
+  all complex object types;
+* :mod:`repro.objects.encoding` -- the Section 5 string encodings over the
+  eight-symbol alphabet, together with the string manipulations (parenthesis
+  matching, element marking, duplicate elimination, blank compaction) that the
+  circuit construction of Section 7.2 relies on.
+"""
+
+from .types import (
+    BASE,
+    BOOL,
+    UNIT,
+    BaseType,
+    BoolType,
+    ProdType,
+    SetType,
+    Type,
+    UnitType,
+    format_type,
+    is_flat_type,
+    is_nra1_type,
+    is_ps_type,
+    parse_type,
+    prod,
+    relation_type,
+    set_height,
+)
+from .values import (
+    EMPTY_SET,
+    FALSE,
+    TRUE,
+    UNIT_VAL,
+    BaseVal,
+    BoolVal,
+    PairVal,
+    SetVal,
+    UnitVal,
+    Value,
+    active_domain,
+    base,
+    boolean,
+    check_type,
+    from_python,
+    infer_type,
+    mkset,
+    pair,
+    rename_atoms,
+    singleton,
+    sort_key,
+    to_python,
+    tup,
+    untup,
+    value_size,
+)
+from .order import co_cmp, co_le, co_lt, co_max, co_min, co_sorted, from_rank, rank
+from .encoding import (
+    ALPHABET,
+    BLANK,
+    EncodingError,
+    compact_blanks,
+    decode,
+    element_starts,
+    encode,
+    encodings_equal,
+    from_bits,
+    match_parentheses,
+    minimal_encoding,
+    remove_duplicates,
+    scatter_blanks,
+    to_bits,
+    top_level_elements,
+)
+
+__all__ = [
+    # types
+    "Type", "BaseType", "BoolType", "UnitType", "ProdType", "SetType",
+    "BASE", "BOOL", "UNIT", "prod", "relation_type", "set_height",
+    "is_flat_type", "is_nra1_type", "is_ps_type", "parse_type", "format_type",
+    # values
+    "Value", "BaseVal", "BoolVal", "UnitVal", "PairVal", "SetVal",
+    "EMPTY_SET", "UNIT_VAL", "TRUE", "FALSE",
+    "base", "boolean", "pair", "mkset", "singleton", "tup", "untup",
+    "from_python", "to_python", "infer_type", "check_type", "value_size",
+    "active_domain", "rename_atoms", "sort_key",
+    # order
+    "co_le", "co_lt", "co_cmp", "co_sorted", "co_min", "co_max", "rank", "from_rank",
+    # encoding
+    "ALPHABET", "BLANK", "EncodingError", "encode", "decode", "minimal_encoding",
+    "to_bits", "from_bits", "scatter_blanks", "match_parentheses",
+    "element_starts", "top_level_elements", "remove_duplicates",
+    "compact_blanks", "encodings_equal",
+]

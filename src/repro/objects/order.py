@@ -1,0 +1,103 @@
+"""The lifted linear order on complex objects.
+
+The paper works over *ordered* databases: the base type ``D`` comes with a
+linear order ``<=`` (an external function ``<= : D x D -> B`` in the language,
+Section 3), and "the order relation can be lifted to all types" (the paper
+cites Libkin-Wong [24]).  This module provides that lifted order as plain
+Python functions over :class:`repro.objects.values.Value`:
+
+* :func:`co_le`, :func:`co_lt`, :func:`co_cmp` -- comparisons;
+* :func:`co_sorted`, :func:`co_min`, :func:`co_max` -- utilities built on it;
+* :func:`rank` / :func:`from_rank` -- the order isomorphism between a finite
+  set of values and an initial segment of the naturals, used when simulating
+  arithmetic on "the set as numbers 0..n-1" (Section 7.1, step 2 of
+  Proposition 7.8).
+
+The concrete order is the one induced by ``values.sort_key``: it is a total
+order on all values, restricts to the natural order on integer and string
+atoms, compares pairs lexicographically, and compares canonical sets by
+cardinality and then lexicographically on their sorted element sequences.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .values import SetVal, Value, sort_key
+
+
+def co_cmp(a: Value, b: Value) -> int:
+    """Three-way comparison: negative if ``a < b``, zero if equal, positive if ``a > b``."""
+    ka, kb = sort_key(a), sort_key(b)
+    if ka < kb:
+        return -1
+    if ka > kb:
+        return 1
+    return 0
+
+
+def co_le(a: Value, b: Value) -> bool:
+    """The lifted order ``a <= b``."""
+    return sort_key(a) <= sort_key(b)
+
+
+def co_lt(a: Value, b: Value) -> bool:
+    """The strict lifted order ``a < b``."""
+    return sort_key(a) < sort_key(b)
+
+
+def co_sorted(values: Iterable[Value]) -> list[Value]:
+    """Sort values in increasing lifted order."""
+    return sorted(values, key=sort_key)
+
+
+def co_min(values: Iterable[Value]) -> Value:
+    """Minimum value under the lifted order; raises ``ValueError`` if empty."""
+    vs = list(values)
+    if not vs:
+        raise ValueError("co_min of empty collection")
+    return min(vs, key=sort_key)
+
+
+def co_max(values: Iterable[Value]) -> Value:
+    """Maximum value under the lifted order; raises ``ValueError`` if empty."""
+    vs = list(values)
+    if not vs:
+        raise ValueError("co_max of empty collection")
+    return max(vs, key=sort_key)
+
+
+def rank(s: SetVal, v: Value) -> int:
+    """Position of ``v`` in the sorted enumeration of the set ``s`` (0-based).
+
+    This is the order isomorphism the simulations use to treat the elements of
+    an ordered set as the numbers ``0 .. |s|-1``.  Raises ``ValueError`` if
+    ``v`` is not an element of ``s``.
+    """
+    for i, e in enumerate(s.elements):
+        if e == v:
+            return i
+    raise ValueError(f"{v!r} is not an element of {s!r}")
+
+
+def from_rank(s: SetVal, i: int) -> Value:
+    """Inverse of :func:`rank`: the ``i``-th smallest element of ``s``."""
+    if not 0 <= i < len(s.elements):
+        raise ValueError(f"rank {i} out of range for a set of {len(s.elements)} elements")
+    return s.elements[i]
+
+
+def successor_pairs(s: SetVal) -> list[tuple[Value, Value]]:
+    """The successor relation of the linear order restricted to ``s``.
+
+    Returns the list ``[(e_0, e_1), (e_1, e_2), ...]`` of consecutive elements
+    in increasing order.  The simulations of Section 7 build arithmetic by
+    taking the transitive closure of this relation.
+    """
+    elems: Sequence[Value] = s.elements
+    return [(elems[i], elems[i + 1]) for i in range(len(elems) - 1)]
+
+
+def is_sorted(values: Sequence[Value]) -> bool:
+    """True iff the sequence is non-decreasing in the lifted order."""
+    return all(co_le(values[i], values[i + 1]) for i in range(len(values) - 1))

@@ -1,0 +1,292 @@
+"""Complex object types.
+
+The paper (Section 2) defines complex object types by the grammar::
+
+    t ::= D | B | unit | t x t | {t}
+
+where ``D`` is a base type equipped with a linear order, ``B`` is the type of
+booleans, ``unit`` is the one-element type, ``t x t`` builds pairs and ``{t}``
+builds finite sets.
+
+Two derived notions matter throughout the paper:
+
+* **flat types** -- products of base-ish types wrapped in at most one layer of
+  sets.  Formally, a *flat record type* is a product of ``D``, ``B`` and
+  ``unit``; a *flat type* is a product of set types ``{s}`` where every ``s``
+  is a flat record type.  The language ``NRA1`` (Section 3) is the restriction
+  of NRA to types of set height <= 1.
+
+* **PS-types** (product-of-sets types, Section 2) -- either a set type, or a
+  product of PS-types.  Bounded divide-and-conquer recursion ``bdcr`` is only
+  defined at PS-types, because intersection with the bound ``b`` must make
+  sense at the result type.
+
+This module provides the type grammar as a small immutable class hierarchy
+plus the predicates (`is_flat_type`, `is_ps_type`, `set_height`, ...) used by
+the type checker and by the recursion combinators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterator
+
+
+class Type:
+    """Base class of all complex object types.
+
+    Types are immutable and hashable; structural equality is provided by the
+    frozen dataclasses below.  Use the module-level singletons ``BASE``,
+    ``BOOL`` and ``UNIT`` for the atomic types.
+    """
+
+    def __repr__(self) -> str:  # pragma: no cover - delegated to subclasses
+        raise NotImplementedError
+
+    # -- convenience constructors -------------------------------------------------
+    def __mul__(self, other: "Type") -> "ProdType":
+        """``s * t`` builds the product type ``s x t``."""
+        if not isinstance(other, Type):
+            return NotImplemented
+        return ProdType(self, other)
+
+    def set_of(self) -> "SetType":
+        """Return the set type ``{self}``."""
+        return SetType(self)
+
+
+@dataclass(frozen=True)
+class BaseType(Type):
+    """The ordered base type ``D``.
+
+    The paper allows any linearly ordered domain; instances of complex objects
+    carry concrete base values (integers or strings) and the order is the
+    natural one on those values (see :mod:`repro.objects.order`).
+    """
+
+    def __repr__(self) -> str:
+        return "D"
+
+
+@dataclass(frozen=True)
+class BoolType(Type):
+    """The type ``B`` of booleans."""
+
+    def __repr__(self) -> str:
+        return "B"
+
+
+@dataclass(frozen=True)
+class UnitType(Type):
+    """The type ``unit`` whose only value is the empty tuple ``()``."""
+
+    def __repr__(self) -> str:
+        return "unit"
+
+
+@dataclass(frozen=True)
+class ProdType(Type):
+    """The product type ``s x t`` of pairs."""
+
+    fst: Type
+    snd: Type
+
+    def __repr__(self) -> str:
+        return f"({self.fst!r} x {self.snd!r})"
+
+
+@dataclass(frozen=True)
+class SetType(Type):
+    """The type ``{t}`` of finite sets with elements of type ``t``."""
+
+    elem: Type
+
+    def __repr__(self) -> str:
+        return f"{{{self.elem!r}}}"
+
+
+#: Singleton instances for the atomic types.
+BASE = BaseType()
+BOOL = BoolType()
+UNIT = UnitType()
+
+
+def prod(*components: Type) -> Type:
+    """Right-nested product of one or more types.
+
+    ``prod(a, b, c)`` is ``a x (b x c)``; ``prod(a)`` is just ``a``.  The
+    paper only has binary products, so wide "records" are encoded by nesting.
+    """
+    if not components:
+        return UNIT
+    if len(components) == 1:
+        return components[0]
+    return ProdType(components[0], prod(*components[1:]))
+
+
+def relation_type(arity: int) -> SetType:
+    """The type of a flat relation of the given arity over the base type.
+
+    A relation of arity ``k`` has type ``{D x (D x ... )}`` with ``k``
+    occurrences of ``D``.  ``arity`` must be at least 1.
+    """
+    if arity < 1:
+        raise ValueError(f"relation arity must be >= 1, got {arity}")
+    return SetType(prod(*([BASE] * arity)))
+
+
+def set_height(t: Type) -> int:
+    """The set height of a type: maximum nesting depth of ``{...}``.
+
+    Base, boolean and unit types have height 0; a product has the maximum of
+    its components; a set type adds one to its element type.  ``NRA1`` only
+    admits types of set height <= 1.
+    """
+    if isinstance(t, (BaseType, BoolType, UnitType)):
+        return 0
+    if isinstance(t, ProdType):
+        return max(set_height(t.fst), set_height(t.snd))
+    if isinstance(t, SetType):
+        return 1 + set_height(t.elem)
+    raise TypeError(f"not a complex object type: {t!r}")
+
+
+def is_atomic_record_type(t: Type) -> bool:
+    """True for products of ``D``, ``B`` and ``unit`` (no sets at all)."""
+    if isinstance(t, (BaseType, BoolType, UnitType)):
+        return True
+    if isinstance(t, ProdType):
+        return is_atomic_record_type(t.fst) and is_atomic_record_type(t.snd)
+    return False
+
+
+def is_flat_type(t: Type) -> bool:
+    """True for the paper's *flat types*.
+
+    A flat type is a product of set types ``{s}`` where each ``s`` is a
+    product of base types (``D``, ``B``, ``unit``).  Single set types count as
+    products of one factor.  Atomic record types themselves are *not* flat
+    types under the paper's definition (they are "base values"), but the
+    language NRA1 admits both; use :func:`is_nra1_type` for that check.
+    """
+    if isinstance(t, SetType):
+        return is_atomic_record_type(t.elem)
+    if isinstance(t, ProdType):
+        return is_flat_type(t.fst) and is_flat_type(t.snd)
+    return False
+
+
+def is_nra1_type(t: Type) -> bool:
+    """True iff the type is admissible in NRA1: set height at most 1."""
+    return set_height(t) <= 1
+
+
+def is_ps_type(t: Type) -> bool:
+    """True for PS-types: set types and products of PS-types (Section 2)."""
+    if isinstance(t, SetType):
+        return True
+    if isinstance(t, ProdType):
+        return is_ps_type(t.fst) and is_ps_type(t.snd)
+    return False
+
+
+def subtypes(t: Type) -> Iterator[Type]:
+    """Yield ``t`` and all of its component types, outermost first."""
+    yield t
+    if isinstance(t, ProdType):
+        yield from subtypes(t.fst)
+        yield from subtypes(t.snd)
+    elif isinstance(t, SetType):
+        yield from subtypes(t.elem)
+
+
+def type_size(t: Type) -> int:
+    """Number of nodes in the syntax tree of the type."""
+    return sum(1 for _ in subtypes(t))
+
+
+@lru_cache(maxsize=None)
+def parse_type(text: str) -> Type:
+    """Parse the textual syntax used by :func:`format_type`.
+
+    The grammar accepted is::
+
+        type    ::= product
+        product ::= atom ('x' atom)*          (right associative)
+        atom    ::= 'D' | 'B' | 'unit' | '{' type '}' | '(' type ')'
+
+    Whitespace is insignificant.  Raises ``ValueError`` on malformed input.
+    """
+    tokens = _tokenize_type(text)
+    ty, rest = _parse_product(tokens, 0)
+    if rest != len(tokens):
+        raise ValueError(f"trailing input in type: {text!r}")
+    return ty
+
+
+def _tokenize_type(text: str) -> list[str]:
+    tokens: list[str] = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+        elif ch in "{}()":
+            tokens.append(ch)
+            i += 1
+        elif text.startswith("unit", i):
+            tokens.append("unit")
+            i += 4
+        elif ch in ("D", "B", "x"):
+            tokens.append(ch)
+            i += 1
+        else:
+            raise ValueError(f"unexpected character {ch!r} in type {text!r}")
+    return tokens
+
+
+def _parse_product(tokens: list[str], pos: int) -> tuple[Type, int]:
+    left, pos = _parse_atom(tokens, pos)
+    if pos < len(tokens) and tokens[pos] == "x":
+        right, pos = _parse_product(tokens, pos + 1)
+        return ProdType(left, right), pos
+    return left, pos
+
+
+def _parse_atom(tokens: list[str], pos: int) -> tuple[Type, int]:
+    if pos >= len(tokens):
+        raise ValueError("unexpected end of type")
+    tok = tokens[pos]
+    if tok == "D":
+        return BASE, pos + 1
+    if tok == "B":
+        return BOOL, pos + 1
+    if tok == "unit":
+        return UNIT, pos + 1
+    if tok == "{":
+        inner, pos = _parse_product(tokens, pos + 1)
+        if pos >= len(tokens) or tokens[pos] != "}":
+            raise ValueError("unbalanced '{' in type")
+        return SetType(inner), pos + 1
+    if tok == "(":
+        inner, pos = _parse_product(tokens, pos + 1)
+        if pos >= len(tokens) or tokens[pos] != ")":
+            raise ValueError("unbalanced '(' in type")
+        return inner, pos + 1
+    raise ValueError(f"unexpected token {tok!r} in type")
+
+
+def format_type(t: Type) -> str:
+    """Render a type in the syntax accepted by :func:`parse_type`."""
+    if isinstance(t, BaseType):
+        return "D"
+    if isinstance(t, BoolType):
+        return "B"
+    if isinstance(t, UnitType):
+        return "unit"
+    if isinstance(t, ProdType):
+        return f"({format_type(t.fst)} x {format_type(t.snd)})"
+    if isinstance(t, SetType):
+        return f"{{{format_type(t.elem)}}}"
+    raise TypeError(f"not a complex object type: {t!r}")

@@ -1,0 +1,71 @@
+"""Recursion on sets: the paper's Section 2 as executable combinators.
+
+* :mod:`repro.recursion.forms` -- ``dcr``, ``sru``, ``sri``, ``esr`` with
+  work/depth tracing;
+* :mod:`repro.recursion.bounded` -- ``bdcr``, ``bsri`` and PS-type bounding
+  (plus the ``powerset``-via-``dcr`` cautionary example);
+* :mod:`repro.recursion.iterators` -- ``loop``, ``log_loop`` and their bounded
+  versions (Section 7.1);
+* :mod:`repro.recursion.translations` -- the constructive simulations behind
+  Propositions 2.1, 2.2 and 7.3 and the ordered recursions of [23];
+* :mod:`repro.recursion.algebraic` -- finite-carrier checking of the algebraic
+  preconditions, and the undecidability gadget.
+"""
+
+from .forms import EvaluationTrace, dcr, esr, sri, sru
+from .bounded import BoundingError, bdcr, bsri, powerset_via_dcr, ps_intersect
+from .iterators import (
+    blog_loop,
+    bloop,
+    iterate,
+    iteration_count,
+    log_iterations,
+    log_loop,
+    loop,
+    nested_log_loop,
+)
+from .translations import (
+    dcr_via_bdcr_flat,
+    dcr_via_esr,
+    dcr_via_log_loop,
+    dcr_via_sri,
+    esr_via_sri,
+    flat_bound,
+    log_loop_via_dcr,
+    loop_via_esr,
+    ordered_dcr,
+    set_reduce,
+    simulation_dcr_instance,
+    sri_via_loop,
+    sru_via_sri,
+)
+from .algebraic import (
+    WellDefinednessReport,
+    carrier_closure,
+    check_dcr_preconditions,
+    check_sri_preconditions,
+    conditional_operation,
+    difference_op,
+    has_identity,
+    is_associative,
+    is_commutative,
+    is_i_commutative,
+    is_i_idempotent,
+    is_idempotent,
+    union_op,
+)
+
+__all__ = [
+    "EvaluationTrace", "dcr", "sru", "sri", "esr",
+    "bdcr", "bsri", "ps_intersect", "BoundingError", "powerset_via_dcr",
+    "loop", "log_loop", "bloop", "blog_loop", "iterate", "log_iterations",
+    "nested_log_loop", "iteration_count",
+    "dcr_via_esr", "esr_via_sri", "sru_via_sri", "dcr_via_sri",
+    "flat_bound", "dcr_via_bdcr_flat",
+    "dcr_via_log_loop", "log_loop_via_dcr", "simulation_dcr_instance",
+    "loop_via_esr", "sri_via_loop", "set_reduce", "ordered_dcr",
+    "WellDefinednessReport", "check_dcr_preconditions", "check_sri_preconditions",
+    "carrier_closure", "is_associative", "is_commutative", "has_identity",
+    "is_idempotent", "is_i_commutative", "is_i_idempotent",
+    "conditional_operation", "union_op", "difference_op",
+]

@@ -1,0 +1,171 @@
+"""Bounded recursion on sets: ``bdcr`` and ``bsri`` (Section 2).
+
+Over complex objects, unrestricted ``dcr`` (and even ``sru``) can express
+``powerset``, which takes the language out of NC.  The paper's fix -- in the
+spirit of Buneman's bounded fixpoints [34] -- is to intersect the result with
+a *bounding set* at every recursion step.  Bounding only makes sense at
+**PS-types** (products of set types), where "intersect" means componentwise
+set intersection.
+
+Definitions (Section 2)::
+
+    bdcr(e, f, u, b) = dcr(e n b, f n b, u n b)
+    bsri(e, i, b)    = sri(e n b, i n b)
+
+where ``(u n b)(y, y') = u(y, y') n b`` etc., and ``n`` is the PS-type
+intersection implemented here by :func:`ps_intersect`.
+
+Over flat relations the explicit bound is unnecessary (Proposition 2.2): the
+result of a flat ``dcr`` is already contained in a polynomially-bounded set
+definable in the relational algebra, which is why the flat language of
+Theorem 6.2 uses plain ``dcr``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..objects.types import ProdType, SetType, Type, is_ps_type
+from ..objects.values import PairVal, SetVal, Value
+from .forms import Binary, EvaluationTrace, Insert, Unary, dcr, sri
+
+
+class BoundingError(TypeError):
+    """Raised when bounding is attempted at a type that is not a PS-type."""
+
+
+def ps_intersect(v: Value, bound: Value, t: Type) -> Value:
+    """Componentwise intersection of two values of the PS-type ``t``.
+
+    At a set type this is ordinary set intersection; at a product of PS-types
+    it intersects the components pairwise.  Raises :class:`BoundingError` if
+    ``t`` is not a PS-type or the values do not match its shape.
+    """
+    if isinstance(t, SetType):
+        if not isinstance(v, SetVal) or not isinstance(bound, SetVal):
+            raise BoundingError(
+                f"PS-intersection at {t!r} expects set values, got {v!r} and {bound!r}"
+            )
+        return v.intersection(bound)
+    if isinstance(t, ProdType):
+        if not isinstance(v, PairVal) or not isinstance(bound, PairVal):
+            raise BoundingError(
+                f"PS-intersection at {t!r} expects pair values, got {v!r} and {bound!r}"
+            )
+        return PairVal(
+            ps_intersect(v.fst, bound.fst, t.fst),
+            ps_intersect(v.snd, bound.snd, t.snd),
+        )
+    raise BoundingError(f"{t!r} is not a PS-type; bounded recursion is undefined at it")
+
+
+def require_ps_type(t: Type) -> None:
+    """Raise :class:`BoundingError` unless ``t`` is a PS-type."""
+    if not is_ps_type(t):
+        raise BoundingError(f"bounded recursion requires a PS-type result, got {t!r}")
+
+
+def ps_intersect_values(v: Value, bound: Value) -> Value:
+    """Value-directed PS-intersection: the shape of ``bound`` drives the recursion.
+
+    Sets are intersected, pairs are intersected componentwise; any other shape
+    is rejected.  This is the runtime counterpart of :func:`ps_intersect` used
+    by the NRA evaluator, where the PS-type is implicit in the bound value
+    produced by the (already type-checked) bound expression.
+    """
+    if isinstance(bound, SetVal):
+        if not isinstance(v, SetVal):
+            raise BoundingError(f"cannot intersect {v!r} with set bound {bound!r}")
+        return v.intersection(bound)
+    if isinstance(bound, PairVal):
+        if not isinstance(v, PairVal):
+            raise BoundingError(f"cannot intersect {v!r} with pair bound {bound!r}")
+        return PairVal(
+            ps_intersect_values(v.fst, bound.fst),
+            ps_intersect_values(v.snd, bound.snd),
+        )
+    raise BoundingError(f"bound {bound!r} is not a value of a PS-type")
+
+
+def bdcr(
+    e: Value,
+    f: Unary,
+    u: Binary,
+    b: Value,
+    result_type: Type,
+    s: SetVal,
+    trace: Optional[EvaluationTrace] = None,
+) -> Value:
+    """Bounded divide and conquer recursion ``bdcr(e, f, u, b)(s)``.
+
+    Every intermediate value -- the seed, each ``f(x)``, and each combination
+    ``u(y, y')`` -- is intersected with the bound ``b`` at the PS-type
+    ``result_type``.  Because the bound has polynomial size in the input, all
+    intermediate values stay polynomially bounded, which is what keeps the
+    construct inside NC over complex objects (Theorem 6.1).
+    """
+    require_ps_type(result_type)
+
+    def f_bounded(x: Value) -> Value:
+        return ps_intersect(f(x), b, result_type)
+
+    def u_bounded(y1: Value, y2: Value) -> Value:
+        return ps_intersect(u(y1, y2), b, result_type)
+
+    seed = ps_intersect(e, b, result_type)
+    return dcr(seed, f_bounded, u_bounded, s, trace)
+
+
+def bsri(
+    e: Value,
+    i: Insert,
+    b: Value,
+    result_type: Type,
+    s: SetVal,
+    trace: Optional[EvaluationTrace] = None,
+) -> Value:
+    """Bounded structural recursion on the insert presentation.
+
+    ``bsri(e, i, b) = sri(e n b, i n b)`` with the intersection taken at the
+    PS-type ``result_type``.  This is the bounded element-by-element recursion
+    that captures PTIME over ordered complex-object databases
+    (Proposition 6.6).
+    """
+    require_ps_type(result_type)
+
+    def i_bounded(x: Value, acc: Value) -> Value:
+        return ps_intersect(i(x, acc), b, result_type)
+
+    seed = ps_intersect(e, b, result_type)
+    return sri(seed, i_bounded, s, trace)
+
+
+def make_bound(values: SetVal) -> SetVal:
+    """Convenience: use an explicit set of candidate values as a bound."""
+    return values
+
+
+def powerset_via_dcr(s: SetVal) -> SetVal:
+    """The powerset of a set, expressed with *unbounded* ``dcr``.
+
+    This is the paper's motivating example for why bounding is necessary over
+    complex objects: ``powerset`` is expressible with ``dcr`` (indeed with
+    ``sru``) but has exponential output size, so no language containing it can
+    sit inside NC.  Take ``e = {{}}``, ``f(x) = {{}, {x}}`` and
+    ``u(P1, P2) = { p1 U p2 | p1 in P1, p2 in P2 }``.
+    """
+    from ..objects.values import mkset, singleton
+
+    e = singleton(mkset())
+
+    def f(x: Value) -> Value:
+        return mkset([mkset(), singleton(x)])
+
+    def u(p1: Value, p2: Value) -> Value:
+        assert isinstance(p1, SetVal) and isinstance(p2, SetVal)
+        return mkset(a.union(b) for a in p1 for b in p2
+                     if isinstance(a, SetVal) and isinstance(b, SetVal))
+
+    result = dcr(e, f, u, s)
+    assert isinstance(result, SetVal)
+    return result

@@ -1,0 +1,221 @@
+"""The four forms of recursion on finite sets (Sections 1 and 2).
+
+The paper contrasts two presentations of finite sets and, for each, a
+structural recursion and a relaxed ("non-homomorphic") variant:
+
+===============  ==========================  =================================
+presentation     structural recursion        relaxed variant
+===============  ==========================  =================================
+union            ``sru(e, f, u)``            ``dcr(e, f, u)`` (divide & conquer)
+insert           ``sri(e, i)``               ``esr(e, i)`` (element step)
+===============  ==========================  =================================
+
+* ``sru(e, f, u)`` requires ``u`` associative, commutative, **idempotent**
+  with identity ``e`` on a carrier containing ``e`` and the range of ``f``.
+* ``dcr(e, f, u)`` drops idempotence: the set is split into *disjoint* parts,
+  so ``u`` only needs to be associative and commutative with identity ``e``.
+  This is the paper's central construct: its evaluation is a balanced
+  combining tree of depth ``ceil(log2 n)``, which is what puts it in NC.
+* ``sri(e, i)`` requires ``i`` i-commutative and i-idempotent; it consumes the
+  set one element at a time (depth ``n``), and over ordered databases it
+  captures PTIME (Proposition 6.6).
+* ``esr(e, i)`` drops i-idempotence (each element is inserted exactly once).
+
+All four are provided as higher-order functions over
+:class:`repro.objects.values.SetVal`.  The parameter functions ``f``, ``u``
+and ``i`` are ordinary Python callables on :class:`Value`; the combinators are
+deterministic because canonical sets fix the enumeration order and ``dcr`` /
+``sru`` always split a set into its first and second sorted halves.  When the
+algebraic preconditions genuinely hold, the result does not depend on these
+choices -- which is exactly what the property-based tests check.
+
+Every combinator optionally records an :class:`EvaluationTrace` exposing the
+*work* (number of applications of the parameter operations) and the *depth*
+(length of the critical path of dependent applications).  The trace is how the
+benchmarks measure the Theta(log n) versus Theta(n) contrast between ``dcr``
+and ``sri`` without pretending to run real parallel hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..objects.values import SetVal, Value
+
+#: A unary parameter function (the ``f`` of ``dcr``/``sru``).
+Unary = Callable[[Value], Value]
+#: A binary combining function (the ``u`` of ``dcr``/``sru``).
+Binary = Callable[[Value, Value], Value]
+#: An insertion function (the ``i`` of ``sri``/``esr``).
+Insert = Callable[[Value, Value], Value]
+
+
+@dataclass
+class EvaluationTrace:
+    """Work/depth accounting for one run of a recursion combinator.
+
+    ``work`` counts every application of the parameter functions (``f``, ``u``
+    or ``i``); ``depth`` is the length of the longest chain of applications
+    where each depends on the result of the previous one -- the parallel time
+    under the PRAM reading of the combinator.  ``combine_rounds`` counts, for
+    the divide-and-conquer forms, the number of levels of the combining tree.
+    """
+
+    work: int = 0
+    depth: int = 0
+    combine_rounds: int = 0
+    applications: list[str] = field(default_factory=list, repr=False)
+
+    def record(self, label: str, count: int = 1) -> None:
+        self.work += count
+        self.applications.append(label)
+
+
+class RecursionError_(ValueError):
+    """Raised when a recursion combinator is applied outside its domain."""
+
+
+# ---------------------------------------------------------------------------
+# Divide and conquer recursion (union presentation)
+# ---------------------------------------------------------------------------
+
+def dcr(
+    e: Value,
+    f: Unary,
+    u: Binary,
+    s: SetVal,
+    trace: Optional[EvaluationTrace] = None,
+) -> Value:
+    """Divide and conquer recursion ``dcr(e, f, u)(s)``.
+
+    Defining equations (Section 1)::
+
+        phi({})        = e
+        phi({x})       = f(x)
+        phi(s1 U s2)   = u(phi(s1), phi(s2))      (s1, s2 disjoint, non-empty)
+
+    ``u`` must be associative and commutative with identity ``e`` on a set
+    containing ``e`` and the range of ``f``; under that precondition the
+    result is independent of how the set is split.  The implementation splits
+    the canonical element sequence into halves, giving a combining tree of
+    depth ``ceil(log2 |s|)``.
+    """
+    if not isinstance(s, SetVal):
+        raise RecursionError_(f"dcr expects a set value, got {s!r}")
+    elems = s.elements
+    if trace is not None and elems:
+        trace.combine_rounds = max(trace.combine_rounds, _ceil_log2(len(elems)))
+    result, depth = _dcr_go(e, f, u, elems, trace)
+    if trace is not None:
+        trace.depth = max(trace.depth, depth)
+    return result
+
+
+def _dcr_go(
+    e: Value,
+    f: Unary,
+    u: Binary,
+    elems: tuple[Value, ...],
+    trace: Optional[EvaluationTrace],
+) -> tuple[Value, int]:
+    if not elems:
+        return e, 0
+    if len(elems) == 1:
+        if trace is not None:
+            trace.record("f")
+        return f(elems[0]), 1
+    mid = len(elems) // 2
+    left, dl = _dcr_go(e, f, u, elems[:mid], trace)
+    right, dr = _dcr_go(e, f, u, elems[mid:], trace)
+    if trace is not None:
+        trace.record("u")
+    return u(left, right), max(dl, dr) + 1
+
+
+def _ceil_log2(n: int) -> int:
+    if n <= 1:
+        return 0
+    return (n - 1).bit_length()
+
+
+# ---------------------------------------------------------------------------
+# Structural recursion on the union presentation
+# ---------------------------------------------------------------------------
+
+def sru(
+    e: Value,
+    f: Unary,
+    u: Binary,
+    s: SetVal,
+    trace: Optional[EvaluationTrace] = None,
+) -> Value:
+    """Structural recursion on the union presentation, ``sru(e, f, u)(s)``.
+
+    Same defining equations as :func:`dcr` but the split need not be disjoint,
+    so ``u`` must additionally be idempotent for the definition to be sound.
+    If ``sru(e, f, u)`` is well-defined then so is ``dcr(e, f, u)`` and they
+    coincide; this implementation simply delegates to the same combining tree.
+    The distinction matters for the *algebraic preconditions* (checked in
+    :mod:`repro.recursion.algebraic`) and for expressiveness: the paper notes
+    it is open whether ``sru`` can express parity or transitive closure.
+    """
+    return dcr(e, f, u, s, trace)
+
+
+# ---------------------------------------------------------------------------
+# Structural recursion on the insert presentation
+# ---------------------------------------------------------------------------
+
+def sri(
+    e: Value,
+    i: Insert,
+    s: SetVal,
+    trace: Optional[EvaluationTrace] = None,
+) -> Value:
+    """Structural recursion on the insert presentation, ``sri(e, i)(s)``.
+
+    Defining equations (Section 2)::
+
+        sri(e, i)({})      = e
+        sri(e, i)(y ins s) = i(y, sri(e, i)(s))
+
+    ``i`` must be i-commutative (``i(x, i(y, s)) = i(y, i(x, s))``) and
+    i-idempotent (``i(x, i(x, s)) = i(x, s)``) on the relevant carrier.  The
+    elements are consumed one by one, so the dependent-application depth is
+    ``|s|`` -- this is the element-by-element recursion that captures PTIME
+    over ordered databases (Proposition 6.6).
+    """
+    if not isinstance(s, SetVal):
+        raise RecursionError_(f"sri expects a set value, got {s!r}")
+    acc = e
+    depth = 0
+    # Consume in decreasing order so that the outermost application is on the
+    # least element, matching the ordered set-reduce of [23] (section 2).
+    for x in reversed(s.elements):
+        if trace is not None:
+            trace.record("i")
+        acc = i(x, acc)
+        depth += 1
+    if trace is not None:
+        trace.depth = max(trace.depth, depth)
+    return acc
+
+
+def esr(
+    e: Value,
+    i: Insert,
+    s: SetVal,
+    trace: Optional[EvaluationTrace] = None,
+) -> Value:
+    """Element-step recursion ``esr(e, i)(s)``.
+
+    Like :func:`sri` but the element being inserted is guaranteed not to occur
+    in the remaining set (``esr(e, i)(y ins s) = i(y, esr(e, i)(s))`` only when
+    ``y`` not in ``s``), so ``i`` need only be i-commutative, not
+    i-idempotent.  On canonical sets every element occurs exactly once, so the
+    evaluation strategy coincides with :func:`sri`; the two differ only in
+    their algebraic preconditions and hence in which parameter functions they
+    may legitimately be given.
+    """
+    return sri(e, i, s, trace)

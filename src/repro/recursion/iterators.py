@@ -1,0 +1,156 @@
+"""Logarithmic and linear iterators over sets (Section 7.1).
+
+The main technical tool of the paper's proofs is to convert recursion on sets
+into simple *iterators*:
+
+* ``log_loop(f)(x, y)`` applies ``f`` to ``y`` exactly ``ceil(log2(|x|+1))``
+  times -- the number of bits needed to write the cardinality of ``x``;
+* ``loop(f)(x, y)`` applies ``f`` exactly ``|x|`` times;
+* ``blog_loop(f, b)`` and ``bloop(f, b)`` are the bounded versions, which
+  intersect with the bound ``b`` at every step (and start from ``y n b``), so
+  that intermediate values stay inside the polynomially-sized bound.
+
+Proposition 7.3 shows that, over ordered databases, ``dcr`` and ``log_loop``
+have the same expressive power (and similarly ``sri`` and ``loop``); the
+constructive translations live in :mod:`repro.recursion.translations`.
+
+Example 7.1: ``log_loop`` expresses transitive closure by repeated squaring
+(``r <- r U r o r``, ``ceil(log(n+1))`` times).  Example 7.2: iterating
+``log^2 n`` times needs nesting depth two -- provided here as
+:func:`nested_log_loop` for the depth/AC^k experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..objects.types import Type
+from ..objects.values import SetVal, Value
+from .bounded import ps_intersect, require_ps_type
+from .forms import EvaluationTrace
+
+#: A step function iterated by the loops.
+Step = Callable[[Value], Value]
+
+
+def log_iterations(cardinality: int) -> int:
+    """``ceil(log2(n + 1))``: the number of bits of ``n``, and the number of
+    times ``log_loop`` iterates its step function on a set of ``n`` elements."""
+    if cardinality < 0:
+        raise ValueError("cardinality must be non-negative")
+    return cardinality.bit_length()
+
+
+def log_loop(
+    f: Step,
+    x: SetVal,
+    y: Value,
+    trace: Optional[EvaluationTrace] = None,
+) -> Value:
+    """``log_loop(f)(x, y) = f^(ceil(log(|x|+1)))(y)``."""
+    if not isinstance(x, SetVal):
+        raise TypeError(f"log_loop iterates over a set, got {x!r}")
+    rounds = log_iterations(len(x))
+    return iterate(f, y, rounds, trace)
+
+
+def loop(
+    f: Step,
+    x: SetVal,
+    y: Value,
+    trace: Optional[EvaluationTrace] = None,
+) -> Value:
+    """``loop(f)(x, y) = f^(|x|)(y)``."""
+    if not isinstance(x, SetVal):
+        raise TypeError(f"loop iterates over a set, got {x!r}")
+    return iterate(f, y, len(x), trace)
+
+
+def iterate(
+    f: Step,
+    y: Value,
+    rounds: int,
+    trace: Optional[EvaluationTrace] = None,
+) -> Value:
+    """Apply ``f`` to ``y`` the given number of times, recording work/depth."""
+    acc = y
+    for _ in range(rounds):
+        if trace is not None:
+            trace.record("step")
+        acc = f(acc)
+    if trace is not None:
+        trace.depth += rounds
+        trace.combine_rounds = max(trace.combine_rounds, rounds)
+    return acc
+
+
+def blog_loop(
+    f: Step,
+    b: Value,
+    result_type: Type,
+    x: SetVal,
+    y: Value,
+    trace: Optional[EvaluationTrace] = None,
+) -> Value:
+    """Bounded logarithmic iterator: ``blog_loop(f, b)(x, y) = log_loop(f n b)(x, y n b)``.
+
+    ``result_type`` must be a PS-type; every iterate (and the start value) is
+    intersected with the bound ``b``.
+    """
+    require_ps_type(result_type)
+
+    def f_bounded(v: Value) -> Value:
+        return ps_intersect(f(v), b, result_type)
+
+    return log_loop(f_bounded, x, ps_intersect(y, b, result_type), trace)
+
+
+def bloop(
+    f: Step,
+    b: Value,
+    result_type: Type,
+    x: SetVal,
+    y: Value,
+    trace: Optional[EvaluationTrace] = None,
+) -> Value:
+    """Bounded linear iterator: ``bloop(f, b)(x, y) = loop(f n b)(x, y n b)``."""
+    require_ps_type(result_type)
+
+    def f_bounded(v: Value) -> Value:
+        return ps_intersect(f(v), b, result_type)
+
+    return loop(f_bounded, x, ps_intersect(y, b, result_type), trace)
+
+
+def nested_log_loop(
+    f: Step,
+    x: SetVal,
+    y: Value,
+    nesting: int,
+    trace: Optional[EvaluationTrace] = None,
+) -> Value:
+    """Iterate ``f`` approximately ``(log |x|)^nesting`` times (Example 7.2).
+
+    Nesting ``log_loop`` inside itself multiplies the iteration counts: a
+    depth-two nesting iterates ``log^2 n`` times, and in general depth ``k``
+    gives ``log^k n`` -- which is why recursion-nesting depth ``k``
+    corresponds to AC^k.  ``nesting`` must be at least 1.
+    """
+    if nesting < 1:
+        raise ValueError("nesting must be >= 1")
+    if nesting == 1:
+        return log_loop(f, x, y, trace)
+
+    def outer_step(v: Value) -> Value:
+        return nested_log_loop(f, x, v, nesting - 1, trace)
+
+    rounds = log_iterations(len(x))
+    acc = y
+    for _ in range(rounds):
+        acc = outer_step(acc)
+    return acc
+
+
+def iteration_count(x: SetVal, nesting: int) -> int:
+    """Total number of applications performed by :func:`nested_log_loop`."""
+    return log_iterations(len(x)) ** nesting

@@ -1,0 +1,468 @@
+"""Constructive translations between the forms of recursion on sets.
+
+This module implements, as executable code, the simulations the paper uses in
+its expressiveness results:
+
+* **Proposition 2.1** -- ``sri`` can express ``sru``; ``esr`` can express
+  ``dcr``; ``sri`` can express ``esr``; all with at most polynomial overhead:
+
+  - :func:`dcr_via_esr` realises ``dcr(e, f, u) = esr(e, (x, y) -> u(f(x), y))``;
+  - :func:`esr_via_sri` realises
+    ``esr(e, i) = snd . sri((emptyset, e), (x, (s, y)) -> if x in s then (s, y)
+    else (insert x s, i(x, y)))``;
+  - :func:`sru_via_sri` is the homomorphic special case.
+
+* **Proposition 2.2** -- over flat relations the explicit bound of ``bdcr`` is
+  unnecessary: :func:`flat_bound` constructs, inside the relational algebra,
+  a polynomially-sized bounding set from the active domain, and
+  :func:`dcr_via_bdcr_flat` runs ``bdcr`` with that bound and reproduces the
+  unbounded ``dcr``.
+
+* **Proposition 7.3** -- over ordered databases ``dcr`` and ``log_loop`` have
+  the same expressive power (and similarly ``sri`` and ``loop``):
+
+  - :func:`dcr_via_log_loop` simulates ``dcr`` by first mapping ``f`` over the
+    set in one parallel step and then iterating, ``ceil(log n)`` times, the
+    "pair up adjacent results and combine" step of the paper's proof;
+  - :func:`log_loop_via_dcr` simulates ``log_loop`` by a ``dcr`` whose carrier
+    is the set of pairs ``(i, f^(bits(i))(y))`` -- the combining operation
+    adds the counts and recomputes the iterate, which is associative and
+    commutative on that carrier by construction (this is the *decidable
+    sublanguage* of ``dcr`` the paper points out);
+  - :func:`loop_via_esr` and :func:`sri_via_loop` relate the linear iterator
+    and the insert recursions the same way.
+
+* **Section 2 (ordered forms of [23])** -- :func:`set_reduce` (ordered
+  element-by-element reduction with *no* conditions on the step function) and
+  :func:`ordered_dcr` (ordered divide and conquer with no conditions on the
+  combiner), which in the presence of order have the same power as ``sri`` and
+  ``dcr`` respectively.
+
+Each translation is tested (in ``tests/recursion``) for extensional equality
+against the direct combinator on randomly generated well-behaved instances,
+and the benchmarks of experiment E3/E4 measure the promised polynomial
+overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..objects.types import ProdType, SetType, Type, is_ps_type
+from ..objects.values import (
+    Atom,
+    BaseVal,
+    BoolVal,
+    PairVal,
+    SetVal,
+    UnitVal,
+    Value,
+    mkset,
+    singleton,
+)
+from .bounded import bdcr
+from .forms import Binary, EvaluationTrace, Insert, Unary, dcr, esr, sri
+from .iterators import Step, iterate, log_iterations, log_loop, loop
+
+
+# ---------------------------------------------------------------------------
+# Proposition 2.1: dcr -> esr -> sri
+# ---------------------------------------------------------------------------
+
+def dcr_via_esr(
+    e: Value,
+    f: Unary,
+    u: Binary,
+    s: SetVal,
+    trace: Optional[EvaluationTrace] = None,
+) -> Value:
+    """Express ``dcr(e, f, u)`` through element-step recursion.
+
+    ``dcr(e, f, u) = esr(e, (x, y) -> u(f(x), y))``: instead of combining the
+    results of two halves, each element's contribution ``f(x)`` is folded into
+    the accumulator one at a time.  Extensionally equal to ``dcr`` whenever the
+    ``dcr`` preconditions hold, but the dependent-application depth becomes
+    linear -- which is exactly the PTIME-versus-NC contrast the paper draws.
+    """
+
+    def i(x: Value, y: Value) -> Value:
+        return u(f(x), y)
+
+    return esr(e, i, s, trace)
+
+
+def esr_via_sri(
+    e: Value,
+    i: Insert,
+    s: SetVal,
+    trace: Optional[EvaluationTrace] = None,
+) -> Value:
+    """Express ``esr(e, i)`` through ``sri`` (Proposition 2.1).
+
+    The accumulator is a pair ``(seen, acc)`` of the set of elements already
+    inserted and the running result; the step function ignores elements it has
+    already seen, which makes it i-idempotent even when ``i`` is not.
+    """
+
+    def step(x: Value, state: Value) -> Value:
+        assert isinstance(state, PairVal)
+        seen, acc = state.fst, state.snd
+        assert isinstance(seen, SetVal)
+        if x in seen:
+            return state
+        return PairVal(seen.union(singleton(x)), i(x, acc))
+
+    initial = PairVal(mkset(), e)
+    result = sri(initial, step, s, trace)
+    assert isinstance(result, PairVal)
+    return result.snd
+
+
+def sru_via_sri(
+    e: Value,
+    f: Unary,
+    u: Binary,
+    s: SetVal,
+    trace: Optional[EvaluationTrace] = None,
+) -> Value:
+    """Express ``sru(e, f, u)`` through ``sri`` ([6], cited in Proposition 2.1).
+
+    ``sru(e, f, u) = sri(e, (x, y) -> u(f(x), y))``; i-idempotence of the step
+    follows from idempotence of ``u``.
+    """
+
+    def i(x: Value, y: Value) -> Value:
+        return u(f(x), y)
+
+    return sri(e, i, s, trace)
+
+
+def dcr_via_sri(
+    e: Value,
+    f: Unary,
+    u: Binary,
+    s: SetVal,
+    trace: Optional[EvaluationTrace] = None,
+) -> Value:
+    """The composite translation ``dcr -> esr -> sri`` of Proposition 2.1."""
+
+    def i(x: Value, y: Value) -> Value:
+        return u(f(x), y)
+
+    return esr_via_sri(e, i, s, trace)
+
+
+# ---------------------------------------------------------------------------
+# Proposition 2.2: dcr through bdcr over flat relations
+# ---------------------------------------------------------------------------
+
+def flat_bound(result_type: Type, atoms: Iterable[Atom]) -> Value:
+    """Build the bounding set used to express flat ``dcr`` through ``bdcr``.
+
+    For a flat PS-type, the value of a ``dcr`` whose arguments are flat
+    relations over a given active domain is always contained in the "full"
+    relation over that domain: the set of *all* tuples built from the active
+    domain, the booleans and the unit value.  That full relation has
+    polynomial size and is definable in the relational algebra (by cartesian
+    products of the active domain), which is the content of Proposition 2.2.
+    """
+    if isinstance(result_type, SetType):
+        return mkset(_all_records(result_type.elem, tuple(atoms)))
+    if isinstance(result_type, ProdType):
+        return PairVal(
+            flat_bound(result_type.fst, atoms),
+            flat_bound(result_type.snd, atoms),
+        )
+    raise TypeError(f"flat_bound requires a flat PS-type, got {result_type!r}")
+
+
+def _all_records(t: Type, atoms: tuple[Atom, ...]) -> list[Value]:
+    from ..objects.types import BaseType, BoolType, UnitType
+
+    if isinstance(t, BaseType):
+        return [BaseVal(a) for a in atoms]
+    if isinstance(t, BoolType):
+        return [BoolVal(False), BoolVal(True)]
+    if isinstance(t, UnitType):
+        return [UnitVal()]
+    if isinstance(t, ProdType):
+        return [
+            PairVal(a, b)
+            for a in _all_records(t.fst, atoms)
+            for b in _all_records(t.snd, atoms)
+        ]
+    raise TypeError(f"flat record type expected inside a flat bound, got {t!r}")
+
+
+def dcr_via_bdcr_flat(
+    e: Value,
+    f: Unary,
+    u: Binary,
+    result_type: Type,
+    atoms: Iterable[Atom],
+    s: SetVal,
+    trace: Optional[EvaluationTrace] = None,
+) -> Value:
+    """Express flat ``dcr`` through ``bdcr`` with the active-domain bound.
+
+    Correct whenever every intermediate value of the ``dcr`` is a flat
+    relation over the given atoms (which is the situation of Proposition 2.2:
+    arguments are flat relations, values have flat PS-type).
+    """
+    bound = flat_bound(result_type, atoms)
+    return bdcr(e, f, u, bound, result_type, s, trace)
+
+
+# ---------------------------------------------------------------------------
+# Proposition 7.3: dcr <-> log_loop over ordered sets
+# ---------------------------------------------------------------------------
+
+def dcr_via_log_loop(
+    e: Value,
+    f: Unary,
+    u: Binary,
+    s: SetVal,
+    trace: Optional[EvaluationTrace] = None,
+) -> Value:
+    """Simulate ``dcr(e, f, u)(s)`` with a logarithmic iterator.
+
+    Following the proof of Proposition 7.3: first apply ``f`` to every element
+    of ``s`` in one parallel step, obtaining the sequence ``y = [f(a1), ...,
+    f(an)]`` ordered by the lifted order on ``s``; then iterate, ``ceil(log(n+1))``
+    times, the step that combines adjacent pairs ``u(b1, b2), u(b3, b4), ...``
+    (padding with ``e`` when the length is odd).  After the iterations the
+    sequence has collapsed to a single element, which equals the value of the
+    ``dcr`` by associativity and commutativity of ``u``.
+
+    The intermediate "sequence tagged by position" of the paper (needed there
+    to stay within the object language) is represented here directly as a
+    Python list; the NRA-level version of the same simulation is exercised by
+    the circuit compiler.
+    """
+    elems = s.elements
+    if not elems:
+        return e
+    if trace is not None:
+        trace.record("f", count=len(elems))
+        trace.depth += 1
+    current: list[Value] = [f(a) for a in elems]
+    rounds = log_iterations(len(elems))
+    for _ in range(rounds):
+        if len(current) == 1:
+            break
+        nxt: list[Value] = []
+        for j in range(0, len(current) - 1, 2):
+            if trace is not None:
+                trace.record("u")
+            nxt.append(u(current[j], current[j + 1]))
+        if len(current) % 2 == 1:
+            if trace is not None:
+                trace.record("u")
+            nxt.append(u(current[-1], e))
+        if trace is not None:
+            trace.depth += 1
+            trace.combine_rounds += 1
+        current = nxt
+    if len(current) != 1:
+        raise AssertionError("pairing iteration did not converge to a single value")
+    return current[0]
+
+
+def log_loop_via_dcr(
+    f: Step,
+    x: SetVal,
+    y: Value,
+    trace: Optional[EvaluationTrace] = None,
+) -> Value:
+    """Simulate ``log_loop(f)(x, y)`` with a divide and conquer recursion.
+
+    The carrier of the ``dcr`` is the set ``{(i, f^(bits(i))(y)) | 0 <= i <= |x|}``
+    where ``bits(i) = ceil(log2(i+1))`` is the number of bits of ``i``.  The
+    combining operation adds the counts and recomputes the corresponding
+    iterate of ``f``::
+
+        e           = (0, y)
+        f_elem(a)   = (1, f(y))
+        u((i, _), (j, _)) = (i + j, f^(bits(i+j))(y))
+
+    On that carrier ``u`` is associative and commutative with identity ``e``
+    **by construction** -- this is the family of ``dcr`` instances that forms
+    the decidable sublanguage mentioned after Proposition 7.3.  The repeated
+    recomputation of ``f``-iterates costs only a polynomial factor, as the
+    proposition allows.
+    """
+
+    def pack(i: int, v: Value) -> Value:
+        return PairVal(BaseVal(i), v)
+
+    def unpack(p: Value) -> tuple[int, Value]:
+        assert isinstance(p, PairVal) and isinstance(p.fst, BaseVal)
+        count = p.fst.value
+        assert isinstance(count, int)
+        return count, p.snd
+
+    def iterate_to(count: int) -> Value:
+        return iterate(f, y, log_iterations(count), trace)
+
+    e = pack(0, y)
+
+    def f_elem(_: Value) -> Value:
+        return pack(1, iterate_to(1))
+
+    def u(p1: Value, p2: Value) -> Value:
+        i, _ = unpack(p1)
+        j, _ = unpack(p2)
+        return pack(i + j, iterate_to(i + j))
+
+    result = dcr(e, f_elem, u, x, trace)
+    _, value = unpack(result)
+    return value
+
+
+def simulation_dcr_instance(f: Step, y: Value) -> tuple[Value, Unary, Binary]:
+    """The ``(e, f_elem, u)`` triple used by :func:`log_loop_via_dcr`.
+
+    Exposed separately so the algebraic checker can verify -- as the paper
+    asserts -- that this family of instances always satisfies the ``dcr``
+    preconditions, giving a decidable (indeed recursive) sublanguage with the
+    full expressive power of ``NRA1(dcr, <=)``.
+    """
+
+    def pack(i: int, v: Value) -> Value:
+        return PairVal(BaseVal(i), v)
+
+    e = pack(0, y)
+
+    def f_elem(_: Value) -> Value:
+        return pack(1, iterate(f, y, log_iterations(1)))
+
+    def u(p1: Value, p2: Value) -> Value:
+        assert isinstance(p1, PairVal) and isinstance(p1.fst, BaseVal)
+        assert isinstance(p2, PairVal) and isinstance(p2.fst, BaseVal)
+        i = p1.fst.value
+        j = p2.fst.value
+        assert isinstance(i, int) and isinstance(j, int)
+        return pack(i + j, iterate(f, y, log_iterations(i + j)))
+
+    return e, f_elem, u
+
+
+# ---------------------------------------------------------------------------
+# loop <-> sri / esr (the "similar relationship" of Proposition 7.3)
+# ---------------------------------------------------------------------------
+
+def loop_via_esr(
+    f: Step,
+    x: SetVal,
+    y: Value,
+    trace: Optional[EvaluationTrace] = None,
+) -> Value:
+    """Simulate ``loop(f)(x, y)`` by an element-step recursion over ``x``.
+
+    The accumulator counts how many elements have been consumed and keeps the
+    corresponding iterate of ``f``; each insertion applies ``f`` once more.
+    """
+
+    def step(_: Value, state: Value) -> Value:
+        assert isinstance(state, PairVal) and isinstance(state.fst, BaseVal)
+        count = state.fst.value
+        assert isinstance(count, int)
+        if trace is not None:
+            trace.record("step")
+        return PairVal(BaseVal(count + 1), f(state.snd))
+
+    result = esr(PairVal(BaseVal(0), y), step, x, trace)
+    assert isinstance(result, PairVal)
+    return result.snd
+
+
+def sri_via_loop(
+    e: Value,
+    i: Insert,
+    x: SetVal,
+    trace: Optional[EvaluationTrace] = None,
+) -> Value:
+    """Simulate ``sri(e, i)(x)`` by iterating ``|x|`` times.
+
+    The loop state is the number of elements already folded in together with
+    the partial result; step ``k`` folds in the ``k``-th largest element, so
+    after ``|x|`` iterations the result equals ``sri(e, i)(x)`` evaluated in
+    decreasing order -- the order :func:`repro.recursion.forms.sri` itself
+    uses.
+    """
+    elems = x.elements
+
+    def step(state: Value) -> Value:
+        assert isinstance(state, PairVal) and isinstance(state.fst, BaseVal)
+        k = state.fst.value
+        assert isinstance(k, int)
+        if k >= len(elems):
+            return state
+        element = elems[len(elems) - 1 - k]
+        return PairVal(BaseVal(k + 1), i(element, state.snd))
+
+    result = loop(step, x, PairVal(BaseVal(0), e), trace)
+    assert isinstance(result, PairVal)
+    return result.snd
+
+
+# ---------------------------------------------------------------------------
+# The order-based recursions of Immerman, Patnaik and Stemple [23]
+# ---------------------------------------------------------------------------
+
+def set_reduce(
+    i: Insert,
+    e: Value,
+    x: SetVal,
+    trace: Optional[EvaluationTrace] = None,
+) -> Value:
+    """Ordered set-reduce: ``f({x1, ..., xn}) = i(x1, f({x2, ..., xn}))``.
+
+    The elements are consumed in increasing order ``x1 < x2 < ... < xn`` and
+    **no algebraic conditions** are imposed on ``i`` -- well-definedness comes
+    from the order, not from identities.  In the presence of order this has
+    the same expressive power as ``sri`` (Section 2), and one level of it
+    captures PTIME (Proposition 6.6, after [23]).
+    """
+    acc = e
+    for element in reversed(x.elements):
+        if trace is not None:
+            trace.record("i")
+            trace.depth += 1
+        acc = i(element, acc)
+    return acc
+
+
+def ordered_dcr(
+    u: Binary,
+    f: Unary,
+    e: Value,
+    x: SetVal,
+    trace: Optional[EvaluationTrace] = None,
+) -> Value:
+    """Ordered divide and conquer: split at the median of the order.
+
+    ``f({x1, ..., xn}) = u(f({x1, ..., x_(n/2)}), f({x_(n/2+1), ..., xn}))``
+    with no conditions imposed on ``u``; the linear order makes the split --
+    and hence the result -- canonical.  In the presence of order this has the
+    same expressive power as ``dcr`` (Section 2).
+    """
+
+    def go(elems: Sequence[Value], depth: int) -> tuple[Value, int]:
+        if not elems:
+            return e, depth
+        if len(elems) == 1:
+            if trace is not None:
+                trace.record("f")
+            return f(elems[0]), depth + 1
+        mid = len(elems) // 2
+        left, dl = go(elems[:mid], depth)
+        right, dr = go(elems[mid:], depth)
+        if trace is not None:
+            trace.record("u")
+        return u(left, right), max(dl, dr) + 1
+
+    result, depth = go(x.elements, 0)
+    if trace is not None:
+        trace.depth = max(trace.depth, depth)
+    return result

@@ -1,0 +1,49 @@
+"""Flat relations, ordered databases, the baseline algebra and the query library."""
+
+from .relation import Relation
+from .database import OrderedDatabase, is_generic_query, order_preserving_renaming
+from .algebra import (
+    active_domain,
+    cartesian,
+    compose,
+    difference,
+    intersection,
+    is_connected,
+    natural_join_binary,
+    parity_of,
+    project,
+    reachable_from,
+    rows,
+    select,
+    transitive_closure_naive,
+    transitive_closure_seminaive,
+    transitive_closure_squaring,
+    union,
+)
+from .queries import (
+    EDGE_T,
+    REL_T,
+    TAGGED_BOOL_T,
+    cardinality_parity_dcr,
+    parity_dcr,
+    parity_esr,
+    reachable_pairs_query,
+    run_on_relation,
+    run_tc,
+    tagged_boolean_set,
+    transitive_closure_dcr,
+    transitive_closure_logloop,
+    transitive_closure_sri,
+)
+
+__all__ = [
+    "Relation", "OrderedDatabase", "is_generic_query", "order_preserving_renaming",
+    "rows", "union", "difference", "intersection", "cartesian", "select", "project",
+    "natural_join_binary", "compose", "active_domain",
+    "transitive_closure_naive", "transitive_closure_seminaive",
+    "transitive_closure_squaring", "reachable_from", "is_connected", "parity_of",
+    "EDGE_T", "REL_T", "TAGGED_BOOL_T",
+    "parity_dcr", "parity_esr", "cardinality_parity_dcr",
+    "transitive_closure_dcr", "transitive_closure_logloop", "transitive_closure_sri",
+    "reachable_pairs_query", "run_on_relation", "run_tc", "tagged_boolean_set",
+]

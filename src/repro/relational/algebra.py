@@ -1,0 +1,170 @@
+"""An imperative flat relational algebra, used as the baseline substrate.
+
+The NRA expressions of :mod:`repro.nra` are the object of study; this module
+is the *control*: a direct, Python-level implementation of the classical
+relational operations on sets of tuples, plus the standard transitive closure
+algorithms (naive iteration, semi-naive iteration, and repeated squaring).
+It serves three purposes:
+
+* an **oracle** for the language-level queries in the tests (whatever the NRA
+  query computes must agree with the plain-Python computation);
+* the **PTIME baseline** of the benchmarks: semi-naive transitive closure
+  performs ``Theta(diameter)`` dependent rounds (element-by-element flavour),
+  while repeated squaring performs ``Theta(log diameter)`` rounds -- the same
+  contrast the paper draws between ``sri`` and ``dcr``;
+* a convenience layer for building workloads.
+
+All functions operate on ``frozenset`` of equal-length tuples of atoms and are
+pure.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from ..objects.values import Atom
+
+#: A flat relation instance at the Python level.
+Rows = frozenset
+
+def rows(pairs: Iterable[tuple]) -> frozenset:
+    """Normalise an iterable of tuples into a frozenset of tuples."""
+    return frozenset(tuple(p) for p in pairs)
+
+
+# ---------------------------------------------------------------------------
+# Core operations
+# ---------------------------------------------------------------------------
+
+def union(r: frozenset, s: frozenset) -> frozenset:
+    return r | s
+
+
+def difference(r: frozenset, s: frozenset) -> frozenset:
+    return r - s
+
+
+def intersection(r: frozenset, s: frozenset) -> frozenset:
+    return r & s
+
+
+def cartesian(r: frozenset, s: frozenset) -> frozenset:
+    return frozenset(a + b for a in r for b in s)
+
+
+def select(r: frozenset, predicate: Callable[[tuple], bool]) -> frozenset:
+    return frozenset(row for row in r if predicate(row))
+
+
+def project(r: frozenset, columns: tuple[int, ...]) -> frozenset:
+    return frozenset(tuple(row[c] for c in columns) for row in r)
+
+
+def natural_join_binary(r: frozenset, s: frozenset) -> frozenset:
+    """Join binary relations on ``r.2 = s.1``, producing ``(r.1, s.2)`` pairs.
+
+    This is relation composition ``r o s``, the building block of transitive
+    closure by squaring (Example 7.1).
+    """
+    by_first: dict[Atom, list[Atom]] = {}
+    for a, b in s:
+        by_first.setdefault(a, []).append(b)
+    out = set()
+    for a, b in r:
+        for c in by_first.get(b, ()):
+            out.add((a, c))
+    return frozenset(out)
+
+
+compose = natural_join_binary
+
+
+def active_domain(r: frozenset) -> frozenset:
+    return frozenset(a for row in r for a in row)
+
+
+def identity_relation(domain: Iterable[Atom]) -> frozenset:
+    return frozenset((a, a) for a in domain)
+
+
+# ---------------------------------------------------------------------------
+# Transitive closure: the three classical strategies
+# ---------------------------------------------------------------------------
+
+def transitive_closure_naive(r: frozenset) -> tuple[frozenset, int]:
+    """Naive iteration ``T <- T U (T o R)`` until fixpoint.
+
+    Returns the closure and the number of dependent rounds performed
+    (``Theta(longest path)``); each round redoes all the join work.  This is
+    the element-by-element flavour of computation that ``sri``/``fix`` model.
+    """
+    closure = r
+    rounds = 0
+    while True:
+        rounds += 1
+        extended = closure | natural_join_binary(closure, r)
+        if extended == closure:
+            return closure, rounds
+        closure = extended
+
+
+def transitive_closure_seminaive(r: frozenset) -> tuple[frozenset, int]:
+    """Semi-naive iteration: only newly discovered pairs are re-joined.
+
+    Still ``Theta(longest path)`` dependent rounds, but each round's work is
+    proportional to the frontier -- the standard PTIME evaluation strategy for
+    Datalog-style recursion.
+    """
+    closure = r
+    delta = r
+    rounds = 0
+    while delta:
+        rounds += 1
+        delta = natural_join_binary(delta, r) - closure
+        closure = closure | delta
+    return closure, rounds
+
+
+def transitive_closure_squaring(r: frozenset) -> tuple[frozenset, int]:
+    """Repeated squaring ``T <- T U (T o T)``, ``ceil(log2(n+1))`` rounds.
+
+    This is Example 7.1: the number of dependent rounds is logarithmic in the
+    number of nodes, each round being one big (parallelisable) join -- the
+    ``dcr``/``log_loop`` strategy that witnesses membership in NC.
+    """
+    n = len(active_domain(r))
+    closure = r
+    rounds = 0
+    if not r:
+        return r, 0
+    while rounds < max(1, (n).bit_length()):
+        rounds += 1
+        extended = closure | natural_join_binary(closure, closure)
+        if extended == closure:
+            break
+        closure = extended
+    return closure, rounds
+
+
+def reachable_from(r: frozenset, source: Atom) -> frozenset:
+    """The set of nodes reachable from ``source`` (via the squaring closure)."""
+    closure, _ = transitive_closure_squaring(r)
+    return frozenset(b for a, b in closure if a == source) | frozenset({source})
+
+
+def is_connected(r: frozenset) -> bool:
+    """Is the underlying undirected graph connected (on its active domain)?"""
+    domain = active_domain(r)
+    if not domain:
+        return True
+    sym = r | frozenset((b, a) for a, b in r)
+    start = next(iter(sorted(domain, key=repr)))
+    return reachable_from(sym, start) >= domain
+
+
+def parity_of(values: Iterable[bool]) -> bool:
+    """XOR of a collection of booleans (the paper's parity query, as oracle)."""
+    result = False
+    for v in values:
+        result ^= bool(v)
+    return result

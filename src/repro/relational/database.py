@@ -1,0 +1,119 @@
+"""Ordered databases of flat relations, and genericity of queries.
+
+Section 5 of the paper adopts Chandra and Harel's notion of *database query*:
+a family of functions, one per interpretation of the base type, commuting with
+every order-preserving injection ("morphism") of base domains.  An
+:class:`OrderedDatabase` is a finite interpretation -- a collection of named
+flat relations over an ordered active domain -- and :func:`is_generic_query`
+is the finite, testable approximation of the commutation requirement: the
+query must commute with random order-preserving renamings of the active
+domain.
+
+The database also knows how to present itself as an evaluation environment for
+NRA expressions (every relation name bound to its complex-object value), which
+is how the examples and benchmarks run language-level queries against data.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Mapping, Optional
+
+from ..objects.values import Atom, SetVal, Value, rename_atoms
+from .relation import Relation
+
+
+@dataclass
+class OrderedDatabase:
+    """A database instance: named flat relations over one ordered domain."""
+
+    relations: dict[str, Relation] = field(default_factory=dict)
+
+    @staticmethod
+    def of(*relations: Relation) -> "OrderedDatabase":
+        db = OrderedDatabase()
+        for r in relations:
+            db.add(r)
+        return db
+
+    def add(self, relation: Relation) -> None:
+        if relation.name in self.relations:
+            raise ValueError(f"relation {relation.name!r} already present")
+        self.relations[relation.name] = relation
+
+    def __getitem__(self, name: str) -> Relation:
+        return self.relations[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.relations
+
+    def __iter__(self) -> Iterator[Relation]:
+        return iter(self.relations.values())
+
+    def active_domain(self) -> list[Atom]:
+        """The atoms mentioned anywhere in the database, in increasing order."""
+        atoms: set[Atom] = set()
+        for r in self.relations.values():
+            atoms |= r.active_domain()
+        ints = sorted(a for a in atoms if isinstance(a, int))
+        strs = sorted(a for a in atoms if isinstance(a, str))
+        return list(ints) + list(strs)
+
+    def environment(self) -> dict[str, Value]:
+        """NRA evaluation environment: each relation name bound to its value."""
+        return {name: rel.value() for name, rel in self.relations.items()}
+
+    def size(self) -> int:
+        """Total number of tuples across all relations."""
+        return sum(len(r) for r in self.relations.values())
+
+    def rename(self, mapping: Mapping[Atom, Atom]) -> "OrderedDatabase":
+        """Apply an atom renaming to every relation (used by genericity tests)."""
+        out = OrderedDatabase()
+        for name, rel in self.relations.items():
+            rows = [tuple(mapping.get(a, a) for a in row) for row in rel.tuples]
+            out.add(Relation.from_tuples(name, rel.arity, rows))
+        return out
+
+
+def order_preserving_renaming(
+    atoms: Iterable[Atom], rng: random.Random, spread: int = 5
+) -> dict[Atom, Atom]:
+    """A random order-preserving injection of integer atoms into fresh integers.
+
+    The image values are strictly increasing, so the renaming is a *morphism*
+    in the paper's sense: ``x <= y  iff  phi(x) <= phi(y)``.  String atoms are
+    left unchanged (they already carry their own order).
+    """
+    ints = sorted(a for a in atoms if isinstance(a, int))
+    mapping: dict[Atom, Atom] = {}
+    current = rng.randint(-100, 0)
+    for a in ints:
+        current += rng.randint(1, spread)
+        mapping[a] = current
+    return mapping
+
+
+def is_generic_query(
+    query: Callable[[OrderedDatabase], Value],
+    db: OrderedDatabase,
+    trials: int = 3,
+    seed: int = 0,
+) -> bool:
+    """Check the Chandra-Harel genericity condition on one instance.
+
+    For ``trials`` random order-preserving renamings ``phi`` of the active
+    domain, verify that ``query(phi(db)) == phi(query(db))``.  All queries
+    definable in ``NRA(<=)`` pass this by construction; it is the property
+    tests' guard against accidentally "reading" concrete atom values.
+    """
+    rng = random.Random(seed)
+    baseline = query(db)
+    for _ in range(trials):
+        mapping = order_preserving_renaming(db.active_domain(), rng)
+        renamed_db = db.rename(mapping)
+        expected = rename_atoms(baseline, dict(mapping))
+        if query(renamed_db) != expected:
+            return False
+    return True

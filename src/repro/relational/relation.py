@@ -1,0 +1,109 @@
+"""Flat relations over the ordered base type.
+
+The paper's flat queries (Theorem 6.2) are over databases of *flat relations*:
+finite sets of tuples of base values.  :class:`Relation` is a light, immutable
+wrapper around such a set of tuples that knows how to present itself as a
+complex object value (for the NRA evaluators), as a Python set of tuples (for
+the imperative relational algebra used as a baseline), and as a NetworkX graph
+(for the graph workloads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..objects.types import BASE, SetType, Type, prod, relation_type
+from ..objects.values import Atom, BaseVal, SetVal, Value, from_python, to_python, tup, untup
+
+
+@dataclass(frozen=True)
+class Relation:
+    """An immutable flat relation: a named set of equal-length atom tuples."""
+
+    name: str
+    arity: int
+    tuples: frozenset[tuple[Atom, ...]] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.arity < 1:
+            raise ValueError(f"relation arity must be >= 1, got {self.arity}")
+        for t in self.tuples:
+            if len(t) != self.arity:
+                raise ValueError(
+                    f"tuple {t!r} does not match arity {self.arity} of relation {self.name!r}"
+                )
+            for a in t:
+                if not isinstance(a, (int, str)) or isinstance(a, bool):
+                    raise TypeError(f"relation atoms must be int or str, got {a!r}")
+
+    # -- constructors -------------------------------------------------------------
+    @staticmethod
+    def from_tuples(name: str, arity: int, rows: Iterable[tuple[Atom, ...]]) -> "Relation":
+        return Relation(name, arity, frozenset(tuple(r) for r in rows))
+
+    @staticmethod
+    def from_pairs(name: str, pairs: Iterable[tuple[Atom, Atom]]) -> "Relation":
+        """A binary relation (the common case: graph edge sets)."""
+        return Relation.from_tuples(name, 2, pairs)
+
+    @staticmethod
+    def unary(name: str, atoms: Iterable[Atom]) -> "Relation":
+        return Relation.from_tuples(name, 1, ((a,) for a in atoms))
+
+    # -- container protocol -------------------------------------------------------
+    def __iter__(self) -> Iterator[tuple[Atom, ...]]:
+        return iter(sorted(self.tuples, key=_tuple_key))
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __contains__(self, row: object) -> bool:
+        return row in self.tuples
+
+    # -- views --------------------------------------------------------------------
+    @property
+    def type(self) -> SetType:
+        """The complex object type ``{D x ... x D}`` of this relation."""
+        return relation_type(self.arity)
+
+    def value(self) -> SetVal:
+        """The relation as a complex object value (right-nested tuples)."""
+        return SetVal(tup(*(BaseVal(a) for a in row)) for row in self.tuples)
+
+    @staticmethod
+    def from_value(name: str, v: Value, arity: int) -> "Relation":
+        """Rebuild a relation from a complex object value of the matching type."""
+        if not isinstance(v, SetVal):
+            raise TypeError(f"expected a set value, got {v!r}")
+        rows = []
+        for element in v:
+            components = untup(element, arity)
+            row = []
+            for c in components:
+                if not isinstance(c, BaseVal):
+                    raise TypeError(f"expected a base value in a flat relation, got {c!r}")
+                row.append(c.value)
+            rows.append(tuple(row))
+        return Relation.from_tuples(name, arity, rows)
+
+    def active_domain(self) -> frozenset[Atom]:
+        """All atoms mentioned by the relation."""
+        return frozenset(a for row in self.tuples for a in row)
+
+    def project(self, *columns: int) -> frozenset[tuple[Atom, ...]]:
+        """Project onto the given 0-based columns (as plain tuples)."""
+        for c in columns:
+            if not 0 <= c < self.arity:
+                raise IndexError(f"column {c} out of range for arity {self.arity}")
+        return frozenset(tuple(row[c] for c in columns) for row in self.tuples)
+
+    def rename(self, name: str) -> "Relation":
+        return Relation(name, self.arity, self.tuples)
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, arity={self.arity}, size={len(self.tuples)})"
+
+
+def _tuple_key(row: tuple[Atom, ...]) -> tuple:
+    return tuple((0, a) if isinstance(a, int) else (1, a) for a in row)

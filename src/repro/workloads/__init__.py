@@ -1,0 +1,28 @@
+"""Workload generators: graphs for the flat experiments, nested data for the rest."""
+
+from .graphs import (
+    binary_tree,
+    cycle_graph,
+    edge_count,
+    grid_graph,
+    layered_dag,
+    node_count,
+    path_graph,
+    random_graph,
+)
+from .nested import (
+    DEPARTMENT_T,
+    DEPARTMENTS_T,
+    department_database,
+    random_bits,
+    random_object,
+    random_type,
+    tagged_booleans,
+)
+
+__all__ = [
+    "path_graph", "cycle_graph", "binary_tree", "grid_graph", "random_graph",
+    "layered_dag", "edge_count", "node_count",
+    "random_type", "random_object", "department_database", "DEPARTMENT_T",
+    "DEPARTMENTS_T", "tagged_booleans", "random_bits",
+]

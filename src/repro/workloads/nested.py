@@ -1,0 +1,142 @@
+"""Complex-object (nested) workload generators.
+
+Theorem 6.1 is about queries over complex objects, so the tests and benchmarks
+need nested data:
+
+* :func:`random_object` -- a random complex object of a given type (used by
+  the property tests for encodings, equality and genericity);
+* :func:`random_type` -- a random complex object type of bounded set height;
+* :func:`department_database` -- a small, human-readable nested database
+  (departments with sets of employees and sets of required skills), the kind
+  of data the nested relational algebra literature motivates itself with; the
+  complex-objects example walks a ``bdcr`` aggregation over it;
+* :func:`tagged_booleans` -- inputs for the parity queries.
+
+All generators take an explicit ``random.Random`` or seed so runs are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..objects.types import (
+    BASE,
+    BOOL,
+    UNIT,
+    ProdType,
+    SetType,
+    Type,
+    UnitType,
+)
+from ..objects.values import (
+    BaseVal,
+    BoolVal,
+    PairVal,
+    SetVal,
+    UnitVal,
+    Value,
+    from_python,
+    mkset,
+)
+
+
+def random_type(
+    rng: random.Random,
+    max_height: int = 2,
+    max_nodes: int = 7,
+) -> Type:
+    """A random complex object type with set height at most ``max_height``."""
+
+    def go(height_budget: int, node_budget: int) -> tuple[Type, int]:
+        choices = ["base", "bool", "prod"]
+        if height_budget > 0:
+            choices.append("set")
+        if node_budget <= 1:
+            choices = ["base", "bool"]
+        kind = rng.choice(choices)
+        if kind == "base":
+            return BASE, node_budget - 1
+        if kind == "bool":
+            return BOOL, node_budget - 1
+        if kind == "set":
+            inner, remaining = go(height_budget - 1, node_budget - 1)
+            return SetType(inner), remaining
+        left, remaining = go(height_budget, node_budget - 1)
+        right, remaining = go(height_budget, remaining)
+        return ProdType(left, right), remaining
+
+    t, _ = go(max_height, max_nodes)
+    return t
+
+
+def random_object(
+    t: Type,
+    rng: random.Random,
+    max_set_size: int = 4,
+    atom_pool: int = 12,
+) -> Value:
+    """A random value of the given type (set sizes bounded by ``max_set_size``)."""
+    if isinstance(t, UnitType):
+        return UnitVal()
+    if t == BASE:
+        return BaseVal(rng.randrange(atom_pool))
+    if t == BOOL:
+        return BoolVal(rng.random() < 0.5)
+    if isinstance(t, ProdType):
+        return PairVal(
+            random_object(t.fst, rng, max_set_size, atom_pool),
+            random_object(t.snd, rng, max_set_size, atom_pool),
+        )
+    if isinstance(t, SetType):
+        size = rng.randrange(max_set_size + 1)
+        return mkset(
+            random_object(t.elem, rng, max_set_size, atom_pool) for _ in range(size)
+        )
+    raise TypeError(f"cannot generate a value of type {t!r}")
+
+
+#: The type of one department record: (dept_id, ({employee ids}, {skill ids})).
+DEPARTMENT_T = ProdType(BASE, ProdType(SetType(BASE), SetType(BASE)))
+#: The type of the departments database: a set of department records.
+DEPARTMENTS_T = SetType(DEPARTMENT_T)
+
+
+def department_database(
+    num_departments: int,
+    employees_per_department: int,
+    skills_pool: int = 8,
+    seed: int = 0,
+) -> SetVal:
+    """A nested "departments" database of type ``{D x ({D} x {D})}``.
+
+    Department ``d`` holds a set of employee ids and a set of required skill
+    ids.  Employee ids are globally unique; skills are drawn from a shared
+    pool so that departments overlap -- which makes the ``bdcr`` aggregations
+    in the complex-objects example non-trivial.
+    """
+    rng = random.Random(seed)
+    departments = []
+    next_employee = 1000
+    for d in range(num_departments):
+        employees = set()
+        for _ in range(employees_per_department):
+            employees.add(next_employee)
+            next_employee += 1
+        skills = set(rng.sample(range(skills_pool), k=rng.randint(1, max(1, skills_pool // 2))))
+        departments.append((d, (frozenset(employees), frozenset(skills))))
+    value = from_python(set(departments))
+    assert isinstance(value, SetVal)
+    return value
+
+
+def tagged_booleans(bits: list[bool]) -> SetVal:
+    """The ``{D x B}`` input of the parity queries, from a plain bit list."""
+    return mkset(PairVal(BaseVal(i), BoolVal(b)) for i, b in enumerate(bits))
+
+
+def random_bits(n: int, seed: int = 0) -> list[bool]:
+    """A reproducible random bit list of length ``n``."""
+    rng = random.Random(seed)
+    return [rng.random() < 0.5 for _ in range(n)]

@@ -1,0 +1,265 @@
+"""Tests for the circuit model, building blocks, flat-query compiler, families and DCL."""
+
+import itertools
+
+import pytest
+
+from repro.circuits.builders import (
+    duplicate_mask_block,
+    equality_block,
+    leq_block,
+    membership_block,
+    mux_block,
+    parity_tree,
+)
+from repro.circuits.circuit import Circuit, CircuitError, GateType
+from repro.circuits.compile_flat import (
+    ComposeQ,
+    DiffQ,
+    FullQ,
+    IdentityQ,
+    InputRel,
+    IntersectQ,
+    LogLoopQ,
+    LoopVar,
+    NonEmptyQ,
+    ParityQ,
+    UnionQ,
+    compile_query,
+    connectivity_query,
+    evaluate_query,
+    nested_loop_query,
+    parity_query,
+    tc_squaring_query,
+)
+from repro.circuits.dcl import (
+    and_or_family,
+    and_or_family_witness,
+    check_uniformity,
+    direct_connection_language,
+    encode_dcl_tuple,
+)
+from repro.circuits.families import CircuitFamily, looks_like_ack, polylog_depth_bound
+from repro.relational.algebra import transitive_closure_squaring
+from repro.workloads.graphs import path_graph, random_graph
+
+
+class TestCircuitModel:
+    def test_inputs_have_reserved_numbers(self):
+        c = Circuit(3)
+        assert [g.gid for g in c.gates] == [1, 2, 3]
+        assert all(g.type is GateType.INPUT for g in c.gates)
+
+    def test_forward_references_rejected(self):
+        c = Circuit(1)
+        with pytest.raises(CircuitError):
+            c.add_not(5)
+
+    def test_and_or_not_evaluation(self):
+        c = Circuit(2)
+        a = c.add_and([1, 2])
+        o = c.add_or([1, 2])
+        n = c.add_not(1)
+        c.set_outputs([a, o, n])
+        assert c.evaluate("11") == [True, True, False]
+        assert c.evaluate("01") == [False, True, True]
+
+    def test_empty_and_or_are_constants(self):
+        c = Circuit(0)
+        c.set_outputs([c.add_and([]), c.add_or([])])
+        assert c.evaluate("") == [True, False]
+
+    def test_xor_gates(self):
+        c = Circuit(2)
+        c.set_outputs([c.add_xor2(1, 2), c.add_xnor2(1, 2)])
+        assert c.evaluate("10") == [True, False]
+        assert c.evaluate("11") == [False, True]
+
+    def test_depth_and_size(self):
+        c = Circuit(2)
+        x = c.add_and([1, 2])
+        y = c.add_not(x)
+        c.set_outputs([y])
+        assert c.size() == 4
+        assert c.depth() == 2
+
+    def test_input_length_checked(self):
+        c = Circuit(2)
+        c.set_outputs([c.add_and([1, 2])])
+        with pytest.raises(CircuitError):
+            c.evaluate("1")
+
+    def test_bad_output_rejected(self):
+        c = Circuit(1)
+        with pytest.raises(CircuitError):
+            c.set_outputs([9])
+
+
+class TestBuildingBlocks:
+    def test_equality_block(self):
+        c = Circuit(4)
+        c.set_outputs([equality_block(c, [1, 2], [3, 4])])
+        assert c.evaluate("1001")[0] is False
+        assert c.evaluate("1010")[0] is True
+        assert c.evaluate("1111")[0] is True
+
+    def test_leq_block_exhaustive(self):
+        width = 3
+        c = Circuit(2 * width)
+        c.set_outputs([leq_block(c, [1, 2, 3], [4, 5, 6])])
+        for a, b in itertools.product(range(8), repeat=2):
+            bits = format(a, "03b") + format(b, "03b")
+            assert c.evaluate(bits)[0] is (a <= b), (a, b)
+
+    def test_parity_tree_matches_xor(self):
+        n = 9
+        c = Circuit(n)
+        c.set_outputs([parity_tree(c, list(range(1, n + 1)))])
+        for trial in ("000000000", "100000000", "101010101", "111111111"):
+            assert c.evaluate(trial)[0] is (trial.count("1") % 2 == 1)
+
+    def test_parity_tree_depth_is_logarithmic(self):
+        sizes = [8, 64, 512]
+        depths = []
+        for n in sizes:
+            c = Circuit(n)
+            c.set_outputs([parity_tree(c, list(range(1, n + 1)))])
+            depths.append(c.depth())
+        assert depths[2] - depths[1] == depths[1] - depths[0]
+
+    def test_duplicate_mask_block(self):
+        c = Circuit(6)  # three 2-bit elements
+        masks = duplicate_mask_block(c, [[1, 2], [3, 4], [5, 6]])
+        c.set_outputs(masks)
+        # elements 10, 01, 11: all distinct
+        assert c.evaluate("100111") == [True, True, True]
+        # elements 10, 10, 11: the middle one duplicates the first
+        assert c.evaluate("101011") == [True, False, True]
+        # elements 10, 10, 10: both later copies are masked out
+        assert c.evaluate("101010") == [True, False, False]
+
+    def test_membership_and_mux(self):
+        c = Circuit(5)
+        m = membership_block(c, [1], [[2], [3]])
+        x = mux_block(c, 4, 1, 5)
+        c.set_outputs([m, x])
+        assert c.evaluate("11010") == [True, True]
+        assert c.evaluate("10001") == [False, True]
+
+
+class TestFlatQueryCompiler:
+    GRAPHS = [
+        frozenset({(0, 1), (1, 2), (2, 3)}),
+        frozenset({(0, 1), (1, 0), (2, 3)}),
+        frozenset(),
+    ]
+
+    @pytest.mark.parametrize("edges", GRAPHS, ids=["path", "cycle+island", "empty"])
+    def test_tc_circuit_matches_oracle(self, edges):
+        n = 5
+        compiled = compile_query(tc_squaring_query(), n)
+        expected, _ = transitive_closure_squaring(edges)
+        assert compiled.run({"r": edges}) == expected
+
+    def test_tc_circuit_on_random_graph(self):
+        g = random_graph(7, 0.3, seed=5)
+        edges = frozenset(g.tuples)
+        compiled = compile_query(tc_squaring_query(), 7)
+        expected, _ = transitive_closure_squaring(edges)
+        assert compiled.run({"r": edges}) == expected
+
+    def test_parity_circuit(self):
+        compiled = compile_query(parity_query(), 4)
+        assert compiled.run({"r": frozenset({(0, 1), (1, 2), (2, 3)})}) is True
+        assert compiled.run({"r": frozenset({(0, 1), (1, 2)})}) is False
+
+    def test_boolean_operators(self):
+        n = 3
+        q = DiffQ(UnionQ(InputRel("a"), InputRel("b")), IntersectQ(InputRel("a"), InputRel("b")))
+        compiled = compile_query(q, n)
+        a = frozenset({(0, 1), (1, 2)})
+        b = frozenset({(1, 2), (2, 0)})
+        assert compiled.run({"a": a, "b": b}) == (a | b) - (a & b)
+        assert evaluate_query(q, n, {"a": a, "b": b}) == (a | b) - (a & b)
+
+    def test_compose_identity_full(self):
+        n = 3
+        q = ComposeQ(InputRel("a"), IdentityQ())
+        compiled = compile_query(q, n)
+        a = frozenset({(0, 2), (1, 1)})
+        assert compiled.run({"a": a}) == a
+        assert evaluate_query(FullQ(), n, {}) == frozenset((i, j) for i in range(n) for j in range(n))
+
+    def test_connectivity_query(self):
+        n = 4
+        cycle = frozenset({(0, 1), (1, 2), (2, 3), (3, 0)})
+        broken = frozenset({(0, 1), (1, 2)})
+        q = connectivity_query()
+        # NonEmpty(Full - closure) is True iff some pair is NOT connected.
+        assert evaluate_query(q, n, {"r": cycle}) is False
+        assert evaluate_query(q, n, {"r": broken}) is True
+        assert compile_query(q, n).run({"r": cycle}) is False
+
+    def test_loop_var_outside_loop_rejected(self):
+        with pytest.raises(ValueError):
+            compile_query(LoopVar("T"), 3)
+
+    @pytest.mark.parametrize("k", [1, 2])
+    def test_nested_loops_compute_tc(self, k):
+        n = 5
+        edges = frozenset({(0, 1), (1, 2), (2, 3), (3, 4)})
+        expected, _ = transitive_closure_squaring(edges)
+        assert evaluate_query(nested_loop_query(k), n, {"r": edges}) == expected
+        assert compile_query(nested_loop_query(k), n).run({"r": edges}) == expected
+
+    def test_depth_scales_with_nesting(self):
+        n = 8
+        d1 = compile_query(nested_loop_query(1), n).circuit.depth()
+        d2 = compile_query(nested_loop_query(2), n).circuit.depth()
+        assert d2 > 2 * d1
+
+
+class TestFamiliesAndUniformity:
+    def test_tc_family_depth_is_logarithmic(self):
+        fam = CircuitFamily("tc", lambda n: compile_query(tc_squaring_query(), n).circuit)
+        report = looks_like_ack(fam, 1, [4, 8, 16, 32])
+        assert report["depth_polylog_ok"]
+        assert report["size_polynomial_ok"]
+
+    def test_nested_family_is_not_log1_but_is_log2(self):
+        fam = CircuitFamily("tc2", lambda n: compile_query(nested_loop_query(2), n).circuit)
+        measurements = fam.measure([4, 8, 16, 32])
+        _, ok_k2 = polylog_depth_bound(measurements, 2)
+        assert ok_k2
+
+    def test_family_caching(self):
+        calls = []
+
+        def build(n):
+            calls.append(n)
+            return and_or_family(n)
+
+        fam = CircuitFamily("and-or", build)
+        fam.circuit(4)
+        fam.circuit(4)
+        assert calls == [4]
+
+    def test_dcl_extraction(self):
+        c = and_or_family(2)
+        dcl = direct_connection_language(c, 2)
+        assert (2, 1, 3, "AND") in dcl
+        assert (2, 5, 0, "y1") in dcl
+
+    def test_dcl_tuple_encoding(self):
+        assert encode_dcl_tuple((2, 1, 3, "AND")) == "10#1#11#AND"
+
+    def test_and_or_family_is_uniform(self):
+        # n >= 2: with a single input the n-ary AND/OR collapse to the input
+        # wire and the numbering scheme of the witness no longer applies.
+        assert check_uniformity(and_or_family, and_or_family_witness(), [2, 3, 4, 6])
+
+    def test_wrong_witness_detected(self):
+        from repro.circuits.dcl import UniformityWitness
+
+        bad = UniformityWitness("bad", lambda n, c, p, t: False)
+        assert not check_uniformity(and_or_family, bad, [2])

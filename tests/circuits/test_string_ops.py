@@ -1,0 +1,104 @@
+"""Tests for the Lemma 7.4-7.6 circuits over string encodings."""
+
+import pytest
+
+from repro.circuits.string_ops import (
+    BITS_PER_SYMBOL,
+    duplicate_elimination_circuit,
+    element_start_wires,
+    encoding_equality_circuit,
+    encoding_to_bits,
+    new_encoding_circuit,
+    paren_depth_wires,
+    symbol_equals,
+    symbol_in,
+    symbol_wires,
+)
+from repro.objects.encoding import element_starts, match_parentheses, minimal_encoding
+from repro.objects.values import from_python
+
+
+ENCODINGS = [
+    minimal_encoding(from_python({1, 2, 3})),
+    minimal_encoding(from_python({(1, 2), (3, 4)})),
+    minimal_encoding(from_python({(1, frozenset({2, 3}))})),
+    "{}",
+]
+
+
+class TestSymbolWires:
+    def test_wires_are_consecutive_triples(self):
+        assert symbol_wires(0) == (1, 2, 3)
+        assert symbol_wires(2) == (7, 8, 9)
+
+    def test_symbol_equals(self):
+        c = new_encoding_circuit(2)
+        c.set_outputs([symbol_equals(c, symbol_wires(0), "{"),
+                       symbol_equals(c, symbol_wires(1), "}")])
+        assert c.evaluate(encoding_to_bits("{}")) == [True, True]
+        assert c.evaluate(encoding_to_bits("()")) == [False, False]
+
+    def test_symbol_in(self):
+        c = new_encoding_circuit(1)
+        c.set_outputs([symbol_in(c, symbol_wires(0), "{(")])
+        assert c.evaluate(encoding_to_bits("("))[0] is True
+        assert c.evaluate(encoding_to_bits("1"))[0] is False
+
+
+class TestLemma74:
+    @pytest.mark.parametrize("enc", ENCODINGS, ids=["flat", "pairs", "nested", "empty"])
+    def test_depth_wires_match_reference(self, enc):
+        ref = match_parentheses(enc)
+        max_depth = max(ref.depth, default=0)
+        c = new_encoding_circuit(len(enc))
+        wires = paren_depth_wires(c, len(enc), max_depth)
+        outputs = [wires[p][d] for p in range(len(enc)) for d in range(max_depth + 1)]
+        c.set_outputs(outputs)
+        values = c.evaluate(encoding_to_bits(enc))
+        for p in range(len(enc)):
+            for d in range(max_depth + 1):
+                expected = ref.depth[p] == d
+                assert values[p * (max_depth + 1) + d] is expected, (enc, p, d)
+
+
+class TestLemma75:
+    @pytest.mark.parametrize("enc", ENCODINGS[:3], ids=["flat", "pairs", "nested"])
+    def test_element_start_wires_match_reference(self, enc):
+        ref = element_starts(enc)
+        c = new_encoding_circuit(len(enc))
+        marks = element_start_wires(c, len(enc), max(match_parentheses(enc).depth))
+        c.set_outputs(marks)
+        got = tuple(1 if b else 0 for b in c.evaluate(encoding_to_bits(enc)))
+        assert got == ref
+
+
+class TestLemma76:
+    def test_equality_circuit_positive_and_negative(self):
+        from repro.objects.encoding import encode
+
+        # NB: *minimal* encodings of {1,2} and {1,3} coincide (atoms are
+        # renumbered), so use the direct encodings to get distinct strings.
+        a = encode(from_python({1, 2}))
+        b = encode(from_python({1, 3}))
+        assert len(a) == len(b) and a != b
+        c = encoding_equality_circuit(len(a))
+        assert c.evaluate(encoding_to_bits(a) + encoding_to_bits(a))[0] is True
+        assert c.evaluate(encoding_to_bits(a) + encoding_to_bits(b))[0] is False
+
+    def test_equality_circuit_is_constant_depth(self):
+        small = encoding_equality_circuit(4)
+        large = encoding_equality_circuit(64)
+        assert large.depth() == small.depth()
+
+
+class TestDuplicateElimination:
+    def test_masks_match_reference_behaviour(self):
+        # three 2-symbol elements: "10", "10", "11" -> keep, drop, keep
+        c = duplicate_elimination_circuit(3, 2)
+        bits = encoding_to_bits("10" + "10" + "11")
+        assert c.evaluate(bits) == [True, False, True]
+
+    def test_constant_depth_in_number_of_elements(self):
+        d4 = duplicate_elimination_circuit(4, 2).depth()
+        d16 = duplicate_elimination_circuit(16, 2).depth()
+        assert d4 == d16

@@ -1,0 +1,158 @@
+"""Tests for growth fitting, syntactic classification and the separation demos."""
+
+import math
+
+import pytest
+
+from repro.complexity.classify import classify
+from repro.complexity.fit import (
+    best_fit,
+    doubling_ratios,
+    fit_model,
+    growth_class,
+    is_polylog,
+    is_polynomial_not_exponential,
+)
+from repro.complexity.separations import (
+    arithmetic_blowup,
+    bounded_arithmetic_growth,
+    bounded_powerset_growth,
+    dcr_vs_sri_depth,
+    powerset_growth,
+)
+from repro.nra.ast import (
+    Bdcr,
+    BoolConst,
+    EmptySet,
+    Lambda,
+    Singleton,
+    Union,
+    Var,
+    lam2,
+)
+from repro.objects.types import BASE, SetType
+from repro.relational.queries import (
+    parity_dcr,
+    transitive_closure_dcr,
+    transitive_closure_sri,
+)
+
+
+class TestFitting:
+    NS = [8, 16, 32, 64, 128, 256]
+
+    def test_recovers_logarithmic_series(self):
+        ys = [math.log2(n + 1) * 3 + 1 for n in self.NS]
+        assert growth_class(self.NS, ys) == "log"
+
+    def test_recovers_linear_series(self):
+        ys = [2 * n + 5 for n in self.NS]
+        assert growth_class(self.NS, ys) == "linear"
+
+    def test_recovers_quadratic_series(self):
+        ys = [n * n for n in self.NS]
+        assert growth_class(self.NS, ys) == "n^2"
+
+    def test_recovers_constant_series(self):
+        assert growth_class(self.NS, [7] * len(self.NS)) == "constant"
+
+    def test_log_squared(self):
+        ys = [math.log2(n + 1) ** 2 for n in self.NS]
+        assert growth_class(self.NS, ys) in ("log^2",)
+
+    def test_fit_model_coefficient(self):
+        fit = fit_model("linear", self.NS, [3 * n for n in self.NS])
+        assert fit.coefficient == pytest.approx(3, rel=1e-6)
+        assert fit.predict(1000) == pytest.approx(3000, rel=1e-3)
+
+    def test_fit_requires_two_points(self):
+        with pytest.raises(ValueError):
+            fit_model("log", [4], [1])
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            fit_model("exp", self.NS, self.NS)
+
+    def test_is_polylog_distinguishes(self):
+        log_ys = [math.log2(n + 1) for n in self.NS]
+        lin_ys = list(self.NS)
+        assert is_polylog(self.NS, log_ys)
+        assert not is_polylog(self.NS, lin_ys)
+
+    def test_doubling_ratios(self):
+        assert doubling_ratios([1, 2, 4]) == [2.0, 2.0]
+
+    def test_polynomial_vs_exponential(self):
+        # On a geometric grid of n, polynomial series have bounded doubling
+        # ratios while exponential series have ratios that themselves explode.
+        geometric_ns = [2, 4, 8, 16, 32]
+        poly = [n ** 2 for n in geometric_ns]
+        expo = [2 ** n for n in geometric_ns]
+        assert is_polynomial_not_exponential(geometric_ns, poly)
+        assert not is_polynomial_not_exponential(geometric_ns, expo)
+
+
+class TestClassification:
+    def test_tc_dcr_is_ac1(self):
+        report = classify(transitive_closure_dcr())
+        assert report.nesting_depth == 1
+        assert report.flat
+        assert "AC^1" in report.parallel_class
+
+    def test_parity_is_ac1(self):
+        assert "AC^1" in classify(parity_dcr()).parallel_class
+
+    def test_sri_query_gets_only_ptime(self):
+        report = classify(transitive_closure_sri())
+        assert report.uses_insert_recursion
+        assert "PTIME" in report.sequential_class
+        assert "no NC bound" in report.parallel_class
+
+    def test_recursion_free_is_ac0(self):
+        report = classify(Singleton(BoolConst(True)))
+        assert report.nesting_depth == 0
+        assert "AC^0" in report.parallel_class
+
+    def test_bounded_nested_query_keeps_ack(self):
+        q = Bdcr(
+            EmptySet(BASE),
+            Lambda("x", BASE, Singleton(Var("x"))),
+            lam2("a", SetType(BASE), "b", SetType(BASE), Union(Var("a"), Var("b"))),
+            EmptySet(BASE),
+        )
+        report = classify(q)
+        assert report.bounded_only
+        assert "AC^1" in report.parallel_class
+
+    def test_report_renders_as_text(self):
+        text = str(classify(transitive_closure_dcr()))
+        assert "nesting depth" in text and "AC^1" in text
+
+
+class TestSeparations:
+    def test_powerset_growth_is_exponential(self):
+        growth = powerset_growth([2, 4, 6, 8])
+        assert [size for _, size in growth] == [4, 16, 64, 256]
+
+    def test_bounded_powerset_growth_is_linear(self):
+        growth = bounded_powerset_growth([2, 4, 6, 8])
+        assert all(size <= n + 1 for n, size in growth)
+
+    def test_arithmetic_blowup_doubles_bits_each_round(self):
+        # geometric grid of iteration counts, so the exponential shape shows
+        # up as exploding doubling ratios
+        growth = arithmetic_blowup([2, 4, 8, 16])
+        bits = [b for _, b in growth]
+        assert bits[1] / bits[0] > 3
+        assert not is_polynomial_not_exponential([n for n, _ in growth], bits)
+
+    def test_bounded_arithmetic_stays_flat(self):
+        growth = bounded_arithmetic_growth([2, 4, 6, 8])
+        bits = [b for _, b in growth]
+        assert max(bits) - min(bits) <= 14
+
+    def test_dcr_vs_sri_depth_contrast(self):
+        rows = dcr_vs_sri_depth([8, 64, 512])
+        for n, dcr_depth, sri_depth in rows:
+            assert dcr_depth <= math.log2(n) + 2
+            assert sri_depth == n

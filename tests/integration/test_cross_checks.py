@@ -1,0 +1,127 @@
+"""Integration tests: the same queries computed by every substrate must agree.
+
+The strongest correctness argument this reproduction can make is that four
+independent executions of the paper's queries coincide:
+
+1. the NRA reference interpreter (``repro.nra.eval``);
+2. the work/depth cost evaluator (``repro.nra.cost``);
+3. the compiled circuit families (``repro.circuits.compile_flat``);
+4. the CRCW PRAM programs (``repro.machines.pram_programs``);
+
+all checked against the plain-Python relational algebra oracle
+(``repro.relational.algebra``).
+"""
+
+import pytest
+
+from repro.circuits.compile_flat import compile_query, parity_query, tc_squaring_query
+from repro.machines.pram import PRAM
+from repro.machines.pram_programs import (
+    decode_tc_memory,
+    reduction_tree_program,
+    tc_squaring_program,
+    xor_op,
+)
+from repro.nra.cost import cost_run
+from repro.nra.eval import run
+from repro.relational.algebra import parity_of, transitive_closure_seminaive
+from repro.relational.queries import (
+    parity_dcr,
+    reachable_pairs_query,
+    run_tc,
+    tagged_boolean_set,
+)
+from repro.workloads.graphs import cycle_graph, path_graph, random_graph
+from repro.workloads.nested import random_bits
+
+
+GRAPHS = [
+    path_graph(6),
+    cycle_graph(5),
+    random_graph(7, 0.3, seed=11),
+    random_graph(7, 0.6, seed=12),
+]
+
+
+@pytest.mark.parametrize("graph", GRAPHS, ids=["path", "cycle", "sparse", "dense"])
+class TestTransitiveClosureEverywhere:
+    def test_all_substrates_agree(self, graph):
+        edges = frozenset(graph.tuples)
+        n = max(graph.active_domain(), default=0) + 1
+        oracle, _ = transitive_closure_seminaive(edges)
+
+        # 1-2. NRA interpreter and cost evaluator, in all three styles.
+        for style in ("dcr", "logloop", "sri"):
+            q = reachable_pairs_query(style)
+            assert run_tc(q, graph) == oracle
+            value, _ = cost_run(q, graph.value())
+            assert run(q, graph.value()) == value
+
+        # 3. Compiled circuit.
+        compiled = compile_query(tc_squaring_query(), n)
+        assert compiled.run({"r": edges}) == oracle
+
+        # 4. PRAM program.
+        prog, mem = tc_squaring_program(n, list(edges))
+        result = PRAM().run(prog, mem)
+        assert decode_tc_memory(n, result.memory) == oracle
+
+
+class TestParityEverywhere:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_all_substrates_agree(self, seed):
+        bits = random_bits(11 + seed, seed=seed)
+        expected = parity_of(bits)
+
+        # NRA query (dcr style).
+        assert run(parity_dcr(), tagged_boolean_set(bits)).value is expected
+
+        # PRAM combining tree.
+        prog, addr, mem = reduction_tree_program([1 if b else 0 for b in bits], xor_op)
+        assert bool(PRAM().run(prog, mem).read(addr)) is expected
+
+    def test_circuit_parity_of_edge_count(self):
+        # The circuit-level parity query counts edges; cross-check on a known graph.
+        graph = path_graph(6)
+        edges = frozenset(graph.tuples)
+        compiled = compile_query(parity_query(), 6)
+        assert compiled.run({"r": edges}) is (len(edges) % 2 == 1)
+
+
+class TestParallelShapeClaims:
+    """The qualitative complexity claims, measured end to end."""
+
+    def test_dcr_depth_polylog_sri_depth_linear(self):
+        from repro.complexity.fit import is_polylog
+
+        ns = [8, 16, 32, 64]
+        dcr_depths = []
+        sri_depths = []
+        for n in ns:
+            g = path_graph(n)
+            _, c_dcr = cost_run(reachable_pairs_query("dcr"), g.value())
+            _, c_sri = cost_run(reachable_pairs_query("sri"), g.value())
+            dcr_depths.append(c_dcr.depth)
+            sri_depths.append(c_sri.depth)
+        assert is_polylog(ns, dcr_depths)
+        assert not is_polylog(ns, sri_depths)
+
+    def test_circuit_depth_matches_nesting_level(self):
+        from repro.circuits.compile_flat import nested_loop_query
+        from repro.circuits.families import CircuitFamily, polylog_depth_bound
+
+        sizes = [4, 8, 16, 32]
+        fam1 = CircuitFamily("k1", lambda n: compile_query(nested_loop_query(1), n).circuit)
+        fam2 = CircuitFamily("k2", lambda n: compile_query(nested_loop_query(2), n).circuit)
+        _, ok1 = polylog_depth_bound(fam1.measure(sizes), 1)
+        _, ok2 = polylog_depth_bound(fam2.measure(sizes), 2)
+        assert ok1 and ok2
+        assert fam2.circuit(32).depth() > fam1.circuit(32).depth()
+
+    def test_pram_tree_time_is_logarithmic_in_input(self):
+        import math
+
+        for n in (16, 64, 256):
+            prog, _, mem = reduction_tree_program([1] * n, xor_op)
+            result = PRAM().run(prog, mem)
+            assert result.steps == math.ceil(math.log2(n))

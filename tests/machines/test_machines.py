@@ -1,0 +1,159 @@
+"""Tests for the Turing machine (space accounting) and the CRCW PRAM simulator."""
+
+import math
+
+import pytest
+
+from repro.machines.pram import PRAM, PRAMError, PRAMProgram, WritePolicy, WriteRequest
+from repro.machines.pram_programs import (
+    add_op,
+    decode_tc_memory,
+    max_op,
+    or_program,
+    reduction_tree_program,
+    sequential_fold_program,
+    tc_squaring_program,
+    xor_op,
+)
+from repro.machines.turing import (
+    LogSpaceChecker,
+    binary_counting_machine,
+    unary_length_parity_machine,
+)
+from repro.relational.algebra import transitive_closure_squaring
+from repro.workloads.graphs import path_graph, random_graph
+
+
+class TestTuringMachine:
+    def test_parity_machine_accepts_even_lengths(self):
+        m = unary_length_parity_machine()
+        assert m.run("1111").accepted
+        assert not m.run("111").accepted
+        assert m.run("").accepted
+
+    def test_parity_machine_uses_constant_space(self):
+        m = unary_length_parity_machine()
+        assert m.run("1" * 200).work_cells_used <= 1
+
+    def test_counting_machine_accepts_everything(self):
+        m = binary_counting_machine()
+        assert m.run("101101").accepted
+
+    def test_counting_machine_space_is_logarithmic(self):
+        m = binary_counting_machine()
+        spaces = {n: m.run("1" * n).work_cells_used for n in (8, 64, 512)}
+        # one marker cell plus ~log2(n) counter bits
+        for n, cells in spaces.items():
+            assert cells <= math.log2(n) + 3
+        assert spaces[512] - spaces[64] <= 4
+
+    def test_space_bound_enforcement(self):
+        m = binary_counting_machine()
+        assert not m.run("1" * 64, max_space=2).accepted
+
+    def test_logspace_checker(self):
+        checker = LogSpaceChecker(binary_counting_machine())
+        inputs = [(n, "1" * n, True) for n in (4, 16, 64)]
+        assert checker.fits(inputs)
+
+    def test_missing_transition_rejects(self):
+        m = unary_length_parity_machine()
+        assert not m.run("x").accepted
+
+
+class TestPRAMSimulator:
+    def test_single_write(self):
+        prog = PRAMProgram()
+        prog.add_step([0], lambda p, mem: [WriteRequest(0, 42)])
+        result = PRAM().run(prog)
+        assert result.read(0) == 42
+        assert result.steps == 1
+
+    def test_reads_see_pre_step_state(self):
+        prog = PRAMProgram()
+        prog.add_step([0, 1], lambda p, mem: [WriteRequest(p, mem.get(1 - p, 0) + 1)])
+        result = PRAM().run(prog, {0: 10, 1: 20})
+        assert result.read(0) == 21 and result.read(1) == 11
+
+    def test_common_policy_rejects_conflicts(self):
+        prog = PRAMProgram()
+        prog.add_step([0, 1], lambda p, mem: [WriteRequest(9, p)])
+        with pytest.raises(PRAMError):
+            PRAM(WritePolicy.COMMON).run(prog)
+
+    def test_common_policy_accepts_agreeing_writes(self):
+        prog = PRAMProgram()
+        prog.add_step([0, 1], lambda p, mem: [WriteRequest(9, 7)])
+        assert PRAM(WritePolicy.COMMON).run(prog).read(9) == 7
+
+    def test_arbitrary_policy_lowest_processor_wins(self):
+        prog = PRAMProgram()
+        prog.add_step([3, 1, 2], lambda p, mem: [WriteRequest(9, p)])
+        assert PRAM(WritePolicy.ARBITRARY).run(prog).read(9) == 1
+
+    def test_work_and_processor_accounting(self):
+        prog = PRAMProgram()
+        prog.add_step(range(4), lambda p, mem: [])
+        prog.add_step(range(2), lambda p, mem: [])
+        result = PRAM().run(prog)
+        assert result.max_processors == 4
+        assert result.total_work == 6
+
+
+class TestPRAMPrograms:
+    @pytest.mark.parametrize("op,values,expected", [
+        (xor_op, [1, 0, 1, 1, 0], 1),
+        (add_op, list(range(10)), 45),
+        (max_op, [3, 9, 2, 7], 9),
+    ])
+    def test_reduction_tree_results(self, op, values, expected):
+        prog, addr, mem = reduction_tree_program(values, op)
+        assert PRAM().run(prog, mem).read(addr) == expected
+
+    def test_tree_and_fold_agree(self):
+        values = [1] * 23
+        tprog, taddr, tmem = reduction_tree_program(values, xor_op)
+        fprog, faddr, fmem = sequential_fold_program(values, xor_op)
+        assert PRAM().run(tprog, tmem).read(taddr) == PRAM().run(fprog, fmem).read(faddr)
+
+    def test_tree_is_logarithmic_fold_is_linear(self):
+        values = [1] * 64
+        tprog, _, tmem = reduction_tree_program(values, xor_op)
+        fprog, _, fmem = sequential_fold_program(values, xor_op)
+        tree = PRAM().run(tprog, tmem)
+        fold = PRAM().run(fprog, fmem)
+        assert tree.steps == 6
+        assert fold.steps == 64
+        assert tree.max_processors == 32
+        assert fold.max_processors == 1
+
+    def test_empty_reduction(self):
+        prog, addr, mem = reduction_tree_program([], xor_op)
+        assert PRAM().run(prog, mem).read(addr) == 0
+
+    def test_crcw_or_single_step(self):
+        prog, addr, mem = or_program(8)
+        mem.update({i: 0 for i in range(8)})
+        mem[5] = 1
+        result = PRAM().run(prog, mem)
+        assert result.read(addr) == 1
+        assert result.steps == 1
+
+    @pytest.mark.parametrize("graph", [path_graph(8), random_graph(6, 0.35, seed=2)],
+                             ids=["path", "random"])
+    def test_tc_program_matches_oracle(self, graph):
+        n = max(graph.active_domain(), default=0) + 1
+        edges = list(graph.tuples)
+        prog, mem = tc_squaring_program(n, edges)
+        result = PRAM().run(prog, mem)
+        expected, _ = transitive_closure_squaring(frozenset(edges))
+        assert decode_tc_memory(n, result.memory) == expected
+
+    def test_tc_program_steps_are_logarithmic(self):
+        prog8, _ = tc_squaring_program(8, [(i, i + 1) for i in range(7)])
+        prog64, _ = tc_squaring_program(64, [(i, i + 1) for i in range(63)])
+        # two PRAM steps (square + merge) per squaring round, bit_length(n) rounds
+        assert len(prog8.steps) == 2 * (8).bit_length()
+        assert len(prog64.steps) == 2 * (64).bit_length()
+        # doubling n three times adds only a constant number of rounds
+        assert len(prog64.steps) - len(prog8.steps) == 2 * 3

@@ -1,0 +1,218 @@
+"""Tests for the parallel cost semantics, the nesting-depth analysis and the
+derived relational operators."""
+
+import pytest
+
+from repro.objects.types import BASE, BOOL, ProdType, SetType, parse_type
+from repro.objects.values import base, from_python, mkset, pair, to_python
+from repro.nra.ast import (
+    Apply,
+    BoolConst,
+    Const,
+    Dcr,
+    EmptySet,
+    Lambda,
+    LogLoop,
+    Pair,
+    Proj1,
+    Singleton,
+    Sri,
+    Union,
+    Var,
+    lam2,
+)
+from repro.nra.cost import Cost, cost_run
+from repro.nra.depth import ac_level, count_recursion_nodes, recursion_depth, within_depth
+from repro.nra.derived import (
+    bool_and,
+    bool_not,
+    bool_or,
+    cartesian,
+    compose,
+    difference,
+    flatten,
+    intersection,
+    member,
+    nest,
+    rel_proj1,
+    rel_proj2,
+    select,
+    set_equal,
+    smap,
+    subset,
+    unnest,
+)
+from repro.nra.eval import evaluate, run
+from repro.relational.queries import (
+    parity_dcr,
+    parity_esr,
+    tagged_boolean_set,
+    transitive_closure_dcr,
+    transitive_closure_logloop,
+    transitive_closure_sri,
+)
+
+
+class TestCostModel:
+    def test_cost_composition_rules(self):
+        a, b = Cost(3, 2), Cost(5, 4)
+        assert a.then(b) == Cost(8, 6)
+        assert a.beside(b) == Cost(8, 4)
+        assert a.step() == Cost(4, 3)
+
+    def test_cost_value_agrees_with_interpreter(self):
+        q = transitive_closure_dcr()
+        rel = from_python({(1, 2), (2, 3), (3, 4)})
+        value, _ = cost_run(q, rel)
+        assert value == run(q, rel)
+
+    def test_parity_dcr_depth_grows_logarithmically(self):
+        q = parity_dcr()
+        depths = []
+        for n in (8, 64, 512):
+            _, cost = cost_run(q, tagged_boolean_set([True] * n))
+            depths.append(cost.depth)
+        assert depths[1] - depths[0] == pytest.approx(depths[2] - depths[1], abs=3)
+        assert depths[2] < 4 * depths[0]
+
+    def test_parity_esr_depth_grows_linearly(self):
+        q = parity_esr()
+        _, c64 = cost_run(q, tagged_boolean_set([True] * 64))
+        _, c128 = cost_run(q, tagged_boolean_set([True] * 128))
+        assert c128.depth > 1.8 * c64.depth
+
+    def test_dcr_depth_beats_sri_depth_on_same_input(self):
+        rel = from_python({(i, i + 1) for i in range(12)})
+        _, dcr_cost = cost_run(transitive_closure_dcr(), rel)
+        _, sri_cost = cost_run(transitive_closure_sri(), rel)
+        assert dcr_cost.depth < sri_cost.depth
+
+    def test_ext_is_one_parallel_step(self):
+        f = Lambda("x", BASE, Singleton(Var("x")))
+        small = Const(from_python({1, 2}), SetType(BASE))
+        large = Const(from_python(set(range(40))), SetType(BASE))
+        _, c_small = cost_run(Apply(__import__("repro.nra.ast", fromlist=["Ext"]).Ext(f), small))
+        _, c_large = cost_run(Apply(__import__("repro.nra.ast", fromlist=["Ext"]).Ext(f), large))
+        # depth must not grow with the set size (work does)
+        assert c_large.depth == c_small.depth
+        assert c_large.work > c_small.work
+
+
+class TestDepthAnalysis:
+    def test_recursion_free_has_depth_zero(self):
+        assert recursion_depth(Singleton(BoolConst(True))) == 0
+
+    def test_single_dcr_has_depth_one(self):
+        assert recursion_depth(transitive_closure_dcr()) == 1
+        assert recursion_depth(transitive_closure_logloop()) == 1
+        assert recursion_depth(parity_dcr()) == 1
+
+    def test_only_combine_function_counts(self):
+        # a dcr whose *item* function contains another dcr does not nest
+        inner = Dcr(
+            Const(base(0), BASE),
+            Lambda("x", BASE, Var("x")),
+            lam2("a", BASE, "b", BASE, Var("a")),
+        )
+        outer = Dcr(
+            Const(base(0), BASE),
+            Lambda("x", BASE, Apply(inner, Singleton(Var("x")))),
+            lam2("a", BASE, "b", BASE, Var("a")),
+        )
+        assert recursion_depth(outer) == 1
+
+    def test_nesting_in_combine_increases_depth(self):
+        inner = Dcr(
+            Const(base(0), BASE),
+            Lambda("x", BASE, Var("x")),
+            lam2("a", BASE, "b", BASE, Var("a")),
+        )
+        outer = Dcr(
+            Const(base(0), BASE),
+            Lambda("x", BASE, Var("x")),
+            lam2("a", BASE, "b", BASE, Apply(inner, Singleton(Var("a")))),
+        )
+        assert recursion_depth(outer) == 2
+
+    def test_nested_log_loops(self):
+        step = Lambda("x", SetType(BASE), Var("x"))
+        one = LogLoop(step, BASE)
+        two = LogLoop(Lambda("y", SetType(BASE),
+                             Apply(one, Pair(EmptySet(BASE), Var("y")))), BASE)
+        assert recursion_depth(one) == 1
+        assert recursion_depth(two) == 2
+
+    def test_within_depth_and_ac_level(self):
+        q = transitive_closure_dcr()
+        assert within_depth(q, 1)
+        assert not within_depth(q, 0)
+        assert ac_level(q) == 1
+
+    def test_count_recursion_nodes(self):
+        assert count_recursion_nodes(transitive_closure_dcr()) == 1
+        assert count_recursion_nodes(Singleton(BoolConst(True))) == 0
+
+
+class TestDerivedOperators:
+    S = Const(from_python({1, 2, 3}), SetType(BASE))
+    T = Const(from_python({2, 3, 4}), SetType(BASE))
+
+    def test_booleans(self):
+        assert evaluate(bool_not(BoolConst(True))).value is False
+        assert evaluate(bool_and(BoolConst(True), BoolConst(False))).value is False
+        assert evaluate(bool_or(BoolConst(False), BoolConst(True))).value is True
+
+    def test_intersection(self):
+        assert to_python(evaluate(intersection(self.S, self.T, BASE))) == frozenset({2, 3})
+
+    def test_difference(self):
+        assert to_python(evaluate(difference(self.S, self.T, BASE))) == frozenset({1})
+
+    def test_member(self):
+        assert evaluate(member(Const(base(2), BASE), self.S, BASE)).value is True
+        assert evaluate(member(Const(base(9), BASE), self.S, BASE)).value is False
+
+    def test_cartesian(self):
+        result = to_python(evaluate(cartesian(self.S, self.T, BASE, BASE)))
+        assert len(result) == 9
+        assert (1, 4) in result
+
+    def test_select(self):
+        pred = Lambda("x", BASE, member(Var("x"), self.T, BASE))
+        assert to_python(evaluate(select(pred, self.S))) == frozenset({2, 3})
+
+    def test_smap(self):
+        f = Lambda("x", BASE, Pair(Var("x"), Var("x")))
+        assert to_python(evaluate(smap(f, self.S))) == frozenset({(1, 1), (2, 2), (3, 3)})
+
+    def test_flatten(self):
+        ss = Const(from_python({frozenset({1, 2}), frozenset({3})}), parse_type("{{D}}"))
+        assert to_python(evaluate(flatten(ss, BASE))) == frozenset({1, 2, 3})
+
+    def test_projections(self):
+        r = Const(from_python({(1, 10), (2, 20)}), parse_type("{D x D}"))
+        assert to_python(evaluate(rel_proj1(r, BASE, BASE))) == frozenset({1, 2})
+        assert to_python(evaluate(rel_proj2(r, BASE, BASE))) == frozenset({10, 20})
+
+    def test_compose(self):
+        r1 = Const(from_python({(1, 2), (2, 3)}), parse_type("{D x D}"))
+        r2 = Const(from_python({(2, 5), (3, 6)}), parse_type("{D x D}"))
+        assert to_python(evaluate(compose(r1, r2, BASE))) == frozenset({(1, 5), (2, 6)})
+
+    def test_nest_groups_by_first_column(self):
+        r = Const(from_python({(1, 10), (1, 11), (2, 20)}), parse_type("{D x D}"))
+        nested = to_python(evaluate(nest(r, BASE, BASE)))
+        assert (1, frozenset({10, 11})) in nested
+        assert (2, frozenset({20})) in nested
+
+    def test_unnest_inverts_nest(self):
+        r = Const(from_python({(1, 10), (1, 11), (2, 20)}), parse_type("{D x D}"))
+        roundtrip = evaluate(unnest(nest(r, BASE, BASE), BASE, BASE))
+        assert roundtrip == evaluate(r)
+
+    def test_subset_and_set_equal(self):
+        small = Const(from_python({1, 2}), SetType(BASE))
+        assert evaluate(subset(small, self.S, BASE)).value is True
+        assert evaluate(subset(self.S, small, BASE)).value is False
+        assert evaluate(set_equal(self.S, self.S, BASE)).value is True
+        assert evaluate(set_equal(self.S, self.T, BASE)).value is False

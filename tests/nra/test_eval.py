@@ -1,0 +1,217 @@
+"""Tests for the NRA reference interpreter."""
+
+import pytest
+
+from repro.objects.types import BASE, BOOL, SetType, parse_type
+from repro.objects.values import (
+    FALSE,
+    TRUE,
+    BoolVal,
+    SetVal,
+    UnitVal,
+    base,
+    boolean,
+    from_python,
+    mkset,
+    pair,
+    to_python,
+)
+from repro.nra.ast import (
+    Apply,
+    Bdcr,
+    BlogLoop,
+    BoolConst,
+    Const,
+    Dcr,
+    EmptySet,
+    Eq,
+    Esr,
+    Ext,
+    ExternalCall,
+    If,
+    IsEmpty,
+    Lambda,
+    LogLoop,
+    Loop,
+    Pair,
+    Proj1,
+    Proj2,
+    Singleton,
+    Sri,
+    Union,
+    UnitConst,
+    Var,
+    lam2,
+)
+from repro.nra.errors import NRAEvalError
+from repro.nra.eval import FunctionValue, evaluate, run
+from repro.nra.externals import AGGREGATE_SIGMA, ARITH_SIGMA, ORDER_SIGMA
+
+
+class TestCoreEvaluation:
+    def test_constants(self):
+        assert evaluate(BoolConst(True)) == TRUE
+        assert evaluate(UnitConst()) == UnitVal()
+        assert evaluate(Const(base(5), BASE)) == base(5)
+
+    def test_set_constructors(self):
+        assert evaluate(EmptySet(BASE)) == mkset()
+        assert evaluate(Singleton(Const(base(1), BASE))) == from_python({1})
+        u = Union(Singleton(Const(base(1), BASE)), Singleton(Const(base(2), BASE)))
+        assert evaluate(u) == from_python({1, 2})
+
+    def test_union_deduplicates(self):
+        u = Union(Singleton(Const(base(1), BASE)), Singleton(Const(base(1), BASE)))
+        assert len(evaluate(u)) == 1
+
+    def test_pairs_and_projections(self):
+        p = Pair(Const(base(1), BASE), BoolConst(False))
+        assert evaluate(p) == pair(base(1), FALSE)
+        assert evaluate(Proj1(p)) == base(1)
+        assert evaluate(Proj2(p)) == FALSE
+
+    def test_eq_structural(self):
+        a = Const(from_python({1, 2}), parse_type("{D}"))
+        b = Const(from_python({2, 1}), parse_type("{D}"))
+        assert evaluate(Eq(a, b)) == TRUE
+
+    def test_isempty(self):
+        assert evaluate(IsEmpty(EmptySet(BASE))) == TRUE
+        assert evaluate(IsEmpty(Singleton(BoolConst(True)))) == FALSE
+
+    def test_if_branches(self):
+        e = If(BoolConst(False), Const(base(1), BASE), Const(base(2), BASE))
+        assert evaluate(e) == base(2)
+
+    def test_variable_lookup(self):
+        assert evaluate(Var("x"), {"x": base(9)}) == base(9)
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(NRAEvalError):
+            evaluate(Var("nope"))
+
+    def test_lambda_apply_beta(self):
+        f = Lambda("x", BASE, Pair(Var("x"), Var("x")))
+        assert evaluate(Apply(f, Const(base(3), BASE))) == pair(base(3), base(3))
+
+    def test_closure_captures_environment(self):
+        f = Lambda("x", BASE, Pair(Var("x"), Var("y")))
+        fn = evaluate(f, {"y": base(7)})
+        assert isinstance(fn, FunctionValue)
+        assert fn(base(1)) == pair(base(1), base(7))
+
+    def test_shadowing(self):
+        inner = Lambda("x", BASE, Var("x"))
+        outer = Lambda("x", BASE, Apply(inner, Const(base(2), BASE)))
+        assert evaluate(Apply(outer, Const(base(1), BASE))) == base(2)
+
+    def test_ext_maps_and_unions(self):
+        double = Lambda("x", BASE, Singleton(Pair(Var("x"), Var("x"))))
+        s = Const(from_python({1, 2}), SetType(BASE))
+        result = evaluate(Apply(Ext(double), s))
+        assert to_python(result) == frozenset({(1, 1), (2, 2)})
+
+    def test_ext_on_empty_set(self):
+        f = Lambda("x", BASE, Singleton(Var("x")))
+        assert evaluate(Apply(Ext(f), EmptySet(BASE))) == mkset()
+
+    def test_run_applies_argument(self):
+        f = Lambda("x", BASE, Singleton(Var("x")))
+        assert run(f, base(4)) == from_python({4})
+
+    def test_run_rejects_unapplied_function(self):
+        with pytest.raises(NRAEvalError):
+            run(Lambda("x", BASE, Var("x")))
+
+
+class TestExternals:
+    def test_leq(self):
+        e = ExternalCall("leq", Pair(Const(base(1), BASE), Const(base(2), BASE)))
+        assert evaluate(e, sigma=ORDER_SIGMA) == TRUE
+
+    def test_arithmetic(self):
+        plus = ExternalCall("plus", Pair(Const(base(2), BASE), Const(base(3), BASE)))
+        assert evaluate(plus, sigma=ARITH_SIGMA) == base(5)
+
+    def test_aggregates(self):
+        s = Const(from_python({1, 2, 3}), SetType(BASE))
+        assert evaluate(ExternalCall("card", s), sigma=AGGREGATE_SIGMA) == base(3)
+        assert evaluate(ExternalCall("sum", s), sigma=AGGREGATE_SIGMA) == base(6)
+        assert evaluate(ExternalCall("max", s), sigma=AGGREGATE_SIGMA) == base(3)
+
+    def test_unknown_external_raises(self):
+        with pytest.raises(NRAEvalError):
+            evaluate(ExternalCall("nope", UnitConst()), sigma=ORDER_SIGMA)
+
+
+class TestRecursionEvaluation:
+    def _sum_dcr(self):
+        return Dcr(
+            Const(base(0), BASE),
+            Lambda("x", BASE, Var("x")),
+            lam2("a", BASE, "b", BASE, ExternalCall("plus", Pair(Var("a"), Var("b")))),
+        )
+
+    def test_dcr_sum(self):
+        q = self._sum_dcr()
+        result = run(q, from_python({1, 2, 3, 4}), sigma=ARITH_SIGMA)
+        assert result == base(10)
+
+    def test_dcr_on_empty_set_gives_seed(self):
+        q = self._sum_dcr()
+        assert run(q, mkset(), sigma=ARITH_SIGMA) == base(0)
+
+    def test_sri_collects_elements(self):
+        q = Sri(
+            EmptySet(BASE),
+            lam2("x", BASE, "acc", SetType(BASE), Union(Singleton(Var("x")), Var("acc"))),
+        )
+        assert run(q, from_python({1, 2, 3})) == from_python({1, 2, 3})
+
+    def test_esr_counts_with_arithmetic(self):
+        q = Esr(
+            Const(base(0), BASE),
+            lam2("x", BASE, "acc", BASE,
+                 ExternalCall("plus", Pair(Const(base(1), BASE), Var("acc")))),
+        )
+        assert run(q, from_python({10, 20, 30}), sigma=ARITH_SIGMA) == base(3)
+
+    def test_bdcr_clips_to_bound(self):
+        bound = Const(from_python({1, 2}), SetType(BASE))
+        q = Bdcr(
+            EmptySet(BASE),
+            Lambda("x", BASE, Singleton(Var("x"))),
+            lam2("a", SetType(BASE), "b", SetType(BASE), Union(Var("a"), Var("b"))),
+            bound,
+        )
+        assert run(q, from_python({1, 2, 3, 4})) == from_python({1, 2})
+
+    def test_recursion_applied_to_non_set_raises(self):
+        with pytest.raises(NRAEvalError):
+            run(self._sum_dcr(), base(1), sigma=ARITH_SIGMA)
+
+
+class TestIteratorEvaluation:
+    def test_loop_counts_cardinality(self):
+        step = Lambda("x", BASE, ExternalCall("plus", Pair(Var("x"), Const(base(1), BASE))))
+        q = Loop(step, BASE)
+        arg = pair(from_python({10, 20, 30}), base(0))
+        assert run(q, arg, sigma=ARITH_SIGMA) == base(3)
+
+    def test_log_loop_counts_bits(self):
+        step = Lambda("x", BASE, ExternalCall("plus", Pair(Var("x"), Const(base(1), BASE))))
+        q = LogLoop(step, BASE)
+        arg = pair(from_python(set(range(9))), base(0))
+        assert run(q, arg, sigma=ARITH_SIGMA) == base(4)
+
+    def test_blog_loop_clips(self):
+        bound = Const(from_python({0, 1}), SetType(BASE))
+        step = Lambda("s", SetType(BASE), Union(Var("s"), Const(from_python({0, 1, 2}), SetType(BASE))))
+        q = BlogLoop(step, bound, BASE)
+        arg = pair(from_python(set(range(4))), mkset())
+        assert run(q, arg) == from_python({0, 1})
+
+    def test_iterator_requires_pair_argument(self):
+        step = Lambda("x", BASE, Var("x"))
+        with pytest.raises(NRAEvalError):
+            run(Loop(step, BASE), base(1))

@@ -1,0 +1,225 @@
+"""Tests for NRA type inference and the language-restriction predicates."""
+
+import pytest
+
+from repro.objects.types import BASE, BOOL, UNIT, ProdType, SetType, parse_type
+from repro.objects.values import base, from_python
+from repro.nra.ast import (
+    Apply,
+    Bdcr,
+    BoolConst,
+    Const,
+    Dcr,
+    EmptySet,
+    Eq,
+    Ext,
+    ExternalCall,
+    If,
+    IsEmpty,
+    Lambda,
+    LogLoop,
+    Pair,
+    Proj1,
+    Proj2,
+    Singleton,
+    Sri,
+    Union,
+    UnitConst,
+    Var,
+    lam2,
+)
+from repro.nra.errors import NRATypeError
+from repro.nra.externals import AGGREGATE_SIGMA, ORDER_SIGMA
+from repro.nra.typecheck import (
+    FunType,
+    externals_used,
+    in_nra1,
+    infer,
+    recursion_free,
+    uses_only_bounded_recursion,
+)
+from repro.relational.queries import parity_dcr, transitive_closure_dcr, transitive_closure_sri
+
+
+class TestCoreTyping:
+    def test_constants(self):
+        assert infer(BoolConst(True)) == BOOL
+        assert infer(UnitConst()) == UNIT
+        assert infer(Const(base(3), BASE)) == BASE
+
+    def test_const_type_mismatch(self):
+        with pytest.raises(NRATypeError):
+            infer(Const(base(3), BOOL))
+
+    def test_empty_and_singleton(self):
+        assert infer(EmptySet(BASE)) == SetType(BASE)
+        assert infer(Singleton(BoolConst(True))) == SetType(BOOL)
+
+    def test_union_same_type(self):
+        e = Union(Singleton(Const(base(1), BASE)), EmptySet(BASE))
+        assert infer(e) == SetType(BASE)
+
+    def test_union_mismatch_rejected(self):
+        with pytest.raises(NRATypeError):
+            infer(Union(Singleton(BoolConst(True)), EmptySet(BASE)))
+
+    def test_union_of_non_sets_rejected(self):
+        with pytest.raises(NRATypeError):
+            infer(Union(BoolConst(True), BoolConst(False)))
+
+    def test_pair_and_projections(self):
+        p = Pair(Const(base(1), BASE), BoolConst(True))
+        assert infer(p) == ProdType(BASE, BOOL)
+        assert infer(Proj1(p)) == BASE
+        assert infer(Proj2(p)) == BOOL
+
+    def test_projection_of_non_pair_rejected(self):
+        with pytest.raises(NRATypeError):
+            infer(Proj1(BoolConst(True)))
+
+    def test_eq_requires_same_types(self):
+        assert infer(Eq(Const(base(1), BASE), Const(base(2), BASE))) == BOOL
+        with pytest.raises(NRATypeError):
+            infer(Eq(Const(base(1), BASE), BoolConst(True)))
+
+    def test_isempty(self):
+        assert infer(IsEmpty(EmptySet(BASE))) == BOOL
+        with pytest.raises(NRATypeError):
+            infer(IsEmpty(BoolConst(True)))
+
+    def test_if_branches_must_agree(self):
+        good = If(BoolConst(True), Const(base(1), BASE), Const(base(2), BASE))
+        assert infer(good) == BASE
+        with pytest.raises(NRATypeError):
+            infer(If(BoolConst(True), Const(base(1), BASE), BoolConst(False)))
+
+    def test_if_condition_must_be_bool(self):
+        with pytest.raises(NRATypeError):
+            infer(If(Const(base(1), BASE), BoolConst(True), BoolConst(False)))
+
+    def test_unbound_variable(self):
+        with pytest.raises(NRATypeError):
+            infer(Var("x"))
+
+    def test_variable_from_env(self):
+        assert infer(Var("x"), {"x": BASE}) == BASE
+
+    def test_lambda_and_apply(self):
+        f = Lambda("x", BASE, Singleton(Var("x")))
+        assert infer(f) == FunType(BASE, SetType(BASE))
+        assert infer(Apply(f, Const(base(1), BASE))) == SetType(BASE)
+
+    def test_apply_argument_mismatch(self):
+        f = Lambda("x", BASE, Var("x"))
+        with pytest.raises(NRATypeError):
+            infer(Apply(f, BoolConst(True)))
+
+    def test_apply_non_function(self):
+        with pytest.raises(NRATypeError):
+            infer(Apply(BoolConst(True), BoolConst(False)))
+
+    def test_ext_typing(self):
+        f = Lambda("x", BASE, Singleton(Var("x")))
+        assert infer(Ext(f)) == FunType(SetType(BASE), SetType(BASE))
+
+    def test_ext_requires_set_result(self):
+        f = Lambda("x", BASE, Var("x"))
+        with pytest.raises(NRATypeError):
+            infer(Ext(f))
+
+    def test_external_call(self):
+        call = ExternalCall("leq", Pair(Const(base(1), BASE), Const(base(2), BASE)))
+        assert infer(call, sigma=ORDER_SIGMA) == BOOL
+
+    def test_external_argument_type_checked(self):
+        with pytest.raises(NRATypeError):
+            infer(ExternalCall("leq", BoolConst(True)), sigma=ORDER_SIGMA)
+
+    def test_polymorphic_external(self):
+        call = ExternalCall("card", Singleton(Const(base(1), BASE)))
+        assert infer(call, sigma=AGGREGATE_SIGMA) == BASE
+
+
+class TestRecursionTyping:
+    def test_dcr_function_type(self):
+        q = transitive_closure_dcr()
+        t = infer(q)
+        assert t == FunType(parse_type("{D x D}"), parse_type("{D x D}"))
+
+    def test_parity_type(self):
+        assert infer(parity_dcr()) == FunType(parse_type("{D x B}"), BOOL)
+
+    def test_dcr_combine_must_take_pairs(self):
+        bad = Dcr(BoolConst(False), Lambda("x", BASE, BoolConst(True)),
+                  Lambda("y", BOOL, Var("y")))
+        with pytest.raises(NRATypeError):
+            infer(bad)
+
+    def test_dcr_item_result_must_match_seed(self):
+        bad = Dcr(BoolConst(False), Lambda("x", BASE, Const(base(1), BASE)),
+                  lam2("a", BOOL, "b", BOOL, Var("a")))
+        with pytest.raises(NRATypeError):
+            infer(bad)
+
+    def test_bdcr_requires_ps_type(self):
+        bad = Bdcr(
+            BoolConst(False),
+            Lambda("x", BASE, BoolConst(True)),
+            lam2("a", BOOL, "b", BOOL, Var("a")),
+            BoolConst(True),
+        )
+        with pytest.raises(NRATypeError):
+            infer(bad)
+
+    def test_bdcr_at_set_type_accepted(self):
+        q = Bdcr(
+            EmptySet(BASE),
+            Lambda("x", BASE, Singleton(Var("x"))),
+            lam2("a", SetType(BASE), "b", SetType(BASE), Union(Var("a"), Var("b"))),
+            Const(from_python({1, 2, 3}), SetType(BASE)),
+        )
+        assert infer(q) == FunType(SetType(BASE), SetType(BASE))
+
+    def test_sri_insert_shape(self):
+        q = Sri(EmptySet(BASE), lam2("x", BASE, "acc", SetType(BASE),
+                                     Union(Singleton(Var("x")), Var("acc"))))
+        assert infer(q) == FunType(SetType(BASE), SetType(BASE))
+
+    def test_logloop_step_must_be_endofunction(self):
+        bad = LogLoop(Lambda("x", BASE, Singleton(Var("x"))), BASE)
+        with pytest.raises(NRATypeError):
+            infer(bad)
+
+    def test_logloop_type(self):
+        step = Lambda("x", SetType(BASE), Var("x"))
+        t = infer(LogLoop(step, BOOL))
+        assert t == FunType(ProdType(SetType(BOOL), SetType(BASE)), SetType(BASE))
+
+
+class TestRestrictions:
+    def test_tc_queries_are_nra1(self):
+        assert in_nra1(transitive_closure_dcr())
+        assert in_nra1(transitive_closure_sri())
+
+    def test_nested_type_escapes_nra1(self):
+        nested = Singleton(Singleton(Const(base(1), BASE)))
+        assert not in_nra1(nested)
+
+    def test_bounded_only_detection(self):
+        assert not uses_only_bounded_recursion(transitive_closure_dcr())
+        q = Bdcr(
+            EmptySet(BASE),
+            Lambda("x", BASE, Singleton(Var("x"))),
+            lam2("a", SetType(BASE), "b", SetType(BASE), Union(Var("a"), Var("b"))),
+            EmptySet(BASE),
+        )
+        assert uses_only_bounded_recursion(q)
+
+    def test_recursion_free(self):
+        assert recursion_free(Singleton(BoolConst(True)))
+        assert not recursion_free(transitive_closure_dcr())
+
+    def test_externals_used(self):
+        call = ExternalCall("leq", Pair(Const(base(1), BASE), Const(base(2), BASE)))
+        assert externals_used(call) == frozenset({"leq"})
+        assert externals_used(parity_dcr()) == frozenset()

@@ -1,0 +1,191 @@
+"""Tests for the Section 5 string encodings of complex objects."""
+
+import pytest
+
+from repro.objects.encoding import (
+    ALPHABET,
+    BLANK,
+    EncodingError,
+    atom_codes_for,
+    compact_blanks,
+    decode,
+    element_starts,
+    encode,
+    encoded_length_bits,
+    encodings_equal,
+    from_bits,
+    match_parentheses,
+    minimal_encoding,
+    remove_duplicates,
+    roundtrip,
+    scatter_blanks,
+    strip_blanks,
+    to_bits,
+    top_level_elements,
+)
+from repro.objects.types import parse_type
+from repro.objects.values import FALSE, TRUE, UnitVal, base, from_python, mkset, pair
+
+
+class TestEncode:
+    def test_alphabet_has_eight_symbols(self):
+        assert len(ALPHABET) == 8
+        assert len(set(ALPHABET)) == 8
+
+    def test_base_value_binary(self):
+        assert encode(base(5)) == "101"
+        assert encode(base(0)) == "0"
+
+    def test_booleans(self):
+        assert encode(TRUE) == "1"
+        assert encode(FALSE) == "0"
+
+    def test_unit(self):
+        assert encode(UnitVal()) == "()"
+
+    def test_pair(self):
+        assert encode(pair(base(1), base(2))) == "(1,10)"
+
+    def test_set_no_duplicates_in_encoding(self):
+        enc = encode(from_python({1, 2, 3}))
+        inner = enc[1:-1].split(",")
+        assert len(inner) == len(set(inner))
+
+    def test_string_atom_requires_codes(self):
+        with pytest.raises(EncodingError):
+            encode(base("x"))
+
+    def test_negative_code_rejected(self):
+        with pytest.raises(EncodingError):
+            encode(base(1), {1: -1})
+
+    def test_minimal_encoding_renumbers_atoms(self):
+        v = from_python({100, 200})
+        assert minimal_encoding(v) == "{0,1}"
+
+    def test_atom_codes_preserve_order(self):
+        codes = atom_codes_for(from_python({30, 10, 20}))
+        assert codes == {10: 0, 20: 1, 30: 2}
+
+
+class TestBits:
+    def test_three_bits_per_symbol(self):
+        assert len(to_bits("{}")) == 6
+
+    def test_bits_roundtrip(self):
+        s = "{(0,1),(1,10)}"
+        assert from_bits(to_bits(s)) == s
+
+    def test_from_bits_rejects_bad_length(self):
+        with pytest.raises(EncodingError):
+            from_bits("01")
+
+    def test_encoded_length_bits(self):
+        v = from_python({1})
+        assert encoded_length_bits(v) == 3 * len(minimal_encoding(v))
+
+
+class TestDecode:
+    @pytest.mark.parametrize(
+        "data,type_text",
+        [
+            (frozenset({1, 2, 3}), "{D}"),
+            (frozenset({(1, 2), (3, 4)}), "{D x D}"),
+            (frozenset({(1, frozenset({2, 3}))}), "{D x {D}}"),
+            ((1, True), "D x B"),
+            (frozenset(), "{D}"),
+        ],
+    )
+    def test_roundtrip(self, data, type_text):
+        v = from_python(data)
+        t = parse_type(type_text)
+        assert roundtrip(v, t) == v
+
+    def test_decode_ignores_blanks(self):
+        t = parse_type("{D}")
+        assert decode("{_0_,_1_}", t) == from_python({0, 1})
+
+    def test_decode_rejects_duplicates(self):
+        with pytest.raises(EncodingError):
+            decode("{1,1}", parse_type("{D}"))
+
+    def test_decode_rejects_truncated(self):
+        with pytest.raises(EncodingError):
+            decode("{1,10", parse_type("{D}"))
+
+    def test_decode_rejects_trailing(self):
+        with pytest.raises(EncodingError):
+            decode("{1}1", parse_type("{D}"))
+
+    def test_decode_with_atom_map(self):
+        t = parse_type("{D}")
+        assert decode("{0,1}", t, {0: 100, 1: 200}) == from_python({100, 200})
+
+    def test_encodings_equal(self):
+        t = parse_type("{D}")
+        assert encodings_equal("{0,1}", "{_1_,0}", t)
+        assert not encodings_equal("{0,1}", "{0}", t)
+
+
+class TestBlanks:
+    def test_scatter_then_strip(self):
+        enc = "{10,11}"
+        blanked = scatter_blanks(enc, [0, 3, 7])
+        assert strip_blanks(blanked) == enc
+
+    def test_scatter_never_splits_numbers(self):
+        enc = "{10,11}"
+        blanked = scatter_blanks(enc, [2])
+        # position 2 falls inside "10"; the blank must not split the digits
+        assert "1_0" not in blanked and "1_1" not in blanked
+
+    def test_compact_blanks_moves_to_end(self):
+        assert compact_blanks("{_1_,_0_}") == "{1,0}" + BLANK * 4
+
+    def test_compact_preserves_length(self):
+        s = "{_1_,_0_}"
+        assert len(compact_blanks(s)) == len(s)
+
+
+class TestStringOps:
+    def test_match_parentheses_partners(self):
+        m = match_parentheses("{(0,1)}")
+        assert m.partner[0] == 6
+        assert m.partner[1] == 5
+
+    def test_match_parentheses_depth(self):
+        m = match_parentheses("{(0,1)}")
+        assert m.depth[0] == 1
+        assert m.depth[1] == 2
+
+    def test_match_rejects_unbalanced(self):
+        with pytest.raises(EncodingError):
+            match_parentheses("{(0,1)")
+        with pytest.raises(EncodingError):
+            match_parentheses("{0)}")
+
+    def test_element_starts_flat_set(self):
+        marks = element_starts("{0,1,10}")
+        assert marks == (0, 1, 0, 1, 0, 1, 0, 0)
+
+    def test_element_starts_with_blanks(self):
+        marks = element_starts("{_0,1}")
+        assert marks[2] == 1 and marks[4] == 1
+
+    def test_top_level_elements(self):
+        assert top_level_elements("{(0,1),(1,10)}") == ["(0,1)", "(1,10)"]
+
+    def test_top_level_elements_empty_set(self):
+        assert top_level_elements("{}") == []
+
+    def test_remove_duplicates_blanks_out_copies(self):
+        result = remove_duplicates("{10,10,11}")
+        assert strip_blanks(result) in ("{10,11}", "{10,11}")
+        assert len(result) == len("{10,10,11}")
+
+    def test_remove_duplicates_keeps_valid_decoding(self):
+        t = parse_type("{D}")
+        assert decode(remove_duplicates("{10,10,11}"), t) == from_python({2, 3})
+
+    def test_remove_duplicates_no_op_when_distinct(self):
+        assert remove_duplicates("{0,1}") == "{0,1}"

@@ -1,0 +1,96 @@
+"""Tests for the lifted linear order on complex objects."""
+
+import random
+
+import pytest
+
+from repro.objects.order import (
+    co_cmp,
+    co_le,
+    co_lt,
+    co_max,
+    co_min,
+    co_sorted,
+    from_rank,
+    is_sorted,
+    rank,
+    successor_pairs,
+)
+from repro.objects.values import FALSE, TRUE, base, from_python, mkset, pair
+
+
+class TestBasicOrder:
+    def test_integers_natural_order(self):
+        assert co_lt(base(1), base(2))
+        assert not co_lt(base(2), base(1))
+
+    def test_strings_natural_order(self):
+        assert co_lt(base("a"), base("b"))
+
+    def test_booleans(self):
+        assert co_lt(FALSE, TRUE)
+
+    def test_reflexive_le(self):
+        assert co_le(base(3), base(3))
+
+    def test_cmp_signs(self):
+        assert co_cmp(base(1), base(2)) < 0
+        assert co_cmp(base(2), base(1)) > 0
+        assert co_cmp(base(2), base(2)) == 0
+
+    def test_pairs_lexicographic(self):
+        assert co_lt(pair(base(1), base(9)), pair(base(2), base(0)))
+        assert co_lt(pair(base(1), base(1)), pair(base(1), base(2)))
+
+    def test_sets_by_cardinality_then_elements(self):
+        assert co_lt(mkset([base(5)]), mkset([base(1), base(2)]))
+        assert co_lt(mkset([base(1), base(2)]), mkset([base(1), base(3)]))
+
+
+class TestTotality:
+    def test_total_on_random_same_type_values(self):
+        rng = random.Random(7)
+        values = [from_python(frozenset(rng.sample(range(10), rng.randint(0, 4)))) for _ in range(20)]
+        for a in values:
+            for b in values:
+                assert co_le(a, b) or co_le(b, a)
+                if co_le(a, b) and co_le(b, a):
+                    assert a == b
+
+    def test_transitive(self):
+        a, b, c = base(1), base(5), base(9)
+        assert co_le(a, b) and co_le(b, c) and co_le(a, c)
+
+
+class TestUtilities:
+    def test_sorted_min_max(self):
+        vs = [base(3), base(1), base(2)]
+        assert [v.value for v in co_sorted(vs)] == [1, 2, 3]
+        assert co_min(vs) == base(1)
+        assert co_max(vs) == base(3)
+
+    def test_min_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            co_min([])
+
+    def test_is_sorted(self):
+        assert is_sorted([base(1), base(2), base(2)])
+        assert not is_sorted([base(2), base(1)])
+
+    def test_rank_roundtrip(self):
+        s = mkset([base(10), base(20), base(30)])
+        for i, v in enumerate(s.elements):
+            assert rank(s, v) == i
+            assert from_rank(s, i) == v
+
+    def test_rank_missing_element(self):
+        with pytest.raises(ValueError):
+            rank(mkset([base(1)]), base(2))
+
+    def test_from_rank_out_of_range(self):
+        with pytest.raises(ValueError):
+            from_rank(mkset([base(1)]), 3)
+
+    def test_successor_pairs(self):
+        s = mkset([base(3), base(1), base(2)])
+        assert successor_pairs(s) == [(base(1), base(2)), (base(2), base(3))]

@@ -1,0 +1,133 @@
+"""Tests for the complex object type grammar."""
+
+import pytest
+
+from repro.objects.types import (
+    BASE,
+    BOOL,
+    UNIT,
+    ProdType,
+    SetType,
+    format_type,
+    is_flat_type,
+    is_nra1_type,
+    is_ps_type,
+    parse_type,
+    prod,
+    relation_type,
+    set_height,
+    type_size,
+)
+
+
+class TestConstruction:
+    def test_singletons_are_equal(self):
+        assert BASE == BASE
+        assert BOOL == BOOL
+        assert UNIT == UNIT
+
+    def test_product_operator(self):
+        assert BASE * BOOL == ProdType(BASE, BOOL)
+
+    def test_set_of(self):
+        assert BASE.set_of() == SetType(BASE)
+
+    def test_prod_right_nesting(self):
+        assert prod(BASE, BOOL, UNIT) == ProdType(BASE, ProdType(BOOL, UNIT))
+
+    def test_prod_single(self):
+        assert prod(BASE) == BASE
+
+    def test_prod_empty_is_unit(self):
+        assert prod() == UNIT
+
+    def test_relation_type(self):
+        assert relation_type(1) == SetType(BASE)
+        assert relation_type(2) == SetType(ProdType(BASE, BASE))
+
+    def test_relation_type_rejects_zero(self):
+        with pytest.raises(ValueError):
+            relation_type(0)
+
+    def test_types_are_hashable(self):
+        s = {BASE, BOOL, SetType(BASE), SetType(BASE)}
+        assert len(s) == 3
+
+
+class TestSetHeight:
+    def test_atomic_heights(self):
+        assert set_height(BASE) == 0
+        assert set_height(BOOL) == 0
+        assert set_height(UNIT) == 0
+
+    def test_flat_relation_height(self):
+        assert set_height(relation_type(3)) == 1
+
+    def test_nested_height(self):
+        assert set_height(SetType(SetType(BASE))) == 2
+
+    def test_product_takes_max(self):
+        t = ProdType(SetType(BASE), SetType(SetType(BOOL)))
+        assert set_height(t) == 2
+
+
+class TestPredicates:
+    def test_flat_relation_is_flat(self):
+        assert is_flat_type(relation_type(2))
+
+    def test_product_of_relations_is_flat(self):
+        assert is_flat_type(ProdType(relation_type(1), relation_type(2)))
+
+    def test_nested_set_is_not_flat(self):
+        assert not is_flat_type(SetType(SetType(BASE)))
+
+    def test_base_alone_is_not_flat_type(self):
+        assert not is_flat_type(BASE)
+
+    def test_nra1_accepts_height_one(self):
+        assert is_nra1_type(relation_type(2))
+        assert is_nra1_type(BASE)
+
+    def test_nra1_rejects_height_two(self):
+        assert not is_nra1_type(SetType(relation_type(2)))
+
+    def test_set_is_ps_type(self):
+        assert is_ps_type(SetType(BASE))
+
+    def test_product_of_sets_is_ps_type(self):
+        assert is_ps_type(ProdType(SetType(BASE), SetType(BOOL)))
+
+    def test_bool_is_not_ps_type(self):
+        assert not is_ps_type(BOOL)
+
+    def test_pair_with_non_set_component_is_not_ps(self):
+        assert not is_ps_type(ProdType(SetType(BASE), BASE))
+
+
+class TestParseFormat:
+    @pytest.mark.parametrize(
+        "text",
+        ["D", "B", "unit", "{D}", "{D x D}", "{D x B} x {D}", "{{D x B}}", "(D x D) x B"],
+    )
+    def test_roundtrip(self, text):
+        t = parse_type(text)
+        assert parse_type(format_type(t)) == t
+
+    def test_product_is_right_associative(self):
+        assert parse_type("D x D x B") == prod(BASE, BASE, BOOL)
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_type("D x x")
+
+    def test_parse_rejects_unbalanced(self):
+        with pytest.raises(ValueError):
+            parse_type("{D")
+
+    def test_parse_rejects_unknown_symbol(self):
+        with pytest.raises(ValueError):
+            parse_type("Q")
+
+    def test_type_size(self):
+        assert type_size(BASE) == 1
+        assert type_size(parse_type("{D x B}")) == 4

@@ -1,0 +1,229 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.objects.encoding import (
+    compact_blanks,
+    decode,
+    minimal_encoding,
+    scatter_blanks,
+    strip_blanks,
+)
+from repro.objects.order import co_le, co_sorted, sort_key
+from repro.objects.types import parse_type
+from repro.objects.values import (
+    BaseVal,
+    BoolVal,
+    PairVal,
+    SetVal,
+    from_python,
+    infer_type,
+    mkset,
+    pair,
+    rename_atoms,
+    to_python,
+    value_size,
+)
+from repro.recursion.forms import EvaluationTrace, dcr, sri
+from repro.recursion.iterators import log_iterations, log_loop
+from repro.recursion.translations import (
+    dcr_via_esr,
+    dcr_via_log_loop,
+    dcr_via_sri,
+    log_loop_via_dcr,
+)
+from repro.relational.algebra import transitive_closure_seminaive, transitive_closure_squaring
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+atoms = st.integers(min_value=0, max_value=30)
+int_sets = st.frozensets(atoms, max_size=12)
+pair_sets = st.frozensets(st.tuples(atoms, atoms), max_size=10)
+bool_lists = st.lists(st.booleans(), max_size=20)
+
+nested_data = st.recursive(
+    atoms | st.booleans(),
+    lambda children: st.frozensets(children, max_size=3)
+    | st.tuples(children, children),
+    max_leaves=12,
+)
+
+
+# ---------------------------------------------------------------------------
+# Values, order, encodings
+# ---------------------------------------------------------------------------
+
+class TestValueProperties:
+    @given(nested_data)
+    def test_python_roundtrip(self, data):
+        assert to_python(from_python(data)) == data
+
+    @given(int_sets, int_sets)
+    def test_set_algebra_matches_python(self, a, b):
+        va, vb = from_python(a), from_python(b)
+        assert to_python(va.union(vb)) == a | b
+        assert to_python(va.intersection(vb)) == a & b
+        assert to_python(va.difference(vb)) == a - b
+
+    @given(st.lists(atoms, max_size=15))
+    def test_set_canonicalisation_is_order_insensitive(self, xs):
+        forwards = mkset(BaseVal(x) for x in xs)
+        backwards = mkset(BaseVal(x) for x in reversed(xs))
+        assert forwards == backwards
+        assert hash(forwards) == hash(backwards)
+
+    @given(nested_data, nested_data, nested_data)
+    def test_lifted_order_is_total_and_transitive(self, a, b, c):
+        va, vb, vc = from_python(a), from_python(b), from_python(c)
+        assert co_le(va, vb) or co_le(vb, va)
+        if co_le(va, vb) and co_le(vb, vc):
+            assert co_le(va, vc)
+        if co_le(va, vb) and co_le(vb, va):
+            assert va == vb
+
+    @given(int_sets)
+    def test_sorted_key_matches_co_sorted(self, data):
+        values = [BaseVal(x) for x in data]
+        assert co_sorted(values) == sorted(values, key=sort_key)
+
+    @given(nested_data)
+    def test_value_size_positive(self, data):
+        assert value_size(from_python(data)) >= 1
+
+    @given(int_sets)
+    def test_genericity_of_canonical_form(self, data):
+        # renaming atoms by an order-preserving map commutes with set formation
+        mapping = {a: a * 2 + 5 for a in data}
+        v = from_python(data)
+        assert rename_atoms(v, mapping) == from_python({mapping[a] for a in data})
+
+
+class TestEncodingProperties:
+    @given(int_sets)
+    def test_flat_set_roundtrip(self, data):
+        v = from_python(data)
+        t = parse_type("{D}")
+        assert decode(minimal_encoding(v), t) == from_python({i for i in range(len(data))}) or \
+            decode(minimal_encoding(v), t) == v or len(data) == len(decode(minimal_encoding(v), t))
+
+    @given(pair_sets)
+    def test_pair_set_roundtrip_preserves_cardinality(self, data):
+        v = from_python(data)
+        decoded = decode(minimal_encoding(v), parse_type("{D x D}"))
+        assert len(decoded) == len(v)
+        assert infer_type(decoded, parse_type("D x D").fst) is not None
+
+    @given(int_sets, st.lists(st.integers(min_value=0, max_value=40), max_size=8))
+    def test_blanks_do_not_change_the_denoted_object(self, data, positions):
+        v = from_python(data)
+        enc = minimal_encoding(v)
+        blanked = scatter_blanks(enc, [p % (len(enc) + 1) for p in positions])
+        assert strip_blanks(blanked) == enc
+        assert decode(blanked, parse_type("{D}")) == decode(enc, parse_type("{D}"))
+
+    @given(int_sets)
+    def test_compact_blanks_preserves_symbols(self, data):
+        enc = scatter_blanks(minimal_encoding(from_python(data)), [0, 1, 2])
+        compacted = compact_blanks(enc)
+        assert strip_blanks(compacted) == strip_blanks(enc)
+        assert len(compacted) == len(enc)
+
+
+# ---------------------------------------------------------------------------
+# Recursion invariants
+# ---------------------------------------------------------------------------
+
+def _sum_instance():
+    return BaseVal(0), lambda x: x, lambda a, b: BaseVal(a.value + b.value)
+
+
+class TestRecursionProperties:
+    @given(int_sets)
+    def test_dcr_sum_equals_python_sum(self, data):
+        e, f, u = _sum_instance()
+        assert dcr(e, f, u, from_python(data)).value == sum(data)
+
+    @given(int_sets)
+    def test_dcr_equals_its_translations(self, data):
+        e, f, u = _sum_instance()
+        s = from_python(data)
+        direct = dcr(e, f, u, s)
+        assert dcr_via_esr(e, f, u, s) == direct
+        assert dcr_via_sri(e, f, u, s) == direct
+        assert dcr_via_log_loop(e, f, u, s) == direct
+
+    @given(bool_lists)
+    def test_parity_via_dcr_matches_xor(self, bits):
+        s = mkset(pair(BaseVal(i), BoolVal(b)) for i, b in enumerate(bits))
+        result = dcr(
+            BoolVal(False),
+            lambda y: y.snd,
+            lambda a, b: BoolVal(a.value != b.value),
+            s,
+        )
+        expected = False
+        for b in bits:
+            expected ^= b
+        assert result.value is expected
+
+    @given(int_sets)
+    def test_dcr_depth_is_logarithmic(self, data):
+        e, f, u = _sum_instance()
+        trace = EvaluationTrace()
+        dcr(e, f, u, from_python(data), trace)
+        n = len(data)
+        assert trace.depth <= math.ceil(math.log2(n)) + 1 if n > 1 else trace.depth <= 1
+
+    @given(int_sets)
+    def test_sri_work_equals_cardinality(self, data):
+        trace = EvaluationTrace()
+        sri(BaseVal(0), lambda x, acc: BaseVal(x.value + acc.value), from_python(data), trace)
+        assert trace.work == len(data)
+
+    @given(int_sets, st.integers(min_value=0, max_value=50))
+    def test_log_loop_via_dcr_agrees(self, data, start):
+        x = from_python(data)
+        step = lambda v: BaseVal(v.value * 2 + 1)
+        assert log_loop_via_dcr(step, x, BaseVal(start)) == log_loop(step, x, BaseVal(start))
+
+    @given(int_sets)
+    def test_log_iterations_is_bit_length(self, data):
+        assert log_iterations(len(data)) == len(data).bit_length()
+
+
+# ---------------------------------------------------------------------------
+# Relational invariants
+# ---------------------------------------------------------------------------
+
+class TestRelationalProperties:
+    @given(pair_sets)
+    def test_tc_algorithms_agree(self, edges):
+        a, _ = transitive_closure_seminaive(edges)
+        b, _ = transitive_closure_squaring(edges)
+        assert a == b
+
+    @given(pair_sets)
+    def test_tc_is_idempotent_and_monotone(self, edges):
+        closure, _ = transitive_closure_squaring(edges)
+        again, _ = transitive_closure_squaring(closure)
+        assert again == closure
+        assert edges <= closure
+
+    @settings(max_examples=25)
+    @given(pair_sets)
+    def test_circuit_tc_matches_oracle(self, edges):
+        from repro.circuits.compile_flat import compile_query, tc_squaring_query
+
+        nodes = {a for e in edges for a in e}
+        n = (max(nodes) + 1) if nodes else 1
+        if n > 8:
+            edges = frozenset((a % 8, b % 8) for a, b in edges)
+            n = 8
+        compiled = compile_query(tc_squaring_query(), n)
+        expected, _ = transitive_closure_squaring(edges)
+        assert compiled.run({"r": edges}) == expected

@@ -1,0 +1,132 @@
+"""Tests for the algebraic precondition checker and the undecidability gadget."""
+
+from repro.objects.values import base, from_python, mkset, singleton
+from repro.recursion.algebraic import (
+    carrier_closure,
+    check_dcr_preconditions,
+    check_sri_preconditions,
+    conditional_operation,
+    difference_op,
+    has_identity,
+    is_associative,
+    is_commutative,
+    is_i_commutative,
+    is_i_idempotent,
+    is_idempotent,
+    union_op,
+)
+
+
+def plus(a, b):
+    return base(a.value + b.value)
+
+
+def minus(a, b):
+    return base(a.value - b.value)
+
+
+SMALL_INTS = [base(i) for i in range(4)]
+
+
+class TestIdentityChecks:
+    def test_plus_is_associative_commutative(self):
+        assert is_associative(plus, SMALL_INTS) is None
+        assert is_commutative(plus, SMALL_INTS) is None
+
+    def test_minus_violations_reported_with_witnesses(self):
+        violation = is_commutative(minus, SMALL_INTS)
+        assert violation is not None
+        assert violation.identity == "commutativity"
+        assert len(violation.witnesses) == 2
+
+    def test_zero_is_identity_for_plus(self):
+        assert has_identity(plus, base(0), SMALL_INTS) is None
+        assert has_identity(plus, base(1), SMALL_INTS) is not None
+
+    def test_union_is_idempotent_plus_is_not(self):
+        sets = [from_python(set(range(i))) for i in range(3)]
+        assert is_idempotent(union_op, sets) is None
+        assert is_idempotent(plus, [base(2)]) is not None
+
+    def test_insert_identities(self):
+        elems = [base(1), base(2)]
+        carrier = [from_python(set()), from_python({1}), from_python({1, 2})]
+        insert = lambda x, s: s.union(singleton(x))
+        assert is_i_commutative(insert, elems, carrier) is None
+        assert is_i_idempotent(insert, elems, carrier) is None
+
+    def test_non_i_idempotent_insert_detected(self):
+        elems = [base(1)]
+        carrier = [base(0), base(1), base(2)]
+        count_insert = lambda x, acc: base(acc.value + 1)
+        assert is_i_idempotent(count_insert, elems, carrier) is not None
+
+
+class TestCarrierClosure:
+    def test_closure_under_union(self):
+        seeds = [from_python({1}), from_python({2})]
+        carrier, truncated = carrier_closure(seeds, union_op, max_size=16)
+        assert not truncated
+        assert from_python({1, 2}) in carrier
+
+    def test_truncation_flag(self):
+        seeds = [base(1)]
+        carrier, truncated = carrier_closure(seeds, plus, max_size=5)
+        assert truncated
+        assert len(carrier) == 5
+
+
+class TestCombinedChecks:
+    def test_dcr_preconditions_hold_for_union(self):
+        report = check_dcr_preconditions(
+            mkset(), singleton, union_op, list(from_python({1, 2, 3})), max_carrier=32
+        )
+        assert report.ok
+
+    def test_dcr_preconditions_fail_for_difference(self):
+        report = check_dcr_preconditions(
+            mkset(), singleton, difference_op, list(from_python({1, 2})), max_carrier=16
+        )
+        assert not report.ok
+        assert any("assoc" in str(v) or "commut" in str(v) or "identity" in str(v)
+                   for v in report.violations)
+
+    def test_sru_requires_idempotence(self):
+        report = check_dcr_preconditions(
+            base(0), lambda x: x, plus, [base(1), base(2)],
+            max_carrier=16, require_idempotence=True,
+        )
+        assert not report.ok
+        assert any(v.identity == "idempotence" for v in report.violations)
+
+    def test_sri_preconditions_for_set_insertion(self):
+        insert = lambda x, s: s.union(singleton(x))
+        report = check_sri_preconditions(mkset(), insert, list(from_python({1, 2})), max_carrier=16)
+        assert report.ok
+
+    def test_esr_mode_skips_i_idempotence(self):
+        count_insert = lambda x, acc: base(acc.value + 1)
+        strict = check_sri_preconditions(
+            base(0), count_insert, [base(1)], max_carrier=8, require_i_idempotence=True
+        )
+        relaxed = check_sri_preconditions(
+            base(0), count_insert, [base(1)], max_carrier=8, require_i_idempotence=False
+        )
+        assert not strict.ok
+        assert relaxed.ok
+
+    def test_report_string_mentions_status(self):
+        report = check_dcr_preconditions(
+            mkset(), singleton, union_op, list(from_python({1})), max_carrier=8
+        )
+        assert "well-defined" in str(report)
+
+
+class TestUndecidabilityGadget:
+    def test_gadget_is_well_behaved_iff_predicate_true(self):
+        sets = [from_python(set()), from_python({1}), from_python({2}), from_python({1, 2})]
+        good = conditional_operation(True, union_op, difference_op)
+        bad = conditional_operation(False, union_op, difference_op)
+        assert is_associative(good, sets) is None
+        assert is_commutative(good, sets) is None
+        assert (is_associative(bad, sets) is not None) or (is_commutative(bad, sets) is not None)

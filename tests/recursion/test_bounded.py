@@ -1,0 +1,120 @@
+"""Tests for bounded recursion (bdcr, bsri) and PS-type intersection."""
+
+import pytest
+
+from repro.objects.types import BASE, BOOL, ProdType, SetType, parse_type
+from repro.objects.values import (
+    BaseVal,
+    PairVal,
+    SetVal,
+    base,
+    from_python,
+    mkset,
+    pair,
+    singleton,
+)
+from repro.recursion.bounded import (
+    BoundingError,
+    bdcr,
+    bsri,
+    powerset_via_dcr,
+    ps_intersect,
+    ps_intersect_values,
+    require_ps_type,
+)
+
+
+class TestPsIntersect:
+    def test_set_intersection(self):
+        a = from_python({1, 2, 3})
+        b = from_python({2, 3, 4})
+        assert ps_intersect(a, b, parse_type("{D}")) == from_python({2, 3})
+
+    def test_pair_of_sets(self):
+        t = parse_type("{D} x {D}")
+        a = pair(from_python({1, 2}), from_python({3}))
+        b = pair(from_python({2}), from_python({3, 4}))
+        assert ps_intersect(a, b, t) == pair(from_python({2}), from_python({3}))
+
+    def test_rejects_non_ps_type(self):
+        with pytest.raises(BoundingError):
+            ps_intersect(base(1), base(1), BASE)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(BoundingError):
+            ps_intersect(base(1), from_python({1}), parse_type("{D}"))
+
+    def test_value_directed_matches_typed(self):
+        t = parse_type("{D} x {D}")
+        a = pair(from_python({1, 2}), from_python({3}))
+        b = pair(from_python({2}), from_python({3, 4}))
+        assert ps_intersect_values(a, b) == ps_intersect(a, b, t)
+
+    def test_require_ps_type(self):
+        require_ps_type(parse_type("{D}"))
+        with pytest.raises(BoundingError):
+            require_ps_type(BOOL)
+
+
+class TestBdcr:
+    def test_bounded_union_equals_unbounded_when_bound_contains_everything(self):
+        s = from_python({1, 2, 3})
+        bound = from_python({1, 2, 3, 4, 5})
+        result = bdcr(mkset(), singleton, lambda a, b: a.union(b), bound, parse_type("{D}"), s)
+        assert result == s
+
+    def test_bound_clips_results(self):
+        s = from_python({1, 2, 3})
+        bound = from_python({1, 2})
+        result = bdcr(mkset(), singleton, lambda a, b: a.union(b), bound, parse_type("{D}"), s)
+        assert result == from_python({1, 2})
+
+    def test_rejects_non_ps_result_type(self):
+        with pytest.raises(BoundingError):
+            bdcr(base(0), lambda x: x, lambda a, b: a, base(9), BASE, from_python({1}))
+
+    def test_bounded_powerset_stays_within_bound(self):
+        s = from_python({1, 2, 3})
+        result_type = parse_type("{{D}}")
+        bound = mkset([mkset(), singleton(base(1)), singleton(base(2)), singleton(base(3))])
+
+        def item(x):
+            return mkset([mkset(), singleton(x)])
+
+        def combine(p1, p2):
+            return mkset(a.union(b) for a in p1 for b in p2)
+
+        result = bdcr(mkset([mkset()]), item, combine, bound, result_type, s)
+        assert result.is_subset(bound)
+        assert len(result) <= len(bound)
+
+
+class TestBsri:
+    def test_bounded_collect(self):
+        s = from_python({1, 2, 3})
+        bound = from_python({1, 3})
+        result = bsri(
+            mkset(),
+            lambda x, acc: acc.union(singleton(x)),
+            bound,
+            parse_type("{D}"),
+            s,
+        )
+        assert result == from_python({1, 3})
+
+    def test_rejects_non_ps_type(self):
+        with pytest.raises(BoundingError):
+            bsri(base(0), lambda x, acc: acc, base(1), BASE, from_python({1}))
+
+
+class TestPowerset:
+    @pytest.mark.parametrize("n,expected", [(0, 1), (1, 2), (3, 8), (5, 32)])
+    def test_powerset_sizes(self, n, expected):
+        s = from_python(set(range(n)))
+        assert len(powerset_via_dcr(s)) == expected
+
+    def test_powerset_contains_empty_and_full(self):
+        s = from_python({1, 2})
+        p = powerset_via_dcr(s)
+        assert mkset() in p
+        assert s in p

@@ -1,0 +1,144 @@
+"""Tests for dcr / sru / sri / esr and their work/depth traces."""
+
+import pytest
+
+from repro.objects.values import (
+    FALSE,
+    TRUE,
+    BaseVal,
+    BoolVal,
+    PairVal,
+    SetVal,
+    base,
+    boolean,
+    from_python,
+    mkset,
+    pair,
+    singleton,
+    to_python,
+)
+from repro.recursion.forms import EvaluationTrace, dcr, esr, sri, sru
+
+
+def xor(a, b):
+    return boolean(a.value != b.value)
+
+
+def tagged_bools(bits):
+    return mkset(pair(base(i), boolean(b)) for i, b in enumerate(bits))
+
+
+def snd(y):
+    return y.snd
+
+
+class TestDcr:
+    def test_empty_set_returns_seed(self):
+        assert dcr(FALSE, snd, xor, mkset()) == FALSE
+
+    def test_singleton_applies_item(self):
+        s = tagged_bools([True])
+        assert dcr(FALSE, snd, xor, s) == TRUE
+
+    @pytest.mark.parametrize("bits", [[True], [True, True], [True, False, True], [True] * 7])
+    def test_parity(self, bits):
+        expected = boolean(sum(bits) % 2 == 1)
+        assert dcr(FALSE, snd, xor, tagged_bools(bits)) == expected
+
+    def test_sum_via_dcr(self):
+        s = from_python({1, 2, 3, 4})
+        total = dcr(base(0), lambda x: x, lambda a, b: base(a.value + b.value), s)
+        assert total == base(10)
+
+    def test_union_collect(self):
+        s = from_python({1, 2, 3})
+        result = dcr(mkset(), singleton, lambda a, b: a.union(b), s)
+        assert result == s
+
+    def test_rejects_non_set(self):
+        with pytest.raises(Exception):
+            dcr(FALSE, snd, xor, base(1))  # type: ignore[arg-type]
+
+    def test_trace_depth_is_logarithmic(self):
+        t16 = EvaluationTrace()
+        dcr(base(0), lambda x: x, lambda a, b: base(a.value + b.value), from_python(set(range(16))), t16)
+        t256 = EvaluationTrace()
+        dcr(base(0), lambda x: x, lambda a, b: base(a.value + b.value), from_python(set(range(256))), t256)
+        assert t16.depth == 5  # 1 leaf + 4 combine levels
+        assert t256.depth == 9
+        assert t256.combine_rounds == 8
+
+    def test_trace_work_counts_applications(self):
+        t = EvaluationTrace()
+        dcr(base(0), lambda x: x, lambda a, b: base(a.value + b.value), from_python(set(range(8))), t)
+        assert t.work == 8 + 7  # n item applications, n-1 combines
+
+
+class TestSru:
+    def test_agrees_with_dcr_on_idempotent_ops(self):
+        s = from_python({3, 1, 4, 1, 5})
+        a = sru(mkset(), singleton, lambda x, y: x.union(y), s)
+        b = dcr(mkset(), singleton, lambda x, y: x.union(y), s)
+        assert a == b
+
+    def test_max_via_sru(self):
+        s = from_python({3, 9, 2})
+        mx = sru(base(0), lambda x: x, lambda a, b: base(max(a.value, b.value)), s)
+        assert mx == base(9)
+
+
+class TestSriEsr:
+    def test_sri_empty(self):
+        assert sri(base(0), lambda x, acc: base(acc.value + x.value), mkset()) == base(0)
+
+    def test_sri_sum(self):
+        s = from_python({1, 2, 3})
+        assert sri(base(0), lambda x, acc: base(acc.value + x.value), s) == base(6)
+
+    def test_sri_collect(self):
+        s = from_python({1, 2, 3})
+        result = sri(mkset(), lambda x, acc: acc.union(singleton(x)), s)
+        assert result == s
+
+    def test_esr_parity(self):
+        s = tagged_bools([True, True, True])
+        result = esr(FALSE, lambda y, acc: boolean(y.snd.value != acc.value), s)
+        assert result == TRUE
+
+    def test_sri_depth_is_linear(self):
+        t = EvaluationTrace()
+        sri(base(0), lambda x, acc: base(acc.value + x.value), from_python(set(range(64))), t)
+        assert t.depth == 64
+        assert t.work == 64
+
+    def test_sri_rejects_non_set(self):
+        with pytest.raises(Exception):
+            sri(base(0), lambda x, acc: acc, base(1))  # type: ignore[arg-type]
+
+    def test_dcr_and_esr_agree_when_preconditions_hold(self):
+        s = from_python({2, 4, 6, 8})
+        via_dcr = dcr(base(0), lambda x: x, lambda a, b: base(a.value + b.value), s)
+        via_esr = esr(base(0), lambda x, acc: base(x.value + acc.value), s)
+        assert via_dcr == via_esr
+
+
+class TestTransitiveClosureViaDcr:
+    def test_path_graph(self):
+        edges = {(i, i + 1) for i in range(6)}
+        r = from_python(edges)
+
+        def comp(r1, r2):
+            out = []
+            for p in r1:
+                for q in r2:
+                    if p.snd == q.fst:
+                        out.append(pair(p.fst, q.snd))
+            return mkset(out)
+
+        def combine(a, b):
+            return a.union(b).union(comp(a, b)).union(comp(b, a))
+
+        nodes = from_python({i for e in edges for i in e})
+        tc = dcr(mkset(), lambda y: r, combine, nodes)
+        expected = {(i, j) for i in range(7) for j in range(7) if i < j}
+        assert to_python(tc) == frozenset(expected)

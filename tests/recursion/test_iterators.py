@@ -1,0 +1,109 @@
+"""Tests for loop / log_loop and their bounded versions."""
+
+import pytest
+
+from repro.objects.types import parse_type
+from repro.objects.values import BaseVal, base, from_python, mkset, singleton
+from repro.recursion.forms import EvaluationTrace
+from repro.recursion.iterators import (
+    blog_loop,
+    bloop,
+    iterate,
+    iteration_count,
+    log_iterations,
+    log_loop,
+    loop,
+    nested_log_loop,
+)
+
+
+def inc(v):
+    return base(v.value + 1)
+
+
+class TestLogIterations:
+    @pytest.mark.parametrize("n,expected", [(0, 0), (1, 1), (2, 2), (3, 2), (4, 3), (7, 3), (8, 4), (1023, 10)])
+    def test_bit_length(self, n, expected):
+        assert log_iterations(n) == expected
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            log_iterations(-1)
+
+
+class TestLoops:
+    def test_loop_applies_cardinality_times(self):
+        x = from_python(set(range(5)))
+        assert loop(inc, x, base(0)) == base(5)
+
+    def test_log_loop_applies_bit_length_times(self):
+        x = from_python(set(range(5)))
+        assert log_loop(inc, x, base(0)) == base(3)
+
+    def test_empty_set_means_no_iterations(self):
+        assert loop(inc, mkset(), base(7)) == base(7)
+        assert log_loop(inc, mkset(), base(7)) == base(7)
+
+    def test_iterate_explicit(self):
+        assert iterate(inc, base(0), 4) == base(4)
+
+    def test_loop_rejects_non_set(self):
+        with pytest.raises(TypeError):
+            loop(inc, base(1), base(0))  # type: ignore[arg-type]
+
+    def test_trace_records_rounds(self):
+        t = EvaluationTrace()
+        log_loop(inc, from_python(set(range(16))), base(0), t)
+        assert t.depth == 5
+        assert t.work == 5
+
+
+class TestBoundedLoops:
+    def test_blog_loop_clips_each_step(self):
+        x = from_python(set(range(8)))
+        bound = from_python({0, 1, 2})
+
+        def grow(s):
+            return s.union(singleton(base(max((e.value for e in s), default=-1) + 1)))
+
+        unbounded = log_loop(grow, x, mkset())
+        bounded = blog_loop(grow, bound, parse_type("{D}"), x, mkset())
+        assert len(unbounded) == 4
+        assert bounded.is_subset(bound)
+
+    def test_bloop_clips_each_step(self):
+        x = from_python(set(range(4)))
+        bound = from_python({0, 1})
+
+        def grow(s):
+            return s.union(singleton(base(len(s))))
+
+        bounded = bloop(grow, bound, parse_type("{D}"), x, mkset())
+        assert bounded.is_subset(bound)
+
+    def test_bounded_requires_ps_type(self):
+        from repro.objects.types import BASE
+        from repro.recursion.bounded import BoundingError
+
+        with pytest.raises(BoundingError):
+            blog_loop(inc, base(9), BASE, from_python({1}), base(0))
+
+
+class TestNestedLogLoop:
+    def test_depth_one_equals_log_loop(self):
+        x = from_python(set(range(9)))
+        assert nested_log_loop(inc, x, base(0), 1) == log_loop(inc, x, base(0))
+
+    def test_depth_two_squares_the_count(self):
+        x = from_python(set(range(15)))  # bit length 4
+        result = nested_log_loop(inc, x, base(0), 2)
+        assert result == base(16)
+
+    def test_iteration_count_matches(self):
+        x = from_python(set(range(15)))
+        for k in (1, 2, 3):
+            assert nested_log_loop(inc, x, base(0), k) == base(iteration_count(x, k))
+
+    def test_rejects_zero_nesting(self):
+        with pytest.raises(ValueError):
+            nested_log_loop(inc, mkset(), base(0), 0)

@@ -1,0 +1,200 @@
+"""Tests for the constructive translations of Propositions 2.1, 2.2 and 7.3."""
+
+import pytest
+
+from repro.objects.types import parse_type
+from repro.objects.values import (
+    FALSE,
+    base,
+    boolean,
+    from_python,
+    mkset,
+    pair,
+    singleton,
+)
+from repro.recursion.algebraic import check_dcr_preconditions
+from repro.recursion.forms import EvaluationTrace, dcr, esr, sri, sru
+from repro.recursion.iterators import log_iterations, log_loop, loop
+from repro.recursion.translations import (
+    dcr_via_bdcr_flat,
+    dcr_via_esr,
+    dcr_via_log_loop,
+    dcr_via_sri,
+    esr_via_sri,
+    flat_bound,
+    log_loop_via_dcr,
+    loop_via_esr,
+    ordered_dcr,
+    set_reduce,
+    simulation_dcr_instance,
+    sri_via_loop,
+    sru_via_sri,
+)
+
+
+# -- shared instances --------------------------------------------------------
+
+def sum_instance():
+    e = base(0)
+    f = lambda x: x
+    u = lambda a, b: base(a.value + b.value)
+    return e, f, u
+
+
+def parity_instance():
+    e = FALSE
+    f = lambda y: y.snd
+    u = lambda a, b: boolean(a.value != b.value)
+    return e, f, u
+
+
+def tagged(bits):
+    return mkset(pair(base(i), boolean(b)) for i, b in enumerate(bits))
+
+
+INPUT_SETS = [set(), {5}, {1, 2}, {1, 2, 3, 4, 5, 6, 7}, set(range(20))]
+
+
+class TestProposition21:
+    @pytest.mark.parametrize("data", INPUT_SETS)
+    def test_dcr_via_esr_agrees(self, data):
+        e, f, u = sum_instance()
+        s = from_python(data)
+        assert dcr_via_esr(e, f, u, s) == dcr(e, f, u, s)
+
+    @pytest.mark.parametrize("data", INPUT_SETS)
+    def test_dcr_via_sri_agrees(self, data):
+        e, f, u = sum_instance()
+        s = from_python(data)
+        assert dcr_via_sri(e, f, u, s) == dcr(e, f, u, s)
+
+    @pytest.mark.parametrize("data", INPUT_SETS)
+    def test_sru_via_sri_agrees(self, data):
+        s = from_python(data)
+        direct = sru(mkset(), singleton, lambda a, b: a.union(b), s)
+        translated = sru_via_sri(mkset(), singleton, lambda a, b: a.union(b), s)
+        assert direct == translated
+
+    def test_esr_via_sri_agrees_on_parity(self):
+        bits = [True, False, True, True]
+        s = tagged(bits)
+        insert = lambda y, acc: boolean(y.snd.value != acc.value)
+        assert esr_via_sri(FALSE, insert, s) == esr(FALSE, insert, s)
+
+    def test_translation_overhead_is_polynomial(self):
+        e, f, u = sum_instance()
+        s = from_python(set(range(32)))
+        direct = EvaluationTrace()
+        dcr(e, f, u, s, direct)
+        translated = EvaluationTrace()
+        dcr_via_sri(e, f, u, s, translated)
+        assert translated.work <= 10 * direct.work + 100
+
+
+class TestProposition22:
+    def test_flat_bound_covers_active_domain_relation(self):
+        t = parse_type("{D x D}")
+        bound = flat_bound(t, [0, 1, 2])
+        assert len(bound) == 9
+
+    def test_dcr_via_bdcr_flat_transitive_closure(self):
+        edges = {(0, 1), (1, 2), (2, 3)}
+        r = from_python(edges)
+        atoms = sorted({a for e in edges for a in e})
+
+        def comp(r1, r2):
+            return mkset(
+                pair(p.fst, q.snd) for p in r1 for q in r2 if p.snd == q.fst
+            )
+
+        def combine(a, b):
+            return a.union(b).union(comp(a, b)).union(comp(b, a))
+
+        nodes = from_python(set(atoms))
+        unbounded = dcr(mkset(), lambda y: r, combine, nodes)
+        bounded = dcr_via_bdcr_flat(
+            mkset(), lambda y: r, combine, parse_type("{D x D}"), atoms, nodes
+        )
+        assert bounded == unbounded
+
+    def test_flat_bound_rejects_nested_type(self):
+        with pytest.raises(TypeError):
+            flat_bound(parse_type("{{D}}"), [0, 1])
+
+
+class TestProposition73:
+    @pytest.mark.parametrize("bits", [[], [True], [True, False, True], [True] * 9, [False, True] * 8])
+    def test_dcr_via_log_loop_parity(self, bits):
+        e, f, u = parity_instance()
+        s = tagged(bits)
+        assert dcr_via_log_loop(e, f, u, s) == dcr(e, f, u, s)
+
+    @pytest.mark.parametrize("data", INPUT_SETS)
+    def test_dcr_via_log_loop_sum(self, data):
+        e, f, u = sum_instance()
+        s = from_python(data)
+        assert dcr_via_log_loop(e, f, u, s) == dcr(e, f, u, s)
+
+    def test_dcr_via_log_loop_uses_logarithmic_rounds(self):
+        e, f, u = sum_instance()
+        s = from_python(set(range(64)))
+        trace = EvaluationTrace()
+        dcr_via_log_loop(e, f, u, s, trace)
+        assert trace.combine_rounds <= log_iterations(64)
+
+    @pytest.mark.parametrize("n", [0, 1, 5, 16, 33])
+    def test_log_loop_via_dcr(self, n):
+        x = from_python(set(range(n)))
+        step = lambda v: base(v.value * 2 + 1)
+        assert log_loop_via_dcr(step, x, base(0)) == log_loop(step, x, base(0))
+
+    def test_simulation_instance_satisfies_dcr_preconditions(self):
+        step = lambda v: base(v.value + 3)
+        e, f_elem, u = simulation_dcr_instance(step, base(1))
+        report = check_dcr_preconditions(
+            e, f_elem, u, list(from_python({10, 20, 30})), max_carrier=40
+        )
+        assert report.ok, str(report)
+
+    @pytest.mark.parametrize("n", [0, 1, 4, 9])
+    def test_loop_via_esr(self, n):
+        x = from_python(set(range(n)))
+        step = lambda v: base(v.value + 2)
+        assert loop_via_esr(step, x, base(0)) == loop(step, x, base(0))
+
+    @pytest.mark.parametrize("data", INPUT_SETS)
+    def test_sri_via_loop(self, data):
+        s = from_python(data)
+        insert = lambda x, acc: base(acc.value * 2 + x.value)
+        assert sri_via_loop(base(0), insert, s) == sri(base(0), insert, s)
+
+
+class TestOrderedRecursions:
+    def test_set_reduce_consumes_in_increasing_order(self):
+        s = from_python({3, 1, 2})
+        # Build a list by consing: the first applied element must be the least.
+        result = set_reduce(
+            lambda x, acc: pair(x, acc), from_python(set()), s
+        )
+        assert result.fst == base(1)
+
+    def test_set_reduce_equals_sri_for_commutative_ops(self):
+        s = from_python({4, 7, 9})
+        insert = lambda x, acc: base(x.value + acc.value)
+        assert set_reduce(insert, base(0), s) == sri(base(0), insert, s)
+
+    def test_ordered_dcr_equals_dcr_for_assoc_comm_ops(self):
+        e, f, u = sum_instance()
+        s = from_python(set(range(11)))
+        assert ordered_dcr(u, f, e, s) == dcr(e, f, u, s)
+
+    def test_ordered_dcr_allows_non_commutative_ops(self):
+        # String concatenation in order: well-defined because of the ordering.
+        s = from_python({2, 1, 3})
+        result = ordered_dcr(
+            lambda a, b: base(str(a.value) + str(b.value)),
+            lambda x: base(str(x.value)),
+            base(""),
+            s,
+        )
+        assert result == base("123")

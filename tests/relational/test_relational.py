@@ -1,0 +1,179 @@
+"""Tests for relations, ordered databases, the baseline algebra and the query library."""
+
+import pytest
+
+from repro.nra.cost import cost_run
+from repro.nra.eval import run
+from repro.objects.types import SetType, parse_type
+from repro.objects.values import from_python, to_python
+from repro.relational.algebra import (
+    active_domain,
+    cartesian,
+    compose,
+    difference,
+    intersection,
+    is_connected,
+    parity_of,
+    project,
+    reachable_from,
+    rows,
+    select,
+    transitive_closure_naive,
+    transitive_closure_seminaive,
+    transitive_closure_squaring,
+    union,
+)
+from repro.relational.database import OrderedDatabase, is_generic_query, order_preserving_renaming
+from repro.relational.queries import (
+    cardinality_parity_dcr,
+    parity_dcr,
+    parity_esr,
+    reachable_pairs_query,
+    run_tc,
+    tagged_boolean_set,
+    transitive_closure_dcr,
+    transitive_closure_logloop,
+    transitive_closure_sri,
+)
+from repro.relational.relation import Relation
+from repro.workloads.graphs import path_graph, random_graph
+
+
+class TestRelation:
+    def test_from_pairs_and_len(self):
+        r = Relation.from_pairs("r", [(1, 2), (2, 3), (1, 2)])
+        assert len(r) == 2
+        assert (1, 2) in r
+
+    def test_arity_validation(self):
+        with pytest.raises(ValueError):
+            Relation.from_tuples("r", 2, [(1, 2, 3)])
+        with pytest.raises(ValueError):
+            Relation("r", 0)
+
+    def test_atom_validation(self):
+        with pytest.raises(TypeError):
+            Relation.from_pairs("r", [(1.5, 2)])  # type: ignore[list-item]
+
+    def test_value_and_back(self):
+        r = Relation.from_pairs("r", [(1, 2), (3, 4)])
+        assert r.type == parse_type("{D x D}")
+        assert Relation.from_value("r", r.value(), 2).tuples == r.tuples
+
+    def test_unary_relation(self):
+        r = Relation.unary("s", [5, 6])
+        assert r.arity == 1
+        assert to_python(r.value()) == frozenset({5, 6})
+
+    def test_active_domain_and_project(self):
+        r = Relation.from_pairs("r", [(1, 2), (2, 3)])
+        assert r.active_domain() == frozenset({1, 2, 3})
+        assert r.project(0) == frozenset({(1,), (2,)})
+
+    def test_iteration_is_sorted(self):
+        r = Relation.from_pairs("r", [(3, 1), (1, 2)])
+        assert list(r) == [(1, 2), (3, 1)]
+
+
+class TestDatabase:
+    def test_environment_binds_relations(self):
+        db = OrderedDatabase.of(Relation.from_pairs("r", [(1, 2)]))
+        env = db.environment()
+        assert to_python(env["r"]) == frozenset({(1, 2)})
+
+    def test_duplicate_relation_rejected(self):
+        db = OrderedDatabase.of(Relation.from_pairs("r", [(1, 2)]))
+        with pytest.raises(ValueError):
+            db.add(Relation.from_pairs("r", []))
+
+    def test_active_domain_sorted(self):
+        db = OrderedDatabase.of(Relation.from_pairs("r", [(3, 1), (2, 5)]))
+        assert db.active_domain() == [1, 2, 3, 5]
+
+    def test_renaming_is_order_preserving(self):
+        import random
+
+        mapping = order_preserving_renaming([1, 5, 9], random.Random(0))
+        assert mapping[1] < mapping[5] < mapping[9]
+
+    def test_tc_query_is_generic(self):
+        db = OrderedDatabase.of(path_graph(6))
+        query = lambda d: run(transitive_closure_dcr(), d["r"].value())
+        assert is_generic_query(query, db)
+
+
+class TestBaselineAlgebra:
+    R = rows([(1, 2), (2, 3), (3, 4)])
+
+    def test_set_operations(self):
+        s = rows([(2, 3), (9, 9)])
+        assert union(self.R, s) == self.R | s
+        assert difference(self.R, s) == rows([(1, 2), (3, 4)])
+        assert intersection(self.R, s) == rows([(2, 3)])
+
+    def test_cartesian_select_project(self):
+        prod = cartesian(rows([(1,)]), rows([(2,), (3,)]))
+        assert prod == rows([(1, 2), (1, 3)])
+        assert select(self.R, lambda t: t[0] == 1) == rows([(1, 2)])
+        assert project(self.R, (1,)) == rows([(2,), (3,), (4,)])
+
+    def test_compose(self):
+        assert compose(rows([(1, 2)]), rows([(2, 5)])) == rows([(1, 5)])
+
+    def test_three_tc_algorithms_agree(self):
+        for edges in (self.R, rows([(i, (i + 1) % 8) for i in range(8)]), frozenset()):
+            naive, _ = transitive_closure_naive(edges)
+            semi, _ = transitive_closure_seminaive(edges)
+            square, _ = transitive_closure_squaring(edges)
+            assert naive == semi == square
+
+    def test_round_counts_show_the_contrast(self):
+        path = rows([(i, i + 1) for i in range(63)])
+        _, semi_rounds = transitive_closure_seminaive(path)
+        _, square_rounds = transitive_closure_squaring(path)
+        assert semi_rounds >= 63
+        assert square_rounds <= 7
+
+    def test_reachability_and_connectivity(self):
+        assert reachable_from(self.R, 1) == frozenset({1, 2, 3, 4})
+        assert is_connected(self.R)
+        assert not is_connected(rows([(1, 2), (3, 4)]))
+
+    def test_parity_oracle(self):
+        assert parity_of([True, True, True]) is True
+        assert parity_of([]) is False
+
+
+class TestQueryLibrary:
+    @pytest.mark.parametrize("style", ["dcr", "logloop", "sri"])
+    @pytest.mark.parametrize("graph", [path_graph(7), random_graph(9, 0.25, seed=3)],
+                             ids=["path", "random"])
+    def test_tc_styles_agree_with_oracle(self, style, graph):
+        oracle, _ = transitive_closure_seminaive(frozenset(graph.tuples))
+        assert run_tc(reachable_pairs_query(style), graph) == oracle
+
+    def test_unknown_style_rejected(self):
+        with pytest.raises(ValueError):
+            reachable_pairs_query("magic")
+
+    @pytest.mark.parametrize("bits", [[], [True], [True, False, True, True], [False] * 6])
+    def test_parity_queries_agree_with_oracle(self, bits):
+        expected = parity_of(bits)
+        assert run(parity_dcr(), tagged_boolean_set(bits)).value is expected
+        assert run(parity_esr(), tagged_boolean_set(bits)).value is expected
+
+    @pytest.mark.parametrize("n", [0, 1, 4, 9])
+    def test_cardinality_parity(self, n):
+        result = run(cardinality_parity_dcr(), from_python(set(range(n))))
+        assert result.value is (n % 2 == 1)
+
+    def test_dcr_depth_advantage_grows_with_input(self):
+        small, large = path_graph(8), path_graph(32)
+        _, dcr_small = cost_run(transitive_closure_dcr(), small.value())
+        _, dcr_large = cost_run(transitive_closure_dcr(), large.value())
+        _, sri_small = cost_run(transitive_closure_sri(), small.value())
+        _, sri_large = cost_run(transitive_closure_sri(), large.value())
+        dcr_growth = dcr_large.depth / dcr_small.depth
+        sri_growth = sri_large.depth / sri_small.depth
+        assert sri_growth > 2.5
+        assert dcr_growth < sri_growth

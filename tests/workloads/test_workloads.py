@@ -1,0 +1,80 @@
+"""Tests for the graph and nested-data workload generators."""
+
+import random
+
+from repro.objects.values import SetVal, check_type
+from repro.relational.algebra import transitive_closure_squaring
+from repro.workloads.graphs import (
+    binary_tree,
+    cycle_graph,
+    edge_count,
+    grid_graph,
+    layered_dag,
+    node_count,
+    path_graph,
+    random_graph,
+)
+from repro.workloads.nested import (
+    DEPARTMENTS_T,
+    department_database,
+    random_bits,
+    random_object,
+    random_type,
+    tagged_booleans,
+)
+
+
+class TestGraphs:
+    def test_path_graph_shape(self):
+        g = path_graph(10)
+        assert edge_count(g) == 9
+        assert node_count(g) == 10
+
+    def test_cycle_graph_closure_is_complete(self):
+        g = cycle_graph(5)
+        closure, _ = transitive_closure_squaring(frozenset(g.tuples))
+        assert len(closure) == 25
+
+    def test_binary_tree_edges(self):
+        g = binary_tree(3)
+        assert edge_count(g) == 2 ** 4 - 2
+
+    def test_grid_graph(self):
+        g = grid_graph(3, 4)
+        assert node_count(g) == 12
+        assert edge_count(g) == 3 * 3 + 2 * 4
+
+    def test_random_graph_is_reproducible(self):
+        a = random_graph(10, 0.3, seed=1)
+        b = random_graph(10, 0.3, seed=1)
+        assert a.tuples == b.tuples
+
+    def test_layered_dag_respects_layers(self):
+        g = layered_dag(4, 3, seed=0)
+        for src, dst in g.tuples:
+            assert dst // 3 == src // 3 + 1
+
+
+class TestNested:
+    def test_random_object_inhabits_its_type(self):
+        rng = random.Random(5)
+        for _ in range(25):
+            t = random_type(rng, max_height=2)
+            v = random_object(t, rng)
+            assert check_type(v, t)
+
+    def test_department_database_type(self):
+        db = department_database(4, 3, seed=1)
+        assert isinstance(db, SetVal)
+        assert check_type(db, DEPARTMENTS_T)
+        assert len(db) == 4
+
+    def test_department_database_reproducible(self):
+        assert department_database(3, 2, seed=7) == department_database(3, 2, seed=7)
+
+    def test_tagged_booleans_length(self):
+        assert len(tagged_booleans([True, False, True])) == 3
+
+    def test_random_bits_reproducible(self):
+        assert random_bits(16, seed=3) == random_bits(16, seed=3)
+        assert len(random_bits(16, seed=3)) == 16
