@@ -1,0 +1,22 @@
+# One-invocation wrappers for the standard workflows (see README.md).
+#
+# `test` is the tier-1 gate the repo is held to; `bench` prints the
+# experiment series tables; `docs-check` runs the documentation
+# consistency tests (no dangling *.md references from docstrings).
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-engine docs-check
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ -s --benchmark-only
+
+bench-engine:
+	$(PYTHON) -m pytest benchmarks/bench_engine.py -s -q --benchmark-disable
+
+docs-check:
+	$(PYTHON) -m pytest tests/test_docs.py -q

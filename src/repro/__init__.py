@@ -22,7 +22,11 @@ The package implements, end to end, the systems the paper describes:
 * :mod:`repro.complexity` -- syntactic classification (AC^k from nesting
   depth), growth-curve fitting, and the separation/blow-up demonstrations;
 * :mod:`repro.workloads` -- graph and nested-data generators used by the
-  examples, tests and benchmarks.
+  examples, tests and benchmarks;
+* :mod:`repro.engine` -- the optimizing evaluation engine: algebraic rewrite
+  rules (ext fusion, short-circuits, the Proposition 2.1 ``sri`` -> ``dcr``
+  preference), hash-consed values and a memoizing evaluator, cross-checked
+  against the reference interpreter and the cost model.
 
 Quick start::
 
@@ -33,7 +37,17 @@ Quick start::
 
 __version__ = "1.0.0"
 
-from . import circuits, complexity, machines, nra, objects, recursion, relational, workloads
+from . import (
+    circuits,
+    complexity,
+    engine,
+    machines,
+    nra,
+    objects,
+    recursion,
+    relational,
+    workloads,
+)
 
 __all__ = [
     "objects",
@@ -44,5 +58,6 @@ __all__ = [
     "machines",
     "complexity",
     "workloads",
+    "engine",
     "__version__",
 ]

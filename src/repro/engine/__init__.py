@@ -1,0 +1,63 @@
+"""The optimizing NRA evaluation engine.
+
+Where :mod:`repro.nra.eval` is the deliberately naive *reference* interpreter
+(its job is to define what the right answer is), this package is the *fast
+path*: it rewrites expressions with the paper's own algebraic identities
+before evaluating them, hash-conses all values so equality is O(1), and
+memoizes function applications so repeated work collapses to cache hits.
+
+Layers (each usable on its own):
+
+* :mod:`repro.engine.rewrite` -- bottom-up rule-registry rewriter: ext
+  fusion and unit laws, identity elimination, short-circuits, and the
+  Proposition 2.1 translations applied as cost-directed ``sri`` -> ``dcr``
+  rewrites;
+* :mod:`repro.engine.interning` -- hash-consing :class:`InternTable` for
+  complex object values;
+* :mod:`repro.engine.memo` -- the memoizing evaluator built on interned
+  values;
+* :mod:`repro.engine.engine` -- the :class:`Engine` facade:
+  ``Engine.run(expr, db, optimize=True)`` and ``Engine.explain(expr)``.
+
+The contract, precisely: interning and memoization never change results (the
+language is pure and total, and the recursion constructs delegate to the same
+combinators as the reference interpreter); the structural rules are
+unconditional identities; the cost-directed ``sri -> dcr`` rewrite preserves
+results exactly when the recursion's own algebraic preconditions hold -- the
+rewriter checks them on a sampled carrier (complete, not sound: the full check
+is undecidable), and :data:`STRUCTURAL_RULES` turns the rewrite off for
+callers who evaluate deliberately ill-behaved combiners.  ``tests/engine``
+cross-check the engine against the reference interpreter value-for-value and
+check under the work/depth model of :mod:`repro.nra.cost` that the rewrite
+rules do not increase work or depth on their target shapes.  See DESIGN.md
+for where this sits in the package architecture.
+"""
+
+from .engine import Engine, Plan
+from .interning import InternTable
+from .memo import MemoEvaluator, MemoFunction, MemoStats
+from .rewrite import (
+    COST_DIRECTED_RULES,
+    DEFAULT_RULES,
+    STRUCTURAL_RULES,
+    Rewriter,
+    Rule,
+    RuleFiring,
+    rewrite,
+)
+
+__all__ = [
+    "Engine",
+    "Plan",
+    "InternTable",
+    "MemoEvaluator",
+    "MemoFunction",
+    "MemoStats",
+    "Rewriter",
+    "Rule",
+    "RuleFiring",
+    "rewrite",
+    "DEFAULT_RULES",
+    "STRUCTURAL_RULES",
+    "COST_DIRECTED_RULES",
+]

@@ -1,0 +1,166 @@
+"""The optimizing NRA evaluation engine: rewrite, then memo-evaluate.
+
+:class:`Engine` is the front door of :mod:`repro.engine`.  It composes the
+three optimization layers of this package --
+
+1. algebraic rewriting (:mod:`repro.engine.rewrite`),
+2. value interning / hash-consing (:mod:`repro.engine.interning`),
+3. memoized evaluation (:mod:`repro.engine.memo`),
+
+-- behind an API that mirrors :func:`repro.nra.eval.run`::
+
+    from repro.engine import Engine
+    from repro.relational import transitive_closure_dcr
+    from repro.workloads.graphs import path_graph
+
+    eng = Engine()
+    closure = eng.run(transitive_closure_dcr(), path_graph(24))
+
+``Engine.explain`` returns the :class:`Plan` -- the rewritten expression plus
+the log of fired rules -- without evaluating anything, which is what the
+``examples/engine_tour.py`` walkthrough prints.  The engine is cross-checked
+against the reference interpreter and the work/depth cost model in
+``tests/engine``.  Memoization and interning never change results (they do
+not alter the evaluation order of :mod:`repro.recursion`); the structural
+rewrite rules are unconditional identities of the pure, total language; the
+cost-directed recursion rewrites preserve results exactly when the
+recursion's algebraic preconditions hold, which the rewriter verifies on a
+sampled carrier -- pass ``rules=STRUCTURAL_RULES`` to disable them when
+evaluating recursions with deliberately ill-behaved combiners (see
+:mod:`repro.engine.rewrite`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..nra.ast import Expr
+from ..nra.externals import EMPTY_SIGMA, Signature
+from ..nra.pretty import pretty
+from ..objects.values import Value, from_python
+from .interning import InternTable
+from .memo import MemoEvaluator, MemoStats
+from .rewrite import DEFAULT_RULES, Rewriter, Rule, RuleFiring
+
+
+@dataclass
+class Plan:
+    """The result of optimizing one expression: what will actually be evaluated."""
+
+    original: Expr
+    optimized: Expr
+    firings: list[RuleFiring] = field(default_factory=list)
+
+    @property
+    def fired_rules(self) -> list[str]:
+        """Names of the rules that fired, in application order."""
+        return [f.rule for f in self.firings]
+
+    @property
+    def rule_counts(self) -> dict[str, int]:
+        """How many times each rule fired."""
+        counts: dict[str, int] = {}
+        for f in self.firings:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        return counts
+
+    def __str__(self) -> str:
+        lines = ["plan:"]
+        lines.append(f"  original : {pretty(self.original)}")
+        lines.append(f"  optimized: {pretty(self.optimized)}")
+        if self.firings:
+            lines.append("  fired rules:")
+            for name, count in sorted(self.rule_counts.items()):
+                lines.append(f"    {name} x{count}")
+        else:
+            lines.append("  fired rules: (none)")
+        return "\n".join(lines)
+
+
+class Engine:
+    """An optimizing evaluator for NRA expressions.
+
+    Parameters
+    ----------
+    sigma:
+        The external-function signature queries may call (as in
+        :func:`repro.nra.eval.evaluate`).
+    rules:
+        The rewrite-rule registry; defaults to
+        :data:`repro.engine.rewrite.DEFAULT_RULES`.  Pass ``[]`` to measure
+        interning + memoization alone.
+    seed:
+        Seed for the sampled algebraic gate of the cost-directed rules.
+
+    The intern table is engine-scoped (values are shared across runs of the
+    same engine); the memo caches are per-run, keyed on ``(expression
+    identity, interned environment, interned argument)`` -- see
+    :mod:`repro.engine.memo`.
+    """
+
+    def __init__(
+        self,
+        sigma: Signature = EMPTY_SIGMA,
+        rules: Optional[list[Rule]] = None,
+        seed: int = 0,
+    ) -> None:
+        self.sigma = sigma
+        self.rewriter = Rewriter(rules=rules, sigma=sigma, seed=seed)
+        self.interner = InternTable()
+        self.last_stats: Optional[MemoStats] = None
+        # Keyed on the expression itself (AST nodes are frozen, hashable
+        # dataclasses), so structurally equal queries share one plan.
+        self._plans: dict[Expr, Plan] = {}
+
+    # -- planning -----------------------------------------------------------------
+
+    def optimize(self, e: Expr) -> Plan:
+        """Rewrite ``e`` and return the plan (cached per structural equality)."""
+        plan = self._plans.get(e)
+        if plan is None:
+            optimized, firings = self.rewriter.rewrite(e)
+            plan = Plan(e, optimized, firings)
+            self._plans[e] = plan
+        return plan
+
+    def clear_plans(self) -> None:
+        """Drop all cached plans (long-lived engines over many ad-hoc queries)."""
+        self._plans.clear()
+
+    def explain(self, e: Expr) -> Plan:
+        """The plan for ``e``: rewritten expression and the rules that fired."""
+        return self.optimize(e)
+
+    # -- evaluation ---------------------------------------------------------------
+
+    def run(
+        self,
+        e: Expr,
+        db=None,
+        env: Optional[dict] = None,
+        optimize: bool = True,
+    ) -> Value:
+        """Optimize and evaluate ``e``, optionally applying it to input ``db``.
+
+        ``db`` may be a complex object :class:`~repro.objects.values.Value`, a
+        :class:`~repro.relational.relation.Relation`, or plain Python data
+        (converted with :func:`~repro.objects.values.from_python`); ``env``
+        supplies values of free variables.  With ``optimize=False`` the
+        expression is evaluated as-is (still memoized and interned), which is
+        how the benchmarks isolate the contribution of the rewrites.
+        """
+        expr = self.optimize(e).optimized if optimize else e
+        evaluator = MemoEvaluator(self.sigma, self.interner)
+        result = evaluator.run(expr, arg=self._to_value(db), env=env)
+        self.last_stats = evaluator.stats
+        return result
+
+    def _to_value(self, db) -> Optional[Value]:
+        if db is None:
+            return None
+        if isinstance(db, Value):
+            return db
+        if hasattr(db, "value") and callable(db.value):  # Relation and friends
+            return db.value()
+        return from_python(db)

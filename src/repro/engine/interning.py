@@ -1,0 +1,197 @@
+"""Hash-consing (interning) of complex object values.
+
+The reference interpreter (:mod:`repro.nra.eval`) rebuilds canonical values
+from scratch at every AST node: every :class:`~repro.objects.values.SetVal`
+construction re-sorts its elements and recomputes :func:`sort_key` recursively,
+and every equality test walks both structures.  For the optimizing engine we
+*intern* values instead: an :class:`InternTable` guarantees that structurally
+equal values are represented by the **same Python object**, so that
+
+* equality checks are ``O(1)`` identity comparisons (``a is b``),
+* the total-order key of :mod:`repro.objects.order` is computed once per
+  distinct value and cached, and
+* the memo tables of :mod:`repro.engine.memo` can key on ``id(value)``.
+
+Interning preserves canonical form exactly: an interned value is ``==`` to the
+value it was built from, so results of the optimized engine are
+indistinguishable from the reference interpreter's (the cross-checks in
+``tests/engine`` assert this).  The table holds strong references to every
+canonical representative, which is what makes ``id``-keying sound: an interned
+value can never be garbage collected while its table is alive.  Tables are
+scoped to an :class:`~repro.engine.engine.Engine`, so the memory is reclaimed
+when the engine is dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..objects.values import (
+    BaseVal,
+    BoolVal,
+    PairVal,
+    SetVal,
+    UnitVal,
+    Value,
+    sort_key,
+)
+
+
+def _raw_set(elements: tuple[Value, ...]) -> SetVal:
+    """Build a SetVal from an already-canonical element tuple, skipping re-sorting.
+
+    Only sound when ``elements`` is deduplicated and sorted by
+    :func:`repro.objects.values.sort_key`; the intern table maintains that
+    invariant for everything it stores.
+    """
+    s = SetVal.__new__(SetVal)
+    object.__setattr__(s, "elements", elements)
+    return s
+
+
+class InternTable:
+    """Hash-consing table for complex object values.
+
+    ``intern`` maps any value to its canonical representative; the fast
+    constructors (``pair``, ``singleton``, ``mkset``, ``union``) build interned
+    values directly from interned parts, using cached sort keys so set
+    canonicalisation is a merge of pre-sorted sequences rather than a fresh
+    sort with recursive key recomputation.
+    """
+
+    def __init__(self) -> None:
+        self._table: dict[tuple, Value] = {}
+        # Cached sort_key per interned value, keyed by id (sound because the
+        # table keeps every canonical value alive).
+        self._keys: dict[int, tuple] = {}
+        self.hits = 0
+        self.misses = 0
+        self.unit = self._store(("u",), UnitVal())
+        self.true = self._store(("B", True), BoolVal(True))
+        self.false = self._store(("B", False), BoolVal(False))
+        self.empty_set = self._store(("s",), _raw_set(()))
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _store(self, key: tuple, v: Value) -> Value:
+        self._table[key] = v
+        self._keys[id(v)] = sort_key(v)
+        return v
+
+    def _canon(self, key: tuple, build) -> Value:
+        found = self._table.get(key)
+        if found is not None:
+            self.hits += 1
+            return found
+        self.misses += 1
+        return self._store(key, build())
+
+    def is_interned(self, v: Value) -> bool:
+        """True iff ``v`` is a canonical representative of this table."""
+        return id(v) in self._keys
+
+    def sort_key_of(self, v: Value) -> tuple:
+        """The cached total-order key of an *interned* value."""
+        return self._keys[id(v)]
+
+    @property
+    def size(self) -> int:
+        """Number of distinct values interned so far."""
+        return len(self._table)
+
+    # -- interning ----------------------------------------------------------------
+
+    def intern(self, v: Value) -> Value:
+        """Return the canonical representative of ``v`` (recursively)."""
+        if id(v) in self._keys:
+            return v
+        if isinstance(v, BaseVal):
+            return self._canon(("b", v.value), lambda: v)
+        if isinstance(v, BoolVal):
+            return self.true if v.value else self.false
+        if isinstance(v, UnitVal):
+            return self.unit
+        if isinstance(v, PairVal):
+            fst = self.intern(v.fst)
+            snd = self.intern(v.snd)
+            return self._canon(
+                ("p", id(fst), id(snd)),
+                lambda: v if (fst is v.fst and snd is v.snd) else PairVal(fst, snd),
+            )
+        if isinstance(v, SetVal):
+            elems = tuple(self.intern(e) for e in v.elements)
+            # Canonical order is preserved: interned elements are structurally
+            # equal to the originals, and sort_key is a function of structure.
+            return self._canon(
+                ("s", *map(id, elems)),
+                lambda: v if all(a is b for a, b in zip(elems, v.elements)) else _raw_set(elems),
+            )
+        raise TypeError(f"cannot intern {v!r}")
+
+    # -- fast constructors over interned parts ------------------------------------
+
+    def base(self, atom) -> Value:
+        return self._canon(("b", atom), lambda: BaseVal(atom))
+
+    def boolean(self, b: bool) -> Value:
+        return self.true if b else self.false
+
+    def pair(self, fst: Value, snd: Value) -> Value:
+        """Interned pair of two interned values."""
+        return self._canon(("p", id(fst), id(snd)), lambda: PairVal(fst, snd))
+
+    def singleton(self, v: Value) -> Value:
+        """Interned singleton set of an interned value."""
+        return self._canon(("s", id(v)), lambda: _raw_set((v,)))
+
+    def _set_from_canonical(self, elems: tuple[Value, ...]) -> Value:
+        return self._canon(("s", *map(id, elems)), lambda: _raw_set(elems))
+
+    def mkset(self, elements: Iterable[Value]) -> Value:
+        """Interned set from interned elements (sorts and dedupes by cached keys)."""
+        by_key = {self.sort_key_of(e): e for e in elements}
+        elems = tuple(by_key[k] for k in sorted(by_key))
+        return self._set_from_canonical(elems)
+
+    def union(self, a: SetVal, b: SetVal) -> Value:
+        """Interned union of two interned sets, by linear merge of sorted tuples.
+
+        Because both inputs are canonical and their elements interned, the
+        merge compares cached keys only and detects duplicates by identity.
+        """
+        if not a.elements:
+            return b
+        if not b.elements:
+            return a
+        keys = self._keys
+        xs, ys = a.elements, b.elements
+        merged: list[Value] = []
+        i = j = 0
+        while i < len(xs) and j < len(ys):
+            x, y = xs[i], ys[j]
+            if x is y:
+                merged.append(x)
+                i += 1
+                j += 1
+                continue
+            if keys[id(x)] <= keys[id(y)]:
+                merged.append(x)
+                i += 1
+            else:
+                merged.append(y)
+                j += 1
+        merged.extend(xs[i:])
+        merged.extend(ys[j:])
+        return self._set_from_canonical(tuple(merged))
+
+
+def intern_env(
+    table: InternTable, env: Optional[dict] = None
+) -> dict:
+    """Intern every plain value in an environment (function denotations pass through)."""
+    if not env:
+        return {}
+    return {
+        name: table.intern(v) if isinstance(v, Value) else v
+        for name, v in env.items()
+    }

@@ -1,0 +1,368 @@
+"""The memoizing evaluator of the optimizing engine.
+
+This module is a drop-in, semantics-preserving replacement for the reference
+interpreter (:mod:`repro.nra.eval`) that is built around two ideas:
+
+1. **Every value is interned** through an
+   :class:`~repro.engine.interning.InternTable`, so structurally equal values
+   share identity.  Equality tests (``Eq``) become pointer comparisons and set
+   unions become linear merges over cached order keys.
+
+2. **Function applications are memoized.**  Each closure carries a per-run
+   cache keyed on ``id`` of the (interned) argument, and the evaluator keeps
+   exactly *one* closure per ``(expression, bindings of its free variables)``
+   -- re-evaluating the same lambda in the same environment returns the same
+   :class:`MemoFunction`, cache included.  The effective cache key is
+   therefore ``(expr id, interned env, interned arg)`` -- the per-run cache
+   of the engine design -- and the cache is shared across every site that
+   re-enters the expression.  The payoff is largest
+   inside the recursion combinators: a ``dcr`` whose leaves are equal (e.g.
+   the Section 1 transitive closure, whose item function is constant) performs
+   *one* combine per level of the combining tree instead of one per node,
+   turning :math:`\\Theta(n)` expensive combines into :math:`\\Theta(\\log n)`.
+
+The recursion and iteration constructs delegate to the very same combinators
+of :mod:`repro.recursion` as the reference interpreter, so the evaluation
+order -- and therefore the result, even for parameter functions that violate
+the algebraic preconditions -- is identical to the reference interpreter's.
+Memoization and interning are observationally invisible because the object
+language is pure and total (see the substitution note in DESIGN.md: effects
+and parallel execution are deliberately absent; cost is *measured*, not run).
+
+``tests/engine`` cross-check this evaluator against :func:`repro.nra.eval.run`
+node-for-node on the query library and on randomly generated expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from ..objects.values import BoolVal, PairVal, SetVal, Value
+from ..recursion.bounded import ps_intersect_values
+from ..recursion.forms import dcr, esr, sri, sru
+from ..recursion.iterators import iterate, log_iterations
+from ..nra import ast
+from ..nra.ast import Expr
+from ..nra.errors import NRAEvalError
+from ..nra.externals import EMPTY_SIGMA, Signature
+from .interning import InternTable, intern_env
+
+
+@dataclass
+class MemoStats:
+    """Counters describing one evaluator run (exposed by ``Engine.stats``)."""
+
+    call_hits: int = 0
+    call_misses: int = 0
+    closures: int = 0
+
+    @property
+    def calls(self) -> int:
+        return self.call_hits + self.call_misses
+
+
+class MemoFunction:
+    """A function denotation with a per-instance result cache.
+
+    The cache maps ``id`` of the interned argument to the interned result.
+    Holding the arguments themselves (in ``_args``) keeps their ids stable for
+    the lifetime of the cache.
+    """
+
+    __slots__ = ("name", "call", "cache", "stats")
+
+    def __init__(self, name: str, call: Callable[[Value], Value], stats: MemoStats):
+        self.name = name
+        self.call = call
+        self.cache: dict[int, tuple[Value, Value]] = {}
+        self.stats = stats
+
+    def __call__(self, v: Value) -> Value:
+        key = id(v)
+        hit = self.cache.get(key)
+        if hit is not None:
+            self.stats.call_hits += 1
+            return hit[1]
+        self.stats.call_misses += 1
+        result = self.call(v)
+        # The tuple keeps a strong reference to the argument so its id cannot
+        # be recycled while the cache entry lives.
+        self.cache[key] = (v, result)
+        return result
+
+    def __repr__(self) -> str:
+        return f"<memo function {self.name}>"
+
+
+#: What memo-evaluation can produce.
+MemoDenotation = Union[Value, MemoFunction]
+
+
+class MemoEvaluator:
+    """One evaluation run: an intern table plus the per-run memo caches."""
+
+    def __init__(
+        self,
+        sigma: Signature = EMPTY_SIGMA,
+        interner: Optional[InternTable] = None,
+    ) -> None:
+        self.sigma = sigma
+        self.interner = interner if interner is not None else InternTable()
+        self.stats = MemoStats()
+        # One closure per (expression, captured bindings of its free
+        # variables): re-evaluating the same Lambda/Ext in the same
+        # environment returns the *same* MemoFunction, so its result cache is
+        # shared across all the places the expression is re-entered (e.g. an
+        # inner closed function applied from every element of an outer ext).
+        # The cached tuple keeps strong references to the bindings so the ids
+        # in the key stay valid.
+        self._denotations: dict[tuple, tuple] = {}
+        self._free_vars: dict[int, tuple] = {}
+
+    def _shared_fn(self, e: Expr, env: dict, build) -> MemoFunction:
+        cached_fv = self._free_vars.get(id(e))
+        if cached_fv is None:
+            from ..nra.ast import free_variables
+
+            # The stored expression keeps id(e) stable for the cache lifetime.
+            cached_fv = (e, tuple(sorted(free_variables(e))))
+            self._free_vars[id(e)] = cached_fv
+        names = cached_fv[1]
+        try:
+            bindings = tuple(env[n] for n in names)
+        except KeyError:  # pragma: no cover - unbound vars fail later anyway
+            return build()
+        key = (id(e), *map(id, bindings))
+        hit = self._denotations.get(key)
+        if hit is not None:
+            return hit[2]
+        fn = build()
+        # Strong references to e and the bindings keep every id in the key
+        # from being recycled while the entry lives.
+        self._denotations[key] = (e, bindings, fn)
+        return fn
+
+    # -- public API ---------------------------------------------------------------
+
+    def evaluate(self, e: Expr, env: Optional[dict] = None) -> MemoDenotation:
+        """Evaluate an NRA expression under interning + memoization."""
+        return self._eval(e, intern_env(self.interner, env))
+
+    def run(self, e: Expr, arg: Optional[Value] = None, env: Optional[dict] = None) -> Value:
+        """Evaluate ``e`` and, if ``arg`` is given, apply the result to it."""
+        d = self.evaluate(e, env)
+        if arg is not None:
+            d = self._apply(d, self.interner.intern(arg))
+        if isinstance(d, MemoFunction):
+            raise NRAEvalError("result is a function; supply an argument to run it")
+        return d
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _value(self, d: MemoDenotation, what: str) -> Value:
+        if isinstance(d, MemoFunction):
+            raise NRAEvalError(f"{what}: expected a complex object value, got a function")
+        return d
+
+    def _set(self, d: MemoDenotation, what: str) -> SetVal:
+        v = self._value(d, what)
+        if not isinstance(v, SetVal):
+            raise NRAEvalError(f"{what}: expected a set, got {v!r}")
+        return v
+
+    def _bool(self, d: MemoDenotation, what: str) -> bool:
+        v = self._value(d, what)
+        if not isinstance(v, BoolVal):
+            raise NRAEvalError(f"{what}: expected a boolean, got {v!r}")
+        return v.value
+
+    def _pair(self, d: MemoDenotation, what: str) -> PairVal:
+        v = self._value(d, what)
+        if not isinstance(v, PairVal):
+            raise NRAEvalError(f"{what}: expected a pair, got {v!r}")
+        return v
+
+    def _function(self, d: MemoDenotation, what: str) -> MemoFunction:
+        if not isinstance(d, MemoFunction):
+            raise NRAEvalError(f"{what}: expected a function, got {d!r}")
+        return d
+
+    def _apply(self, f: MemoDenotation, v: Value) -> Value:
+        fn = self._function(f, "application")
+        result = fn(v)
+        if isinstance(result, MemoFunction):  # pragma: no cover - defensive
+            raise NRAEvalError("functions may not return functions")
+        return result
+
+    def _clip(self, v: Value, bound: Optional[Value]) -> Value:
+        """Bounded-recursion clipping, re-interned (ps_intersect builds fresh sets)."""
+        if bound is None:
+            return v
+        return self.interner.intern(ps_intersect_values(v, bound))
+
+    # -- the evaluator ------------------------------------------------------------
+
+    def _eval(self, e: Expr, env: dict) -> MemoDenotation:
+        it = self.interner
+        if isinstance(e, ast.Const):
+            return it.intern(e.value)
+        if isinstance(e, ast.EmptySet):
+            return it.empty_set
+        if isinstance(e, ast.Singleton):
+            return it.singleton(self._value(self._eval(e.item, env), "singleton"))
+        if isinstance(e, ast.Union):
+            left = self._set(self._eval(e.left, env), "union")
+            right = self._set(self._eval(e.right, env), "union")
+            return it.union(left, right)
+        if isinstance(e, ast.UnitConst):
+            return it.unit
+        if isinstance(e, ast.Pair):
+            return it.pair(
+                self._value(self._eval(e.fst, env), "pair"),
+                self._value(self._eval(e.snd, env), "pair"),
+            )
+        if isinstance(e, ast.Proj1):
+            return self._pair(self._eval(e.pair, env), "pi1").fst
+        if isinstance(e, ast.Proj2):
+            return self._pair(self._eval(e.pair, env), "pi2").snd
+        if isinstance(e, ast.BoolConst):
+            return it.boolean(e.value)
+        if isinstance(e, ast.Eq):
+            left = self._value(self._eval(e.left, env), "equality")
+            right = self._value(self._eval(e.right, env), "equality")
+            # Interning makes structural equality an identity test.
+            return it.boolean(left is right)
+        if isinstance(e, ast.IsEmpty):
+            return it.boolean(len(self._set(self._eval(e.set, env), "empty()")) == 0)
+        if isinstance(e, ast.If):
+            cond = self._bool(self._eval(e.cond, env), "if-condition")
+            return self._eval(e.then if cond else e.orelse, env)
+        if isinstance(e, ast.Var):
+            if e.name not in env:
+                raise NRAEvalError(f"unbound variable {e.name!r}")
+            return env[e.name]
+        if isinstance(e, ast.Lambda):
+            return self._shared_fn(e, env, lambda: self._closure(e, env))
+        if isinstance(e, ast.Apply):
+            fn = self._eval(e.func, env)
+            arg = self._value(self._eval(e.arg, env), "argument")
+            return self._apply(fn, arg)
+        if isinstance(e, ast.Ext):
+
+            def build_ext() -> MemoFunction:
+                fn = self._function(self._eval(e.func, env), "ext parameter")
+
+                def ext_fn(v: Value, fn=fn) -> Value:
+                    if not isinstance(v, SetVal):
+                        raise NRAEvalError(f"ext applied to non-set {v!r}")
+                    result = it.empty_set
+                    for x in v:
+                        piece = fn(x)
+                        if not isinstance(piece, SetVal):
+                            raise NRAEvalError(f"ext parameter returned non-set {piece!r}")
+                        result = it.union(result, piece)
+                    return result
+
+                return self._memo_fn("ext", ext_fn)
+
+            return self._shared_fn(e, env, build_ext)
+        if isinstance(e, ast.ExternalCall):
+            fn = self.sigma[e.name]
+            arg = self._value(self._eval(e.arg, env), f"external {e.name}")
+            return it.intern(fn(arg))
+        if isinstance(e, (ast.Dcr, ast.Sru)):
+            return self._union_recursion(e, env, bounded=False)
+        if isinstance(e, ast.Bdcr):
+            return self._union_recursion(e, env, bounded=True)
+        if isinstance(e, (ast.Sri, ast.Esr)):
+            return self._insert_recursion(e, env, bounded=False)
+        if isinstance(e, ast.Bsri):
+            return self._insert_recursion(e, env, bounded=True)
+        if isinstance(e, (ast.LogLoop, ast.Loop, ast.BlogLoop, ast.Bloop)):
+            return self._iterator(e, env)
+        raise NRAEvalError(f"cannot evaluate expression node {type(e).__name__}")
+
+    def _memo_fn(self, name: str, call: Callable[[Value], Value]) -> MemoFunction:
+        self.stats.closures += 1
+        return MemoFunction(name, call, self.stats)
+
+    def _closure(self, e: ast.Lambda, env: dict) -> MemoFunction:
+        captured = dict(env)
+
+        def call(v: Value) -> Value:
+            inner = dict(captured)
+            inner[e.var] = v
+            return self._value(self._eval(e.body, inner), "lambda body")
+
+        return self._memo_fn(f"\\{e.var}", call)
+
+    def _union_recursion(self, e: Expr, env: dict, bounded: bool) -> MemoFunction:
+        seed = self._value(self._eval(e.seed, env), "recursion seed")
+        item_fn = self._function(self._eval(e.item, env), "recursion item")
+        comb_fn = self._function(self._eval(e.combine, env), "recursion combine")
+        bound = (
+            self._value(self._eval(e.bound, env), "recursion bound") if bounded else None
+        )
+        use_sru = isinstance(e, ast.Sru)
+        it = self.interner
+
+        def item(x: Value) -> Value:
+            return self._clip(item_fn(x), bound)
+
+        def combine(a: Value, b: Value) -> Value:
+            return self._clip(comb_fn(it.pair(a, b)), bound)
+
+        effective_seed = self._clip(seed, bound)
+
+        def call(v: Value) -> Value:
+            if not isinstance(v, SetVal):
+                raise NRAEvalError(f"recursion applied to non-set {v!r}")
+            combinator = sru if use_sru else dcr
+            return combinator(effective_seed, item, combine, v, None)
+
+        return self._memo_fn(type(e).__name__.lower(), call)
+
+    def _insert_recursion(self, e: Expr, env: dict, bounded: bool) -> MemoFunction:
+        seed = self._value(self._eval(e.seed, env), "recursion seed")
+        insert_fn = self._function(self._eval(e.insert, env), "recursion insert")
+        bound = (
+            self._value(self._eval(e.bound, env), "recursion bound") if bounded else None
+        )
+        use_esr = isinstance(e, ast.Esr)
+        it = self.interner
+
+        def insert(x: Value, acc: Value) -> Value:
+            return self._clip(insert_fn(it.pair(x, acc)), bound)
+
+        effective_seed = self._clip(seed, bound)
+
+        def call(v: Value) -> Value:
+            if not isinstance(v, SetVal):
+                raise NRAEvalError(f"recursion applied to non-set {v!r}")
+            combinator = esr if use_esr else sri
+            return combinator(effective_seed, insert, v, None)
+
+        return self._memo_fn(type(e).__name__.lower(), call)
+
+    def _iterator(self, e: Expr, env: dict) -> MemoFunction:
+        step_fn = self._function(self._eval(e.step, env), "iterator step")
+        bounded = isinstance(e, (ast.BlogLoop, ast.Bloop))
+        logarithmic = isinstance(e, (ast.LogLoop, ast.BlogLoop))
+        bound = (
+            self._value(self._eval(e.bound, env), "iterator bound") if bounded else None
+        )
+
+        def step(v: Value) -> Value:
+            return self._clip(step_fn(v), bound)
+
+        def call(v: Value) -> Value:
+            p = self._pair(v, "iterator argument")
+            x, y = p.fst, p.snd
+            if not isinstance(x, SetVal):
+                raise NRAEvalError(f"iterator cardinality argument must be a set, got {x!r}")
+            start = self._clip(y, bound)
+            rounds = log_iterations(len(x)) if logarithmic else len(x)
+            return iterate(step, start, rounds, None)
+
+        return self._memo_fn(type(e).__name__.lower(), call)

@@ -1,4 +1,32 @@
-"""Flat relations, ordered databases, the baseline algebra and the query library."""
+"""Flat relations, ordered databases, the baseline algebra and the query library.
+
+This package is the paper's Section 6/7 setting made concrete: *flat*
+databases (sets of tuples of atoms) over the ordered base type, which is
+where the capture theorems live (``NRA1(dcr, <=)`` = NC over flat queries,
+``NRA1(sri, <=)`` = PTIME).
+
+* :mod:`repro.relational.relation` -- :class:`Relation`, an immutable named
+  set of equal-length atom tuples that knows how to present itself as a
+  complex-object value (for the NRA evaluators and the optimizing engine),
+  as plain Python tuples (for the imperative baseline), and as a NetworkX
+  graph (for the workload generators).
+* :mod:`repro.relational.database` -- :class:`OrderedDatabase` and the
+  genericity checks of Section 5 (queries must commute with order-preserving
+  atom renamings).
+* :mod:`repro.relational.algebra` -- the imperative relational algebra used
+  as an oracle: select/project/join plus three transitive-closure algorithms
+  (naive, semi-naive, squaring) whose round counts calibrate the cost-model
+  depths.
+* :mod:`repro.relational.queries` -- the paper's query library as ready-made
+  NRA expressions, each in up to three evaluation styles (``dcr`` /
+  ``log_loop`` / ``sri``-``esr``), plus :func:`parity_esr_translated`, the
+  Proposition 2.1 image that the optimizing engine rewrites back to ``dcr``.
+
+The examples, benchmarks and the engine cross-checks all funnel through the
+runner helpers at the bottom of :mod:`repro.relational.queries`
+(:func:`run_on_relation`, :func:`run_tc`), which convert between relations,
+complex-object values and plain Python data.
+"""
 
 from .relation import Relation
 from .database import OrderedDatabase, is_generic_query, order_preserving_renaming
@@ -27,6 +55,7 @@ from .queries import (
     cardinality_parity_dcr,
     parity_dcr,
     parity_esr,
+    parity_esr_translated,
     reachable_pairs_query,
     run_on_relation,
     run_tc,
@@ -43,7 +72,7 @@ __all__ = [
     "transitive_closure_naive", "transitive_closure_seminaive",
     "transitive_closure_squaring", "reachable_from", "is_connected", "parity_of",
     "EDGE_T", "REL_T", "TAGGED_BOOL_T",
-    "parity_dcr", "parity_esr", "cardinality_parity_dcr",
+    "parity_dcr", "parity_esr", "parity_esr_translated", "cardinality_parity_dcr",
     "transitive_closure_dcr", "transitive_closure_logloop", "transitive_closure_sri",
     "reachable_pairs_query", "run_on_relation", "run_tc", "tagged_boolean_set",
 ]

@@ -92,6 +92,28 @@ def parity_esr() -> Lambda:
     return Lambda("s", SetType(TAGGED_BOOL_T), Apply(phi, Var("s")))
 
 
+def parity_esr_translated() -> Lambda:
+    """Parity as the *image* of the Proposition 2.1 translation.
+
+    ``dcr(e, f, u)`` translates to ``esr(e, (x, y) -> u(f(x), y))``; this
+    builder writes parity in exactly that translated shape,
+    ``esr(false, \\z. xor((\\y. pi2 y)(pi1 z), pi2 z))``.  Evaluated directly
+    it exhibits the linear dependent chain of the insert recursions; the
+    optimizing engine's ``sri-to-dcr`` rule recognises the shape, re-checks
+    the algebraic side conditions, and rewrites it back to the logarithmic
+    ``dcr`` form -- see :mod:`repro.engine.rewrite`.
+    """
+    z = "z"
+    f = Lambda("y", TAGGED_BOOL_T, Proj2(Var("y")))
+    step = Lambda(
+        z,
+        ProdType(TAGGED_BOOL_T, BOOL),
+        Apply(xor_lambda(), Pair(Apply(f, Proj1(Var(z))), Proj2(Var(z)))),
+    )
+    phi = Esr(BoolConst(False), step)
+    return Lambda("s", SetType(TAGGED_BOOL_T), Apply(phi, Var("s")))
+
+
 def cardinality_parity_dcr() -> Lambda:
     """Parity of the *cardinality* of a set of atoms, ``{D} -> B``.
 

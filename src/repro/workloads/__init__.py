@@ -1,4 +1,27 @@
-"""Workload generators: graphs for the flat experiments, nested data for the rest."""
+"""Workload generators: the inputs every experiment in this repo sweeps over.
+
+Two families, matching the paper's two kinds of queries:
+
+* :mod:`repro.workloads.graphs` -- binary relations (edge sets) for the
+  *flat* experiments, chiefly transitive closure: paths (worst case for
+  element-by-element evaluation, best showcase for ``dcr``), cycles, complete
+  binary trees, grids, seeded Erdos-Renyi digraphs, and layered "pipeline"
+  DAGs.  All of them are :class:`repro.relational.relation.Relation`
+  instances with consecutive integer nodes, so the circuit compiler can index
+  adjacency matrices by node number and consume the same inputs.
+
+* :mod:`repro.workloads.nested` -- complex-object data for the Theorem 6.1
+  experiments: seeded-random types and values of bounded set height (the
+  raw material of the property tests and of the engine's sampled algebraic
+  checks), the human-readable departments database (nested sets of employees
+  and skills, exercised by the ``bdcr`` aggregations and the engine's
+  ext-fusion benchmarks), and boolean-tagged inputs for the parity queries.
+
+Everything takes an explicit seed or :class:`random.Random`, so every test,
+example and benchmark run is reproducible.  The generators are intentionally
+dependency-light: only :mod:`networkx` (for the random digraphs) beyond the
+standard library.
+"""
 
 from .graphs import (
     binary_tree,
