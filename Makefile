@@ -1,13 +1,15 @@
 # One-invocation wrappers for the standard workflows (see README.md).
 #
 # `test` is the tier-1 gate the repo is held to; `bench` prints the
-# experiment series tables; `docs-check` runs the documentation
-# consistency tests (no dangling *.md references from docstrings).
+# experiment series tables; `bench-all` regenerates BENCH_engine.json
+# (the machine-readable backend suite; `bench-all-quick` is the CI smoke
+# variant); `docs-check` runs the documentation consistency tests (no
+# dangling *.md references from docstrings).
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-engine docs-check
+.PHONY: test bench bench-engine bench-all bench-all-quick docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -17,6 +19,12 @@ bench:
 
 bench-engine:
 	$(PYTHON) -m pytest benchmarks/bench_engine.py -s -q --benchmark-disable
+
+bench-all:
+	$(PYTHON) benchmarks/run_all.py
+
+bench-all-quick:
+	$(PYTHON) benchmarks/run_all.py --quick
 
 docs-check:
 	$(PYTHON) -m pytest tests/test_docs.py -q

@@ -1,0 +1,293 @@
+"""E12 -- the engine benchmark suite, machine-readable.
+
+Runs the three evaluation backends (``reference`` interpreter, PR-1 ``memo``
+engine, PR-2 ``vectorized`` set-at-a-time engine) over the transitive-closure
+and nested-graph workload families, cross-checks every measured result
+value-for-value against the reference interpreter (on the workloads where the
+reference is feasible, against the memo engine otherwise -- itself
+reference-checked in ``tests/engine``), and writes ``BENCH_engine.json`` at
+the repository root so the performance trajectory is tracked from PR 2 on.
+
+Usage::
+
+    python benchmarks/run_all.py            # the full suite (minutes: the
+                                            # memo baselines at n >= 200 are
+                                            # the slow part -- that is the point)
+    python benchmarks/run_all.py --quick    # CI smoke run (seconds)
+    python benchmarks/run_all.py -o out.json
+
+The acceptance bar this suite enforces in full mode: the vectorized backend
+is **>= 3x** faster than the memo engine on a transitive-closure workload and
+on a nested-graph workload at n >= 200 nodes (rows tagged ``acceptance``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+# Make the src/ layout importable when the package is not installed.
+SRC = Path(__file__).resolve().parent.parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.engine import Engine  # noqa: E402
+from repro.nra.eval import run as reference_run  # noqa: E402
+from repro.relational.queries import (  # noqa: E402
+    parity_esr_translated,
+    reachable_pairs_query,
+    tagged_boolean_set,
+)
+from repro.workloads.graphs import binary_tree, path_graph  # noqa: E402
+from repro.workloads.nested import random_bits  # noqa: E402
+from repro.workloads.nested_graphs import (  # noqa: E402
+    nested_random_graph,
+    nested_reachability_query,
+    two_hop_query,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_engine.json"
+# --quick must never silently replace the committed full-suite artifact:
+# without an explicit -o, quick runs write next to it under a distinct name.
+DEFAULT_QUICK_OUTPUT = REPO_ROOT / "BENCH_engine.quick.json"
+
+
+def _best_of(fn, repeats: int) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+class Workload:
+    """One benchmark row: a query, an input, and the backends to time."""
+
+    def __init__(
+        self,
+        name: str,
+        family: str,
+        n: int,
+        query,
+        value,
+        backends: tuple[str, ...],
+        acceptance: bool = False,
+        repeats: dict | None = None,
+    ) -> None:
+        self.name = name
+        self.family = family
+        self.n = n
+        self.query = query
+        self.value = value
+        self.backends = backends
+        self.acceptance = acceptance
+        self.repeats = repeats or {}
+
+    def run(self) -> dict:
+        times: dict[str, float] = {}
+        results: dict[str, object] = {}
+        for backend in self.backends:
+            repeats = self.repeats.get(backend, 3)
+            if backend == "reference":
+                t, r = _best_of(lambda: reference_run(self.query, self.value), repeats)
+            else:
+                # A fresh engine per timing keeps the measurement honest: the
+                # compile/warm-up cost of the vectorized backend is included.
+                t, r = _best_of(
+                    lambda b=backend: Engine(backend=b).run(self.query, self.value),
+                    repeats,
+                )
+            times[backend] = t
+            results[backend] = r
+
+        # Cross-check: every backend's value must be identical to the most
+        # authoritative backend measured (reference when present, memo else;
+        # a vectorized-only row is self-consistent by construction and relies
+        # on the cross-checks in tests/engine for its value).
+        oracle = next(b for b in ("reference", "memo", "vectorized") if b in results)
+        checked = all(results[b] == results[oracle] for b in results)
+        if not checked:
+            raise AssertionError(f"{self.name}: backends disagree on the result value")
+
+        speedups = {}
+        if "vectorized" in times:
+            for base in ("reference", "memo"):
+                if base in times and times["vectorized"] > 0:
+                    speedups[f"vectorized_vs_{base}"] = times[base] / times["vectorized"]
+        return {
+            "name": self.name,
+            "family": self.family,
+            "n": self.n,
+            "acceptance": self.acceptance,
+            "times_s": times,
+            "speedups": speedups,
+            "checked": checked,
+        }
+
+
+def _batch_workload(quick: bool) -> dict:
+    """run_many over a batch of graphs: shared-cache evaluation, per backend."""
+    sizes = (6, 8, 10, 12) if quick else (8, 12, 16, 20, 24, 16, 12, 8)
+    graphs = [path_graph(n).value() for n in sizes]
+    q = reachable_pairs_query("dcr")
+    times: dict[str, float] = {}
+    results: dict[str, list] = {}
+    for backend in ("memo", "vectorized"):
+        t, r = _best_of(lambda b=backend: Engine(backend=b).run_many(q, graphs), 3)
+        times[backend] = t
+        results[backend] = r
+    want = [reference_run(q, g) for g in graphs]
+    checked = all(results[b] == want for b in results)
+    if not checked:
+        raise AssertionError("run_many batch: backends disagree with the reference")
+    speedups = {}
+    if times["vectorized"] > 0:
+        speedups["vectorized_vs_memo"] = times["memo"] / times["vectorized"]
+    return {
+        "name": "run-many-tc-dcr-batch",
+        "family": "batched",
+        "n": len(graphs),
+        "acceptance": False,
+        "times_s": times,
+        "speedups": speedups,
+        "checked": checked,
+    }
+
+
+def build_workloads(quick: bool) -> list[Workload]:
+    tc_dcr = reachable_pairs_query("dcr")
+    tc_logloop = reachable_pairs_query("logloop")
+    tc_sri = reachable_pairs_query("sri")
+    parity = parity_esr_translated()
+
+    if quick:
+        return [
+            Workload("tc-dcr-path", "transitive-closure", 12,
+                     tc_dcr, path_graph(12).value(),
+                     ("reference", "memo", "vectorized")),
+            Workload("tc-logloop-path", "transitive-closure", 12,
+                     tc_logloop, path_graph(12).value(),
+                     ("reference", "memo", "vectorized")),
+            Workload("tc-sri-path", "transitive-closure", 12,
+                     tc_sri, path_graph(12).value(),
+                     ("reference", "memo", "vectorized")),
+            Workload("nested-two-hop", "nested-graph", 24,
+                     two_hop_query(), nested_random_graph(24, 0.1, seed=7),
+                     ("reference", "memo", "vectorized")),
+            Workload("parity-esr-translated", "parity", 128,
+                     parity, tagged_boolean_set(random_bits(128, seed=9)),
+                     ("memo", "vectorized")),
+        ]
+
+    return [
+        # Trajectory rows: all three backends where the reference is feasible.
+        Workload("tc-dcr-path", "transitive-closure", 24,
+                 tc_dcr, path_graph(24).value(),
+                 ("reference", "memo", "vectorized")),
+        Workload("tc-logloop-path", "transitive-closure", 24,
+                 tc_logloop, path_graph(24).value(),
+                 ("reference", "memo", "vectorized")),
+        Workload("tc-sri-path", "transitive-closure", 24,
+                 tc_sri, path_graph(24).value(),
+                 ("reference", "memo", "vectorized")),
+        Workload("tc-dcr-path", "transitive-closure", 96,
+                 tc_dcr, path_graph(96).value(),
+                 ("memo", "vectorized"), repeats={"memo": 1}),
+        # Acceptance: transitive closure at n >= 200 nodes (255-node tree).
+        Workload("tc-dcr-tree", "transitive-closure", 255,
+                 tc_dcr, binary_tree(7).value(),
+                 ("memo", "vectorized"), acceptance=True, repeats={"memo": 1}),
+        # Nested-graph family.
+        Workload("nested-two-hop", "nested-graph", 40,
+                 two_hop_query(), nested_random_graph(40, 0.06, seed=7),
+                 ("reference", "memo", "vectorized")),
+        # Acceptance: nested-graph workload at n >= 200 nodes.
+        Workload("nested-two-hop", "nested-graph", 200,
+                 two_hop_query(), nested_random_graph(200, 0.015, seed=7),
+                 ("memo", "vectorized"), acceptance=True, repeats={"memo": 1}),
+        Workload("nested-reachability", "nested-graph", 200,
+                 nested_reachability_query("logloop"),
+                 nested_random_graph(200, 0.01, seed=11),
+                 ("vectorized",)),
+        # Parity via the Prop 2.1 translated shape (rewriter + backends).
+        Workload("parity-esr-translated", "parity", 1024,
+                 parity, tagged_boolean_set(random_bits(1024, seed=9)),
+                 ("memo", "vectorized")),
+    ]
+
+
+def _print_table(rows: list[dict]) -> None:
+    header = ["workload", "n", "reference", "memo", "vectorized",
+              "vec/ref", "vec/memo", "accept"]
+    table = []
+    for r in rows:
+        t = r["times_s"]
+        s = r["speedups"]
+        table.append([
+            r["name"], str(r["n"]),
+            f"{t['reference']*1e3:.1f}ms" if "reference" in t else "-",
+            f"{t['memo']*1e3:.1f}ms" if "memo" in t else "-",
+            f"{t['vectorized']*1e3:.1f}ms" if "vectorized" in t else "-",
+            f"{s['vectorized_vs_reference']:.1f}x" if "vectorized_vs_reference" in s else "-",
+            f"{s['vectorized_vs_memo']:.1f}x" if "vectorized_vs_memo" in s else "-",
+            "*" if r["acceptance"] else "",
+        ])
+    widths = [max(len(h), max((len(row[i]) for row in table), default=0))
+              for i, h in enumerate(header)]
+    print("  ".join(h.rjust(w) for h, w in zip(header, widths)))
+    for row in table:
+        print("  ".join(v.rjust(w) for v, w in zip(row, widths)))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes only (CI smoke run; no acceptance check)")
+    parser.add_argument("-o", "--output", type=Path, default=None,
+                        help=f"where to write the JSON (default {DEFAULT_OUTPUT.name}; "
+                             f"{DEFAULT_QUICK_OUTPUT.name} with --quick)")
+    args = parser.parse_args(argv)
+    if args.output is None:
+        args.output = DEFAULT_QUICK_OUTPUT if args.quick else DEFAULT_OUTPUT
+
+    rows = [w.run() for w in build_workloads(args.quick)]
+    rows.append(_batch_workload(args.quick))
+
+    report = {
+        "meta": {
+            "suite": "engine-backends",
+            "quick": args.quick,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        },
+        "workloads": rows,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+
+    print(f"== engine benchmark suite ({'quick' if args.quick else 'full'}) "
+          f"-> {args.output}")
+    _print_table(rows)
+
+    if not args.quick:
+        failures = [
+            r for r in rows
+            if r["acceptance"] and r["speedups"].get("vectorized_vs_memo", 0.0) < 3.0
+        ]
+        if failures:
+            names = [f"{r['name']} (n={r['n']})" for r in failures]
+            print(f"ACCEPTANCE FAILED: vectorized < 3x memo on {names}")
+            return 1
+        print("acceptance: vectorized >= 3x memo on every tagged workload")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,8 +16,13 @@ Layers (each usable on its own):
   complex object values;
 * :mod:`repro.engine.memo` -- the memoizing evaluator built on interned
   values;
+* :mod:`repro.engine.vectorized` -- the set-at-a-time backend: a compiler
+  from NRA expressions to columnar plans (hash joins, bulk select/project,
+  semi-naive frontier iteration for provably inflationary steps);
 * :mod:`repro.engine.engine` -- the :class:`Engine` facade:
-  ``Engine.run(expr, db, optimize=True)`` and ``Engine.explain(expr)``.
+  ``Engine.run(expr, db, optimize=True, backend=...)``, the batched
+  ``Engine.run_many(expr, inputs)``, ``Engine.explain(expr)`` and
+  ``Engine.explain_plan(expr)``.
 
 The contract, precisely: interning and memoization never change results (the
 language is pure and total, and the recursion constructs delegate to the same
@@ -33,7 +38,7 @@ rules do not increase work or depth on their target shapes.  See DESIGN.md
 for where this sits in the package architecture.
 """
 
-from .engine import Engine, Plan
+from .engine import BACKENDS, Engine, Plan
 from .interning import InternTable
 from .memo import MemoEvaluator, MemoFunction, MemoStats
 from .rewrite import (
@@ -43,20 +48,31 @@ from .rewrite import (
     Rewriter,
     Rule,
     RuleFiring,
+    insert_as_step,
+    is_inflationary_step,
     rewrite,
+    union_operands,
 )
+from .vectorized import PlanNode, VecStats, VectorizedEvaluator
 
 __all__ = [
+    "BACKENDS",
     "Engine",
     "Plan",
     "InternTable",
     "MemoEvaluator",
     "MemoFunction",
     "MemoStats",
+    "PlanNode",
     "Rewriter",
     "Rule",
     "RuleFiring",
+    "VecStats",
+    "VectorizedEvaluator",
     "rewrite",
+    "insert_as_step",
+    "is_inflationary_step",
+    "union_operands",
     "DEFAULT_RULES",
     "STRUCTURAL_RULES",
     "COST_DIRECTED_RULES",

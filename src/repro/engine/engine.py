@@ -1,11 +1,21 @@
-"""The optimizing NRA evaluation engine: rewrite, then memo-evaluate.
+"""The optimizing NRA evaluation engine: rewrite, then evaluate fast.
 
 :class:`Engine` is the front door of :mod:`repro.engine`.  It composes the
-three optimization layers of this package --
+optimization layers of this package --
 
 1. algebraic rewriting (:mod:`repro.engine.rewrite`),
 2. value interning / hash-consing (:mod:`repro.engine.interning`),
-3. memoized evaluation (:mod:`repro.engine.memo`),
+3. a choice of evaluation **backend**:
+
+   ============  ==================================================================
+   backend       evaluation strategy
+   ============  ==================================================================
+   `reference`   the naive interpreter of :mod:`repro.nra.eval` (the oracle)
+   `memo`        element-at-a-time with interning + memoized closures
+                 (:mod:`repro.engine.memo`)
+   `vectorized`  compiled set-at-a-time plans: hash joins, bulk select/project,
+                 semi-naive frontier iteration (:mod:`repro.engine.vectorized`)
+   ============  ==================================================================
 
 -- behind an API that mirrors :func:`repro.nra.eval.run`::
 
@@ -13,35 +23,44 @@ three optimization layers of this package --
     from repro.relational import transitive_closure_dcr
     from repro.workloads.graphs import path_graph
 
-    eng = Engine()
+    eng = Engine(backend="vectorized")
     closure = eng.run(transitive_closure_dcr(), path_graph(24))
+    batch = eng.run_many(transitive_closure_dcr(), [path_graph(8), path_graph(16)])
 
 ``Engine.explain`` returns the :class:`Plan` -- the rewritten expression plus
-the log of fired rules -- without evaluating anything, which is what the
-``examples/engine_tour.py`` walkthrough prints.  The engine is cross-checked
-against the reference interpreter and the work/depth cost model in
-``tests/engine``.  Memoization and interning never change results (they do
-not alter the evaluation order of :mod:`repro.recursion`); the structural
-rewrite rules are unconditional identities of the pure, total language; the
-cost-directed recursion rewrites preserve results exactly when the
-recursion's algebraic preconditions hold, which the rewriter verifies on a
-sampled carrier -- pass ``rules=STRUCTURAL_RULES`` to disable them when
-evaluating recursions with deliberately ill-behaved combiners (see
+the log of fired rules -- and ``Engine.explain_plan`` the set-at-a-time
+operator tree the vectorized backend compiles it to.  All backends are
+cross-checked value-for-value against the reference interpreter in
+``tests/engine``; the structural rewrite rules are unconditional identities
+of the pure, total language, the vectorized strategies are syntactic
+theorems, and the cost-directed recursion rewrites preserve results exactly
+when the recursion's algebraic preconditions hold, which the rewriter
+verifies on a sampled carrier -- pass ``rules=STRUCTURAL_RULES`` to disable
+them when evaluating recursions with deliberately ill-behaved combiners (see
 :mod:`repro.engine.rewrite`).
+
+``run_many`` is the batched entry point: one compiled plan / one closure
+cache, one intern table and all join indexes are shared across the whole
+batch of inputs, so overlapping inputs pay only for what is genuinely new.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional, Union
 
 from ..nra.ast import Expr
+from ..nra.eval import run as reference_run
 from ..nra.externals import EMPTY_SIGMA, Signature
 from ..nra.pretty import pretty
 from ..objects.values import Value, from_python
 from .interning import InternTable
 from .memo import MemoEvaluator, MemoStats
 from .rewrite import DEFAULT_RULES, Rewriter, Rule, RuleFiring
+from .vectorized import PlanNode, VecStats, VectorizedEvaluator
+
+#: The evaluation backends an :class:`Engine` can run.
+BACKENDS = ("reference", "memo", "vectorized")
 
 
 @dataclass
@@ -89,14 +108,21 @@ class Engine:
     rules:
         The rewrite-rule registry; defaults to
         :data:`repro.engine.rewrite.DEFAULT_RULES`.  Pass ``[]`` to measure
-        interning + memoization alone.
+        the evaluation backend alone.
     seed:
         Seed for the sampled algebraic gate of the cost-directed rules.
+    backend:
+        Default evaluation backend, one of :data:`BACKENDS`; ``run`` and
+        ``run_many`` accept a per-call override.  ``memo`` is the default
+        (the PR-1 behaviour); ``vectorized`` is the set-at-a-time compiler.
 
-    The intern table is engine-scoped (values are shared across runs of the
-    same engine); the memo caches are per-run, keyed on ``(expression
-    identity, interned environment, interned argument)`` -- see
-    :mod:`repro.engine.memo`.
+    The intern table is engine-scoped (values are shared across runs and
+    backends of the same engine).  The memo backend's closure caches are
+    per-run for ``run`` and batch-wide for ``run_many``; the vectorized
+    backend's compiled plans and join indexes are engine-scoped.
+    ``last_stats`` always describes just the most recent ``run`` /
+    ``run_many`` call (a whole batch for ``run_many``), whatever the
+    backend; a second call on a warm engine therefore reports zero compiles.
     """
 
     def __init__(
@@ -104,14 +130,21 @@ class Engine:
         sigma: Signature = EMPTY_SIGMA,
         rules: Optional[list[Rule]] = None,
         seed: int = 0,
+        backend: str = "memo",
     ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
         self.sigma = sigma
+        self.backend = backend
         self.rewriter = Rewriter(rules=rules, sigma=sigma, seed=seed)
         self.interner = InternTable()
-        self.last_stats: Optional[MemoStats] = None
+        self.last_stats: Optional[Union[MemoStats, VecStats]] = None
         # Keyed on the expression itself (AST nodes are frozen, hashable
         # dataclasses), so structurally equal queries share one plan.
         self._plans: dict[Expr, Plan] = {}
+        # The vectorized evaluator is created on first use and lives as long
+        # as the engine: its compile cache and join indexes span runs.
+        self._vectorized: Optional[VectorizedEvaluator] = None
 
     # -- planning -----------------------------------------------------------------
 
@@ -132,6 +165,17 @@ class Engine:
         """The plan for ``e``: rewritten expression and the rules that fired."""
         return self.optimize(e)
 
+    def explain_plan(self, e: Expr, optimize: bool = True) -> PlanNode:
+        """The set-at-a-time operator tree the vectorized backend compiles.
+
+        Useful for asserting strategy selection (``"hash-join" in
+        engine.explain_plan(q).ops()``) and for eyeballing what a query
+        actually executes as; compiling is cheap and cached, and no
+        evaluation happens.
+        """
+        expr = self.optimize(e).optimized if optimize else e
+        return self._vec().plan(expr)
+
     # -- evaluation ---------------------------------------------------------------
 
     def run(
@@ -140,6 +184,7 @@ class Engine:
         db=None,
         env: Optional[dict] = None,
         optimize: bool = True,
+        backend: Optional[str] = None,
     ) -> Value:
         """Optimize and evaluate ``e``, optionally applying it to input ``db``.
 
@@ -147,14 +192,78 @@ class Engine:
         :class:`~repro.relational.relation.Relation`, or plain Python data
         (converted with :func:`~repro.objects.values.from_python`); ``env``
         supplies values of free variables.  With ``optimize=False`` the
-        expression is evaluated as-is (still memoized and interned), which is
-        how the benchmarks isolate the contribution of the rewrites.
+        expression is evaluated as-is (still through the selected backend),
+        which is how the benchmarks isolate the contribution of the rewrites.
+        ``backend`` overrides the engine default for this call.
         """
+        chosen = self._backend(backend)
         expr = self.optimize(e).optimized if optimize else e
+        arg = self._to_value(db)
+        if chosen == "reference":
+            self.last_stats = None
+            return reference_run(expr, arg, env=env, sigma=self.sigma)
+        if chosen == "vectorized":
+            ev = self._vec()
+            # The evaluator's counters run for its whole lifetime (they back
+            # the engine-scoped caches); report just this call's share.
+            before = ev.stats.copy()
+            result = ev.run(expr, arg=arg, env=env)
+            self.last_stats = ev.stats.since(before)
+            return result
         evaluator = MemoEvaluator(self.sigma, self.interner)
-        result = evaluator.run(expr, arg=self._to_value(db), env=env)
+        result = evaluator.run(expr, arg=arg, env=env)
         self.last_stats = evaluator.stats
         return result
+
+    def run_many(
+        self,
+        e: Expr,
+        inputs: Iterable,
+        env: Optional[dict] = None,
+        optimize: bool = True,
+        backend: Optional[str] = None,
+    ) -> list[Value]:
+        """Apply one query to a batch of inputs with all caches shared.
+
+        The expression is optimized and compiled once.  Under the ``memo``
+        backend a *single* memoizing evaluator serves the whole batch, so its
+        closure caches (and the engine's intern table) are shared across
+        inputs -- re-running an input, or running inputs with overlapping
+        substructure, turns evaluation into cache hits; ``last_stats`` then
+        reports batch-wide counters.  Under ``vectorized`` the compiled plan,
+        intern table, join indexes and per-denotation caches are shared the
+        same way.  Returns one result per input, in order.
+        """
+        chosen = self._backend(backend)
+        expr = self.optimize(e).optimized if optimize else e
+        args = [self._to_value(db) for db in inputs]
+        if chosen == "reference":
+            self.last_stats = None
+            return [reference_run(expr, a, env=env, sigma=self.sigma) for a in args]
+        if chosen == "vectorized":
+            ev = self._vec()
+            before = ev.stats.copy()
+            out = ev.run_many(expr, args, env=env)
+            self.last_stats = ev.stats.since(before)
+            return out
+        evaluator = MemoEvaluator(self.sigma, self.interner)
+        out = [evaluator.run(expr, arg=a, env=env) for a in args]
+        self.last_stats = evaluator.stats
+        return out
+
+    # -- helpers ------------------------------------------------------------------
+
+    def _backend(self, override: Optional[str]) -> str:
+        if override is None:
+            return self.backend
+        if override not in BACKENDS:
+            raise ValueError(f"unknown backend {override!r}; expected one of {BACKENDS}")
+        return override
+
+    def _vec(self) -> VectorizedEvaluator:
+        if self._vectorized is None:
+            self._vectorized = VectorizedEvaluator(self.sigma, self.interner)
+        return self._vectorized
 
     def _to_value(self, db) -> Optional[Value]:
         if db is None:

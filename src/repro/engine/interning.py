@@ -46,6 +46,7 @@ def _raw_set(elements: tuple[Value, ...]) -> SetVal:
     """
     s = SetVal.__new__(SetVal)
     object.__setattr__(s, "elements", elements)
+    object.__setattr__(s, "_hash", None)
     return s
 
 
@@ -183,6 +184,21 @@ class InternTable:
         merged.extend(xs[i:])
         merged.extend(ys[j:])
         return self._set_from_canonical(tuple(merged))
+
+    def difference(self, a: SetVal, b: SetVal) -> Value:
+        """Interned difference of two interned sets (identity membership).
+
+        A subsequence of a canonical sequence is canonical, so the result is
+        built without re-sorting.  This is the frontier computation of the
+        vectorized engine's semi-naive iteration (``delta = new - old``).
+        """
+        if not a.elements or not b.elements:
+            return a
+        drop = set(map(id, b.elements))
+        kept = tuple(x for x in a.elements if id(x) not in drop)
+        if len(kept) == len(a.elements):
+            return a
+        return self._set_from_canonical(kept)
 
 
 def intern_env(

@@ -31,6 +31,13 @@ and parallel execution are deliberately absent; cost is *measured*, not run).
 
 ``tests/engine`` cross-check this evaluator against :func:`repro.nra.eval.run`
 node-for-node on the query library and on randomly generated expressions.
+
+One evaluator may serve many ``run`` calls: the closure table and every
+closure's result cache persist across calls, which is exactly what
+``Engine.run_many`` exploits -- a batch of inputs evaluated through a single
+:class:`MemoEvaluator` shares all caches, so duplicated inputs (and inputs
+with overlapping substructure, via the shared intern table) degenerate into
+cache hits.  ``stats`` then reports batch-wide counters.
 """
 
 from __future__ import annotations

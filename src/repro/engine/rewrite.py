@@ -359,6 +359,79 @@ def _sri_to_dcr(e: Expr, rw: "Rewriter") -> Optional[Expr]:
     return ast.Dcr(e.seed, item, u)
 
 
+# ---------------------------------------------------------------------------
+# Inflationary-step analysis (hooks for the set-at-a-time backend)
+# ---------------------------------------------------------------------------
+#
+# The vectorized engine (:mod:`repro.engine.vectorized`) evaluates the
+# iterators and the insert recursions semi-naively when it can *prove* the
+# step inflationary: a step ``\v. v U F1(v) U ... U Fk(v)`` only ever grows
+# its accumulator, so each round needs to re-derive only from the previous
+# round's newly discovered elements (the frontier).  The proofs here are
+# syntactic -- no sampled algebraic gate is involved, so unlike the
+# cost-directed rules these analyses never mis-fire on adversarial inputs.
+
+def union_operands(e: Expr) -> list[Expr]:
+    """Flatten a ``Union`` tree into its operand list, in syntactic order."""
+    if isinstance(e, ast.Union):
+        return union_operands(e.left) + union_operands(e.right)
+    return [e]
+
+
+def is_inflationary_step(step: Expr) -> bool:
+    """True iff ``step`` is syntactically ``\\v. v U ...``: a union tree with
+    the loop variable itself as one operand, so ``step(v)`` is a superset of
+    ``v`` for every set ``v``.  Inflationary steps form monotone iteration
+    sequences, the precondition for frontier (semi-naive) evaluation."""
+    if not isinstance(step, ast.Lambda):
+        return False
+    return any(
+        isinstance(op, ast.Var) and op.name == step.var
+        for op in union_operands(step.body)
+    )
+
+
+def _uses_var_only_under_proj2(e: Expr, name: str) -> bool:
+    """True iff every occurrence of ``Var(name)`` in ``e`` sits under ``Proj2``."""
+    if isinstance(e, ast.Proj2) and isinstance(e.pair, ast.Var) and e.pair.name == name:
+        return True
+    if isinstance(e, ast.Var):
+        return e.name != name
+    if isinstance(e, ast.Lambda) and e.var == name:
+        return True
+    return all(_uses_var_only_under_proj2(c, name) for c in e.children())
+
+
+def _replace_proj2_var(e: Expr, name: str, replacement: Expr) -> Expr:
+    """Rewrite ``pi2(Var(name))`` to ``replacement`` everywhere in ``e``."""
+    if isinstance(e, ast.Proj2) and isinstance(e.pair, ast.Var) and e.pair.name == name:
+        return replacement
+    if isinstance(e, ast.Lambda) and e.var == name:
+        return e
+    return map_children(e, lambda c: _replace_proj2_var(c, name, replacement))
+
+
+def insert_as_step(insert: Expr) -> Optional[ast.Lambda]:
+    """View an ``sri``/``esr`` insert function as a pure iteration step.
+
+    An insert ``\\z^(s x t). body`` that never looks at the inserted element
+    (every occurrence of ``z`` is under ``pi2``) computes the same value for
+    every element, so ``sri(e, i)(s)`` degenerates to iterating
+    ``\\acc. body[pi2 z := acc]`` exactly ``|s|`` times -- the shape the
+    paper's Proposition 6.6 PTIME queries take (e.g. transitive closure by
+    ``sri``), and the entry point for the loop strategies of the vectorized
+    backend.  Returns the step lambda, or ``None`` if the insert inspects the
+    element (in which case only element-by-element evaluation is faithful).
+    """
+    if not (isinstance(insert, ast.Lambda) and isinstance(insert.var_type, ProdType)):
+        return None
+    if not _uses_var_only_under_proj2(insert.body, insert.var):
+        return None
+    acc = fresh_name("acc")
+    body = _replace_proj2_var(insert.body, insert.var, ast.Var(acc))
+    return ast.Lambda(acc, insert.var_type.snd, body)
+
+
 #: The unconditionally semantics-preserving rules: algebraic identities of
 #: the pure, total object language that hold for every expression.
 STRUCTURAL_RULES: list[Rule] = [r for r in DEFAULT_RULES if r.name != "sri-to-dcr"]

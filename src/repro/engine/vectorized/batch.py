@@ -1,0 +1,291 @@
+"""Columnar batches: whole-set operator kernels over interned values.
+
+The memoizing evaluator (:mod:`repro.engine.memo`) still walks ``ext`` bodies
+one element and one closure call at a time.  This module is the other half of
+the set-at-a-time story: every kernel consumes *whole canonical sets* of
+interned values and produces interned sets, so the per-element work inside a
+bulk operator is a couple of dict probes and attribute loads instead of a
+re-entry into the expression evaluator.
+
+Representation.  A canonical :class:`~repro.objects.values.SetVal` whose
+elements are interned *is* a columnar batch: the element tuple is the column
+of row ids (interned values are unique per structure, so ``id(x)`` is a row
+id), and pair-sets expose their ``fst``/``snd`` columns by attribute access.
+:class:`BatchContext` adds the two pieces of per-run state the kernels share:
+
+* the :class:`~repro.engine.interning.InternTable` that keeps identity
+  equality sound and set construction a merge over cached sort keys, and
+* a **join-index cache**: hash indexes (``id(key) -> rows``) built over a set
+  are remembered per ``(set, key accessor)``, so the loop-invariant side of a
+  join inside a semi-naive iteration is indexed once, not once per round.
+
+All kernels bind the iteration variable by *mutating the environment dict in
+place* (saving and restoring any shadowed binding once per batch, not once
+per element); compiled plan bodies read the variable straight out of the
+environment.  See :mod:`repro.engine.vectorized.compiler` for how expression
+shapes are lowered onto these kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from ...nra.errors import NRAEvalError
+from ...nra.externals import EMPTY_SIGMA, Signature
+from ...objects.values import SetVal, Value
+from ..interning import InternTable
+
+#: Sentinel distinguishing "variable was unbound" from "bound to None".
+_MISSING = object()
+
+#: A compiled expression body: environment dict -> denotation.
+EnvFn = Callable[[dict], object]
+
+
+@dataclass
+class VecStats:
+    """Counters describing the strategies one vectorized run actually used."""
+
+    bulk_maps: int = 0
+    bulk_selects: int = 0
+    hash_joins: int = 0
+    index_builds: int = 0
+    index_hits: int = 0
+    elementwise_exts: int = 0
+    seminaive_loops: int = 0
+    seminaive_rounds: int = 0
+    full_loops: int = 0
+    dcr_by_size: int = 0
+    dcr_trees: int = 0
+    sri_elementwise: int = 0
+    compiled_exprs: int = 0
+
+    def copy(self) -> "VecStats":
+        return VecStats(**{f: getattr(self, f) for f in self.__dataclass_fields__})
+
+    def since(self, baseline: "VecStats") -> "VecStats":
+        """The per-call view: counters accumulated after ``baseline`` was taken.
+
+        The evaluator's own ``stats`` run for its whole lifetime (they back
+        the engine-scoped caches); ``Engine.run``/``run_many`` snapshot before
+        evaluating and report the difference, so ``Engine.last_stats`` always
+        describes just the last call.
+        """
+        return VecStats(
+            **{f: getattr(self, f) - getattr(baseline, f) for f in self.__dataclass_fields__}
+        )
+
+
+@dataclass
+class BatchContext:
+    """Shared state of one vectorized evaluation: interner, indexes, stats."""
+
+    #: Bound on cached join indexes.  Inside a semi-naive loop each round's
+    #: accumulator is a fresh interned set whose index is used once; without a
+    #: cap those single-use entries would accumulate for the lifetime of a
+    #: long-lived engine.  LRU keeps the loop-invariant indexes (re-probed
+    #: every round) hot while single-use ones age out.
+    MAX_CACHED_INDEXES = 128
+
+    interner: InternTable
+    sigma: Signature = EMPTY_SIGMA
+    stats: VecStats = field(default_factory=VecStats)
+    _indexes: dict[tuple, dict] = field(default_factory=dict)
+
+    def clear_indexes(self) -> None:
+        """Drop every cached join index (correctness is unaffected)."""
+        self._indexes.clear()
+
+    # -- index plumbing -----------------------------------------------------------
+
+    def probe_index(
+        self,
+        source: SetVal,
+        key_of: Callable[[Value], Value],
+        cache_tag: Optional[object],
+    ) -> dict[int, list[Value]]:
+        """A hash index ``id(key_of(x)) -> [x, ...]`` over a canonical set.
+
+        ``cache_tag`` identifies the accessor; pass ``None`` when the key
+        function closes over loop-dependent state (the index is then rebuilt),
+        or a stable token when the key is a pure function of the element (the
+        index is cached per ``(set, accessor)`` -- sound because interned sets
+        are immutable and kept alive by the intern table).
+        """
+        indexes = self._indexes
+        if cache_tag is not None:
+            key = (id(source), cache_tag)
+            cached = indexes.pop(key, None)
+            if cached is not None:
+                indexes[key] = cached  # re-insert: most recently used last
+                self.stats.index_hits += 1
+                return cached
+        index: dict[int, list[Value]] = {}
+        for x in source.elements:
+            index.setdefault(id(key_of(x)), []).append(x)
+        self.stats.index_builds += 1
+        if cache_tag is not None:
+            indexes[(id(source), cache_tag)] = index
+            if len(indexes) > self.MAX_CACHED_INDEXES:
+                indexes.pop(next(iter(indexes)))  # evict least recently used
+        return index
+
+
+def bind(env: dict, var: str):
+    """Save the binding ``var`` may shadow; returns a token for :func:`unbind`."""
+    return env.get(var, _MISSING)
+
+def unbind(env: dict, var: str, token) -> None:
+    if token is _MISSING:
+        env.pop(var, None)
+    else:
+        env[var] = token
+
+
+def expect_set(v: object, what: str) -> SetVal:
+    if not isinstance(v, SetVal):
+        raise NRAEvalError(f"{what}: expected a set, got {v!r}")
+    return v
+
+
+# ---------------------------------------------------------------------------
+# Whole-set kernels
+# ---------------------------------------------------------------------------
+
+def bulk_map(
+    ctx: BatchContext,
+    env: dict,
+    source: SetVal,
+    var: str,
+    out_fn: EnvFn,
+) -> SetVal:
+    """``ext(\\x. {out})(source)``: one pass, one set construction."""
+    ctx.stats.bulk_maps += 1
+    token = bind(env, var)
+    try:
+        out = []
+        append = out.append
+        for x in source.elements:
+            env[var] = x
+            append(out_fn(env))
+    finally:
+        unbind(env, var, token)
+    return ctx.interner.mkset(out)
+
+
+def bulk_select(
+    ctx: BatchContext,
+    env: dict,
+    source: SetVal,
+    var: str,
+    pred_fn: EnvFn,
+    out_fn: EnvFn,
+    negate: bool,
+) -> SetVal:
+    """``ext(\\x. if p(x) then {out} else {})(source)``: fused filter+project."""
+    ctx.stats.bulk_selects += 1
+    true, false = ctx.interner.true, ctx.interner.false
+    want, drop = (false, true) if negate else (true, false)
+    token = bind(env, var)
+    try:
+        out = []
+        append = out.append
+        for x in source.elements:
+            env[var] = x
+            p = pred_fn(env)
+            if p is want:
+                append(out_fn(env))
+            elif p is not drop:
+                raise NRAEvalError(f"if-condition: expected a boolean, got {p!r}")
+    finally:
+        unbind(env, var, token)
+    return ctx.interner.mkset(out)
+
+
+def hash_join(
+    ctx: BatchContext,
+    env: dict,
+    left: SetVal,
+    right: SetVal,
+    lvar: str,
+    rvar: str,
+    lkey_fn: EnvFn,
+    rkey_fn: EnvFn,
+    out_fn: EnvFn,
+    rkey_tag: Optional[object],
+) -> SetVal:
+    """``ext(\\x. ext(\\y. if k1(x) = k2(y) then {out(x,y)} else {})(right))(left)``.
+
+    The classical hash equi-join: index the right side on its key, stream the
+    left side, emit ``out`` per matching pair.  Cost is O(|left| + |right| +
+    matches) instead of the nested-loop O(|left| * |right|) the element-wise
+    evaluators pay for the same expression (``repro.nra.derived.compose`` is
+    exactly this shape).
+    """
+    ctx.stats.hash_joins += 1
+    rtoken = bind(env, rvar)
+    try:
+        def rkey(y: Value) -> Value:
+            env[rvar] = y
+            return rkey_fn(env)  # type: ignore[return-value]
+
+        index = ctx.probe_index(right, rkey, rkey_tag)
+    finally:
+        unbind(env, rvar, rtoken)
+
+    ltoken = bind(env, lvar)
+    rtoken = bind(env, rvar)
+    try:
+        out = []
+        append = out.append
+        get = index.get
+        for x in left.elements:
+            env[lvar] = x
+            matches = get(id(lkey_fn(env)))
+            if matches:
+                for y in matches:
+                    env[rvar] = y
+                    append(out_fn(env))
+    finally:
+        unbind(env, rvar, rtoken)
+        unbind(env, lvar, ltoken)
+    return ctx.interner.mkset(out)
+
+
+def elementwise_ext(
+    ctx: BatchContext,
+    env: dict,
+    source: SetVal,
+    var: str,
+    body_fn: EnvFn,
+) -> SetVal:
+    """General ``ext``: evaluate the body per element, union all the pieces.
+
+    The pieces are collected and canonicalised *once* (union is associative,
+    commutative and idempotent, so one merged construction equals the
+    reference interpreter's left-to-right accumulation) -- still set-at-a-time
+    on the output side even when the body has no recognisable bulk shape.
+    """
+    ctx.stats.elementwise_exts += 1
+    token = bind(env, var)
+    try:
+        elements: list[Value] = []
+        extend = elements.extend
+        for x in source.elements:
+            env[var] = x
+            piece = body_fn(env)
+            if not isinstance(piece, SetVal):
+                raise NRAEvalError(f"ext parameter returned non-set {piece!r}")
+            extend(piece.elements)
+    finally:
+        unbind(env, var, token)
+    return ctx.interner.mkset(elements)
+
+
+def union_all(ctx: BatchContext, parts: Iterable[SetVal]) -> SetVal:
+    """Union of many interned sets in one canonical construction."""
+    elements: list[Value] = []
+    for p in parts:
+        elements.extend(p.elements)
+    return ctx.interner.mkset(elements)

@@ -1,0 +1,828 @@
+"""The set-at-a-time compiler: NRA expressions to columnar plans.
+
+:class:`PlanCompiler` lowers a (typically rewriter-optimized) NRA expression
+to two coupled artefacts: a closure ``env -> denotation`` that evaluates the
+expression over interned values, and a :class:`~.plan.PlanNode` tree recording
+the whole-set strategy every subexpression was given.  The compiled closure
+tree replaces the per-node ``isinstance`` dispatch of the tree-walking
+evaluators with direct calls -- compilation happens once per distinct
+subexpression, evaluation as often as the expression runs.
+
+Strategy selection, from most to least specialised:
+
+* ``ext``-of-pairing shapes become **bulk kernels**
+  (:mod:`repro.engine.vectorized.batch`): a map body ``{out}`` becomes one
+  pass + one set construction; a filter body ``if p then {out} else {}``
+  becomes a fused select; the nested shape
+  ``ext(\\p. ext(\\q. if k1(p) = k2(q) then {out} else {})(s2))(s1)`` -- the
+  paper's relation composition, Example 7.1 -- becomes a **hash equi-join**.
+
+* ``loop``/``log_loop`` steps that the inflationary analysis of
+  :mod:`repro.engine.rewrite` proves to be ``\\v. v U F(v)`` with ``F``
+  union-distributive run **semi-naively**: each round re-derives only from
+  the previous round's frontier (:func:`_delta_terms` constructs the
+  frontier variants of the step body, which are compiled by this same
+  compiler and therefore get hash joins of their own).  Every other loop
+  falls back to full set-at-a-time iteration with an exact early exit at the
+  fixpoint (:func:`repro.recursion.iterators.iterate_stable`).
+
+* ``sri``/``esr`` whose insert ignores the inserted element are iterations in
+  disguise (:func:`repro.engine.rewrite.insert_as_step`) and reuse the loop
+  machinery, frontier evaluation included; ``dcr``/``sru`` with a *constant*
+  item function evaluate their combining tree **by cardinality** -- the
+  subtree value depends only on the subtree size, so ``Theta(log n)``
+  combines replace ``Theta(n)`` -- and everything else delegates to the exact
+  element-wise combinators of :mod:`repro.recursion.forms`.
+
+Exactness is part of the contract: every strategy above is a syntactic
+theorem about the pure, total object language (no sampled algebraic gates are
+involved), so the compiled plan returns value-for-value the reference
+interpreter's result even for parameter functions that violate their
+recursion's algebraic preconditions.  ``tests/engine/test_vectorized.py`` and
+the property suite enforce this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ...nra import ast
+from ...nra.ast import Expr, free_variables, fresh_name
+from ...nra.errors import NRAEvalError
+from ...objects.values import PairVal, SetVal, Value
+from ...recursion.bounded import ps_intersect_values
+from ...recursion.forms import dcr as dcr_combinator, sri as sri_combinator
+from ...recursion.iterators import iterate_stable, log_iterations, seminaive_iterate
+from ..rewrite import insert_as_step, is_inflationary_step
+from .batch import (
+    BatchContext,
+    bind,
+    bulk_map,
+    bulk_select,
+    elementwise_ext,
+    expect_set,
+    hash_join,
+    unbind,
+    union_all,
+)
+from .plan import PlanNode, leaf, node
+
+
+class VFunction:
+    """A function denotation of the vectorized evaluator."""
+
+    __slots__ = ("name", "call")
+
+    def __init__(self, name: str, call: Callable[[Value], Value]):
+        self.name = name
+        self.call = call
+
+    def __call__(self, v: Value) -> Value:
+        return self.call(v)
+
+    def __repr__(self) -> str:
+        return f"<vectorized function {self.name}>"
+
+
+@dataclass
+class Compiled:
+    """One compiled subexpression: its plan and its closure."""
+
+    plan: PlanNode
+    fn: Callable[[dict], object]
+
+
+def _value(d: object, what: str) -> Value:
+    if isinstance(d, Value):
+        return d
+    raise NRAEvalError(f"{what}: expected a complex object value, got {d!r}")
+
+
+def _function(d: object, what: str) -> VFunction:
+    if isinstance(d, VFunction):
+        return d
+    raise NRAEvalError(f"{what}: expected a function, got {d!r}")
+
+
+# ---------------------------------------------------------------------------
+# Frontier (delta) decomposition of inflationary step bodies
+# ---------------------------------------------------------------------------
+
+def _delta_terms(e: Expr, v: str, dv: str) -> Optional[list[Expr]]:
+    """Decompose ``e`` as a union-distributive function of ``Var(v)``.
+
+    Returns expressions whose union, evaluated with ``v`` bound to the current
+    accumulator and ``dv`` to the frontier, covers every element ``e`` newly
+    derives -- the semi-naive round.  The grammar accepted is exactly the
+    fragment where distributivity ``e(a U b) = e(a) U e(b)`` is a syntactic
+    theorem: the variable itself, unions, and ``ext`` applications whose
+    source and/or parameter body are themselves distributive.  Returns
+    ``None`` anywhere else (the loop then falls back to full iteration).
+    """
+    if v not in free_variables(e):
+        return []  # loop-invariant: derives nothing new after round one
+    if isinstance(e, ast.Var) and e.name == v:
+        return [ast.Var(dv)]
+    if isinstance(e, ast.Union):
+        lhs = _delta_terms(e.left, v, dv)
+        if lhs is None:
+            return None
+        rhs = _delta_terms(e.right, v, dv)
+        if rhs is None:
+            return None
+        return lhs + rhs
+    if isinstance(e, ast.Apply) and isinstance(e.func, ast.Ext):
+        f, src = e.func.func, e.arg
+        terms: list[Expr] = []
+        if v in free_variables(src):
+            inner = _delta_terms(src, v, dv)
+            if inner is None:
+                return None
+            terms.extend(ast.Apply(e.func, t) for t in inner)
+        if v in free_variables(e.func):
+            # The parameter mentions the accumulator (e.g. squaring
+            # ``v o v``): decompose its body too, keeping the source at the
+            # full accumulator -- together with the branch above this yields
+            # the classical  J(delta, acc) U J(acc, delta)  bilinear rounds.
+            if not (isinstance(f, ast.Lambda) and f.var != v):
+                return None
+            body_terms = _delta_terms(f.body, v, dv)
+            if body_terms is None:
+                return None
+            terms.extend(
+                ast.Apply(ast.Ext(ast.Lambda(f.var, f.var_type, t)), src)
+                for t in body_terms
+            )
+        return terms
+    return None
+
+
+# ---------------------------------------------------------------------------
+# The compiler
+# ---------------------------------------------------------------------------
+
+class PlanCompiler:
+    """Compiles NRA expressions to set-at-a-time plans (cached structurally)."""
+
+    def __init__(self, ctx: BatchContext) -> None:
+        self.ctx = ctx
+        self.it = ctx.interner
+        self._cache: dict[Expr, Compiled] = {}
+
+    # -- entry point --------------------------------------------------------------
+
+    def compile(self, e: Expr) -> Compiled:
+        c = self._cache.get(e)
+        if c is None:
+            c = self._compile(e)
+            self._cache[e] = c
+            self.ctx.stats.compiled_exprs += 1
+        return c
+
+    # -- dispatch -----------------------------------------------------------------
+
+    def _compile(self, e: Expr) -> Compiled:
+        it = self.it
+        if isinstance(e, ast.Const):
+            v = it.intern(e.value)
+            return Compiled(leaf("const"), lambda env: v)
+        if isinstance(e, ast.EmptySet):
+            empty = it.empty_set
+            return Compiled(leaf("empty"), lambda env: empty)
+        if isinstance(e, ast.UnitConst):
+            unit = it.unit
+            return Compiled(leaf("unit"), lambda env: unit)
+        if isinstance(e, ast.BoolConst):
+            b = it.boolean(e.value)
+            return Compiled(leaf("bool", str(e.value)), lambda env: b)
+        if isinstance(e, ast.Var):
+            name = e.name
+
+            def var_fn(env, name=name):
+                try:
+                    return env[name]
+                except KeyError:
+                    raise NRAEvalError(f"unbound variable {name!r}") from None
+
+            return Compiled(leaf("var", name), var_fn)
+        if isinstance(e, ast.Singleton):
+            item = self.compile(e.item)
+            fn = item.fn
+            return Compiled(
+                node("singleton", "", item.plan),
+                lambda env: it.singleton(_value(fn(env), "singleton")),
+            )
+        if isinstance(e, ast.Union):
+            lc, rc = self.compile(e.left), self.compile(e.right)
+            lfn, rfn = lc.fn, rc.fn
+            return Compiled(
+                node("union", "", lc.plan, rc.plan),
+                lambda env: it.union(
+                    expect_set(lfn(env), "union"), expect_set(rfn(env), "union")
+                ),
+            )
+        if isinstance(e, ast.Pair):
+            fc, sc = self.compile(e.fst), self.compile(e.snd)
+            ffn, sfn = fc.fn, sc.fn
+            return Compiled(
+                node("pair", "", fc.plan, sc.plan),
+                lambda env: it.pair(_value(ffn(env), "pair"), _value(sfn(env), "pair")),
+            )
+        if isinstance(e, ast.Proj1):
+            pc = self.compile(e.pair)
+            pfn = pc.fn
+
+            def proj1_fn(env):
+                p = pfn(env)
+                try:
+                    return p.fst
+                except AttributeError:
+                    raise NRAEvalError(f"pi1: expected a pair, got {p!r}") from None
+
+            return Compiled(node("proj1", "", pc.plan), proj1_fn)
+        if isinstance(e, ast.Proj2):
+            pc = self.compile(e.pair)
+            pfn = pc.fn
+
+            def proj2_fn(env):
+                p = pfn(env)
+                try:
+                    return p.snd
+                except AttributeError:
+                    raise NRAEvalError(f"pi2: expected a pair, got {p!r}") from None
+
+            return Compiled(node("proj2", "", pc.plan), proj2_fn)
+        if isinstance(e, ast.Eq):
+            lc, rc = self.compile(e.left), self.compile(e.right)
+            lfn, rfn = lc.fn, rc.fn
+            true, false = it.true, it.false
+
+            def eq_fn(env):
+                # Interning makes structural equality an identity test.
+                return (
+                    true
+                    if _value(lfn(env), "equality") is _value(rfn(env), "equality")
+                    else false
+                )
+
+            return Compiled(node("eq", "", lc.plan, rc.plan), eq_fn)
+        if isinstance(e, ast.IsEmpty):
+            sc = self.compile(e.set)
+            sfn = sc.fn
+            true, false = it.true, it.false
+            return Compiled(
+                node("is-empty", "", sc.plan),
+                lambda env: false if expect_set(sfn(env), "empty()").elements else true,
+            )
+        if isinstance(e, ast.If):
+            cc, tc, oc = self.compile(e.cond), self.compile(e.then), self.compile(e.orelse)
+            cfn, tfn, ofn = cc.fn, tc.fn, oc.fn
+            true, false = it.true, it.false
+
+            def if_fn(env):
+                c = cfn(env)
+                if c is true:
+                    return tfn(env)
+                if c is false:
+                    return ofn(env)
+                raise NRAEvalError(f"if-condition: expected a boolean, got {c!r}")
+
+            return Compiled(node("if", "", cc.plan, tc.plan, oc.plan), if_fn)
+        if isinstance(e, ast.Lambda):
+            return self._compile_lambda(e)
+        if isinstance(e, ast.Apply):
+            return self._compile_apply(e)
+        if isinstance(e, ast.Ext):
+            return self._compile_bare_ext(e)
+        if isinstance(e, ast.ExternalCall):
+            ac = self.compile(e.arg)
+            afn = ac.fn
+            sigma = self.ctx.sigma
+            name = e.name
+            # Looked up lazily: an external in a dead branch must not fail at
+            # compile time (the reference interpreter never reaches it).
+            return Compiled(
+                node("external", name, ac.plan),
+                lambda env: it.intern(sigma[name](_value(afn(env), f"external {name}"))),
+            )
+        if isinstance(e, (ast.Dcr, ast.Sru)):
+            return self._compile_union_recursion(e, bounded=False)
+        if isinstance(e, ast.Bdcr):
+            return self._compile_union_recursion(e, bounded=True)
+        if isinstance(e, (ast.Sri, ast.Esr)):
+            return self._compile_insert_recursion(e, bounded=False)
+        if isinstance(e, ast.Bsri):
+            return self._compile_insert_recursion(e, bounded=True)
+        if isinstance(e, (ast.LogLoop, ast.Loop, ast.BlogLoop, ast.Bloop)):
+            return self._compile_iterator(e)
+        raise NRAEvalError(f"cannot compile expression node {type(e).__name__}")
+
+    # -- functions and application ------------------------------------------------
+
+    def _compile_lambda(self, e: ast.Lambda) -> Compiled:
+        body = self.compile(e.body)
+        body_fn = body.fn
+        var = e.var
+
+        def make(env):
+            captured = dict(env)  # kernels mutate env in place; closures snapshot
+
+            def call(v, captured=captured):
+                token = bind(captured, var)
+                captured[var] = v
+                try:
+                    return _value(body_fn(captured), "lambda body")
+                finally:
+                    unbind(captured, var, token)
+
+            return VFunction(f"\\{var}", call)
+
+        return Compiled(node("lambda", var, body.plan), make)
+
+    def _compile_apply(self, e: ast.Apply) -> Compiled:
+        if isinstance(e.func, ast.Ext):
+            return self._compile_ext_apply(e.func, e.arg)
+        if isinstance(e.func, ast.Lambda):
+            # Direct beta-redex: bind in place, no closure object per call.
+            f = e.func
+            body = self.compile(f.body)
+            arg = self.compile(e.arg)
+            body_fn, arg_fn, var = body.fn, arg.fn, f.var
+
+            def let_fn(env):
+                v = _value(arg_fn(env), "argument")
+                token = bind(env, var)
+                env[var] = v
+                try:
+                    return body_fn(env)
+                finally:
+                    unbind(env, var, token)
+
+            return Compiled(node("apply", f"let {var}", body.plan, arg.plan), let_fn)
+        fc, ac = self.compile(e.func), self.compile(e.arg)
+        ffn, afn = fc.fn, ac.fn
+
+        def apply_fn(env):
+            fn = _function(ffn(env), "application")
+            result = fn(_value(afn(env), "argument"))
+            if isinstance(result, VFunction):  # pragma: no cover - defensive
+                raise NRAEvalError("functions may not return functions")
+            return result
+
+        return Compiled(node("apply", "", fc.plan, ac.plan), apply_fn)
+
+    # -- ext shapes ---------------------------------------------------------------
+
+    def _compile_ext_apply(self, ext_node: ast.Ext, src: Expr) -> Compiled:
+        f = ext_node.func
+        if not isinstance(f, ast.Lambda):
+            bare = self._compile_bare_ext(ext_node)
+            sc = self.compile(src)
+            bare_fn, sfn = bare.fn, sc.fn
+            return Compiled(
+                node("ext-dynamic", "", bare.plan, sc.plan),
+                lambda env: bare_fn(env)(_value(sfn(env), "argument")),
+            )
+        ctx = self.ctx
+        var, body = f.var, f.body
+        sc = self.compile(src)
+        sfn = sc.fn
+
+        # MAP: ext(\x. {out})(s)
+        if isinstance(body, ast.Singleton):
+            oc = self.compile(body.item)
+            ofn = oc.fn
+            out_fn = lambda env: _value(ofn(env), "singleton")
+            return Compiled(
+                node("map", var, sc.plan, oc.plan),
+                lambda env: bulk_map(ctx, env, expect_set(sfn(env), "ext"), var, out_fn),
+            )
+
+        # SELECT: ext(\x. if p then {out} else {})(s) and the negated twin.
+        if isinstance(body, ast.If):
+            select = None
+            if isinstance(body.then, ast.Singleton) and isinstance(body.orelse, ast.EmptySet):
+                select = (body.then.item, False)
+            elif isinstance(body.orelse, ast.Singleton) and isinstance(body.then, ast.EmptySet):
+                select = (body.orelse.item, True)
+            if select is not None:
+                out_expr, negate = select
+                pc, oc = self.compile(body.cond), self.compile(out_expr)
+                pfn, ofn = pc.fn, oc.fn
+                out_fn = lambda env: _value(ofn(env), "singleton")
+                return Compiled(
+                    node("select", var, sc.plan, pc.plan, oc.plan),
+                    lambda env: bulk_select(
+                        ctx, env, expect_set(sfn(env), "ext"), var, pfn, out_fn, negate
+                    ),
+                )
+
+        # HASH JOIN: ext(\x. ext(\y. if k1 = k2 then {out} else {})(s2))(s1)
+        join = self._match_join(var, body)
+        if join is not None:
+            rvar, lkey, rkey, out_expr, inner_src = join
+            rc = self.compile(inner_src)
+            lkc, rkc, oc = self.compile(lkey), self.compile(rkey), self.compile(out_expr)
+            rfn, lkfn, rkfn, ofn = rc.fn, lkc.fn, rkc.fn, oc.fn
+            out_fn = lambda env: _value(ofn(env), "singleton")
+            # The right index is reusable only when its key is a pure
+            # function of the right element; the key expression itself is the
+            # cache tag, so structurally equal keys share indexes.
+            rkey_tag = rkey if free_variables(rkey) <= {rvar} else None
+            return Compiled(
+                node(
+                    "hash-join",
+                    f"{var} x {rvar}",
+                    sc.plan,
+                    rc.plan,
+                    annotations=("indexed",) if rkey_tag is not None else (),
+                ),
+                lambda env: hash_join(
+                    ctx,
+                    env,
+                    expect_set(sfn(env), "ext"),
+                    expect_set(rfn(env), "ext"),
+                    var,
+                    rvar,
+                    lkfn,
+                    rkfn,
+                    out_fn,
+                    rkey_tag,
+                ),
+            )
+
+        # General body: element-wise loop over a compiled body, one merged
+        # set construction for the output.
+        bc = self.compile(body)
+        bfn = bc.fn
+        return Compiled(
+            node("ext", var, sc.plan, bc.plan),
+            lambda env: elementwise_ext(ctx, env, expect_set(sfn(env), "ext"), var, bfn),
+        )
+
+    def _match_join(
+        self, lvar: str, body: Expr
+    ) -> Optional[tuple[str, Expr, Expr, Expr, Expr]]:
+        """Recognise the equi-join body shape; return (rvar, lkey, rkey, out, right)."""
+        if not (
+            isinstance(body, ast.Apply)
+            and isinstance(body.func, ast.Ext)
+            and isinstance(body.func.func, ast.Lambda)
+        ):
+            return None
+        g = body.func.func
+        inner_src = body.arg
+        if lvar in free_variables(inner_src):
+            return None  # correlated inner source: not a join
+        inner = g.body
+        rvar = g.var
+        if rvar == lvar:
+            return None
+        if not (
+            isinstance(inner, ast.If)
+            and isinstance(inner.cond, ast.Eq)
+            and isinstance(inner.then, ast.Singleton)
+            and isinstance(inner.orelse, ast.EmptySet)
+        ):
+            return None
+        a, b = inner.cond.left, inner.cond.right
+        fa, fb = free_variables(a), free_variables(b)
+        if rvar not in fa and lvar not in fb:
+            lkey, rkey = a, b
+        elif rvar not in fb and lvar not in fa:
+            lkey, rkey = b, a
+        else:
+            return None  # a key mixes both sides: no hash index applies
+        return (rvar, lkey, rkey, inner.then.item, inner_src)
+
+    def _compile_bare_ext(self, e: ast.Ext) -> Compiled:
+        """``ext(f)`` in function position: a set-to-set function value."""
+        ctx = self.ctx
+        fc = self.compile(e.func)
+        ffn = fc.fn
+
+        def make(env):
+            fn = _function(ffn(env), "ext parameter")
+
+            def call(v, fn=fn):
+                if not isinstance(v, SetVal):
+                    raise NRAEvalError(f"ext applied to non-set {v!r}")
+                ctx.stats.elementwise_exts += 1
+                elements: list[Value] = []
+                extend = elements.extend
+                for x in v.elements:
+                    piece = fn(x)
+                    if not isinstance(piece, SetVal):
+                        raise NRAEvalError(f"ext parameter returned non-set {piece!r}")
+                    extend(piece.elements)
+                return ctx.interner.mkset(elements)
+
+            return VFunction("ext", call)
+
+        return Compiled(node("ext-dynamic", "", fc.plan), make)
+
+    # -- recursion on sets --------------------------------------------------------
+
+    def _clip_fn(self, bound: Optional[Value]):
+        if bound is None:
+            return lambda v: v
+        it = self.it
+        return lambda v: it.intern(ps_intersect_values(v, bound))
+
+    def _compile_union_recursion(self, e: Expr, bounded: bool) -> Compiled:
+        ctx, it = self.ctx, self.it
+        seed_c = self.compile(e.seed)
+        item_c = self.compile(e.item)
+        comb_c = self.compile(e.combine)
+        bound_c = self.compile(e.bound) if bounded else None
+        # A constant item function makes the subtree value a function of the
+        # subtree *size* alone: evaluate the combining tree by cardinality.
+        constant_item = isinstance(e.item, ast.Lambda) and e.item.var not in free_variables(
+            e.item.body
+        )
+        op = "dcr-by-size" if constant_item else "dcr-tree"
+        kind = type(e).__name__.lower()
+        plan = node(op, kind, seed_c.plan, item_c.plan, comb_c.plan)
+        seed_fn, item_fn, comb_fn = seed_c.fn, item_c.fn, comb_c.fn
+        bound_fn = bound_c.fn if bound_c is not None else None
+
+        def make(env):
+            seed = _value(seed_fn(env), "recursion seed")
+            item_d = _function(item_fn(env), "recursion item")
+            comb_d = _function(comb_fn(env), "recursion combine")
+            bound = _value(bound_fn(env), "recursion bound") if bound_fn else None
+            clip = self._clip_fn(bound)
+            seed_v = clip(seed)
+            if constant_item:
+                sizes: dict[int, Value] = {}
+
+                def call(s):
+                    if not isinstance(s, SetVal):
+                        raise NRAEvalError(f"recursion applied to non-set {s!r}")
+                    n = len(s.elements)
+                    if n == 0:
+                        return seed_v
+                    ctx.stats.dcr_by_size += 1
+                    if 1 not in sizes:
+                        sizes[1] = clip(item_d(s.elements[0]))
+
+                    def by_size(k):
+                        v = sizes.get(k)
+                        if v is None:
+                            mid = k // 2
+                            v = clip(comb_d(it.pair(by_size(mid), by_size(k - mid))))
+                            sizes[k] = v
+                        return v
+
+                    return by_size(n)
+
+                return VFunction(kind, call)
+
+            def item(x):
+                return clip(item_d(x))
+
+            def combine(a, b):
+                return clip(comb_d(it.pair(a, b)))
+
+            def call(s):
+                if not isinstance(s, SetVal):
+                    raise NRAEvalError(f"recursion applied to non-set {s!r}")
+                ctx.stats.dcr_trees += 1
+                return dcr_combinator(seed_v, item, combine, s, None)
+
+            return VFunction(kind, call)
+
+        return Compiled(plan, make)
+
+    def _compile_insert_recursion(self, e: Expr, bounded: bool) -> Compiled:
+        ctx, it = self.ctx, self.it
+        seed_c = self.compile(e.seed)
+        insert_c = self.compile(e.insert)
+        bound_c = self.compile(e.bound) if bounded else None
+        kind = type(e).__name__.lower()
+        # An insert that ignores the inserted element is an iteration in
+        # disguise; reuse the loop machinery (frontier evaluation included).
+        step_lam = insert_as_step(e.insert) if not bounded else None
+        if step_lam is not None:
+            runner = self._compile_step_runner(step_lam)
+            seed_fn = seed_c.fn
+            plan = node(
+                "sri-as-loop",
+                kind,
+                seed_c.plan,
+                runner.plan,
+                annotations=runner.plan.annotations,
+            )
+
+            def make(env, runner=runner):
+                seed = _value(seed_fn(env), "recursion seed")
+                run_rounds = runner.make(env)
+
+                def call(s):
+                    if not isinstance(s, SetVal):
+                        raise NRAEvalError(f"recursion applied to non-set {s!r}")
+                    return run_rounds(seed, len(s.elements))
+
+                return VFunction(kind, call)
+
+            return Compiled(plan, make)
+
+        seed_fn, insert_fn = seed_c.fn, insert_c.fn
+        bound_fn = bound_c.fn if bound_c is not None else None
+        plan = node("sri-elementwise", kind, seed_c.plan, insert_c.plan)
+
+        def make(env):
+            seed = _value(seed_fn(env), "recursion seed")
+            insert_d = _function(insert_fn(env), "recursion insert")
+            bound = _value(bound_fn(env), "recursion bound") if bound_fn else None
+            clip = self._clip_fn(bound)
+            seed_v = clip(seed)
+
+            def insert(x, acc):
+                return clip(insert_d(it.pair(x, acc)))
+
+            def call(s):
+                if not isinstance(s, SetVal):
+                    raise NRAEvalError(f"recursion applied to non-set {s!r}")
+                ctx.stats.sri_elementwise += 1
+                return sri_combinator(seed_v, insert, s, None)
+
+            return VFunction(kind, call)
+
+        return Compiled(plan, make)
+
+    # -- iterators ----------------------------------------------------------------
+
+    @dataclass
+    class StepRunner:
+        """Compiled loop machinery: ``make(env)(start, rounds) -> value``."""
+
+        plan: PlanNode
+        make: Callable[[dict], Callable[[Value, int], Value]]
+
+    def _compile_step_runner(self, step: ast.Lambda) -> "PlanCompiler.StepRunner":
+        """Lower a step lambda to a round-runner (semi-naive when provable)."""
+        ctx, it = self.ctx, self.it
+        var = step.var
+        body_c = self.compile(step.body)
+        body_fn = body_c.fn
+
+        spec = None
+        if is_inflationary_step(step):
+            dv = fresh_name("delta")
+            terms = _delta_terms(step.body, var, dv)
+            if terms is not None:
+                spec = (dv, [self.compile(t) for t in terms])
+
+        if spec is not None:
+            dv, term_cs = spec
+            term_fns = [t.fn for t in term_cs]
+            plan = node(
+                "loop-seminaive",
+                f"{len(term_fns)} frontier terms",
+                body_c.plan,
+                *[t.plan for t in term_cs],
+                annotations=("semi-naive",),
+            )
+
+            def make_seminaive(env):
+                captured = dict(env)
+
+                def run(start, rounds):
+                    if not isinstance(start, SetVal):
+                        # The analysis proved the step set-valued on set
+                        # accumulators; a non-set start still follows the
+                        # exact full-iteration path.
+                        return _full_run(captured, start, rounds)
+                    ctx.stats.seminaive_loops += 1
+                    vtok = bind(captured, var)
+                    dtok = bind(captured, dv)
+                    try:
+                        def full_round(acc):
+                            captured[var] = acc
+                            return expect_set(body_fn(captured), "iterator step")
+
+                        def delta_round(delta, acc):
+                            ctx.stats.seminaive_rounds += 1
+                            captured[var] = acc
+                            captured[dv] = delta
+                            return union_all(
+                                ctx,
+                                [expect_set(f(captured), "iterator step") for f in term_fns],
+                            )
+
+                        return seminaive_iterate(
+                            full_round,
+                            delta_round,
+                            start,
+                            rounds,
+                            union=it.union,
+                            difference=it.difference,
+                        )
+                    finally:
+                        unbind(captured, dv, dtok)
+                        unbind(captured, var, vtok)
+
+                return run
+
+            def _full_run(captured, start, rounds):
+                ctx.stats.full_loops += 1
+                vtok = bind(captured, var)
+                try:
+                    def one_step(v):
+                        captured[var] = v
+                        return _value(body_fn(captured), "iterator step")
+
+                    return iterate_stable(one_step, start, rounds)
+                finally:
+                    unbind(captured, var, vtok)
+
+            return PlanCompiler.StepRunner(plan, make_seminaive)
+
+        plan = node(
+            "loop-full", "", body_c.plan, annotations=("early-exit",)
+        )
+
+        def make_full(env):
+            captured = dict(env)
+
+            def run(start, rounds):
+                ctx.stats.full_loops += 1
+                vtok = bind(captured, var)
+                try:
+                    def one_step(v):
+                        captured[var] = v
+                        return _value(body_fn(captured), "iterator step")
+
+                    return iterate_stable(one_step, start, rounds)
+                finally:
+                    unbind(captured, var, vtok)
+
+            return run
+
+        return PlanCompiler.StepRunner(plan, make_full)
+
+    def _compile_iterator(self, e: Expr) -> Compiled:
+        ctx, it = self.ctx, self.it
+        bounded = isinstance(e, (ast.BlogLoop, ast.Bloop))
+        logarithmic = isinstance(e, (ast.LogLoop, ast.BlogLoop))
+        kind = type(e).__name__.lower()
+        bound_c = self.compile(e.bound) if bounded else None
+        bound_fn = bound_c.fn if bound_c is not None else None
+
+        if isinstance(e.step, ast.Lambda) and not bounded:
+            runner = self._compile_step_runner(e.step)
+            plan = node(
+                runner.plan.op,
+                kind,
+                runner.plan,
+                annotations=runner.plan.annotations,
+            )
+
+            def make(env, runner=runner):
+                run_rounds = runner.make(env)
+
+                def call(v):
+                    if not isinstance(v, PairVal):
+                        raise NRAEvalError(f"iterator argument: expected a pair, got {v!r}")
+                    x, y = v.fst, v.snd
+                    if not isinstance(x, SetVal):
+                        raise NRAEvalError(
+                            f"iterator cardinality argument must be a set, got {x!r}"
+                        )
+                    rounds = log_iterations(len(x)) if logarithmic else len(x)
+                    return run_rounds(y, rounds)
+
+                return VFunction(kind, call)
+
+            return Compiled(plan, make)
+
+        # Bounded or dynamic-step iterators: exact full iteration with clip.
+        step_c = self.compile(e.step)
+        step_fn = step_c.fn
+        plan = node("loop-full", kind, step_c.plan, annotations=("early-exit",))
+
+        def make(env):
+            step_d = _function(step_fn(env), "iterator step")
+            bound = _value(bound_fn(env), "iterator bound") if bound_fn else None
+            clip = self._clip_fn(bound)
+
+            def one_step(v):
+                return clip(step_d(v))
+
+            def call(v):
+                if not isinstance(v, PairVal):
+                    raise NRAEvalError(f"iterator argument: expected a pair, got {v!r}")
+                x, y = v.fst, v.snd
+                if not isinstance(x, SetVal):
+                    raise NRAEvalError(
+                        f"iterator cardinality argument must be a set, got {x!r}"
+                    )
+                ctx.stats.full_loops += 1
+                rounds = log_iterations(len(x)) if logarithmic else len(x)
+                return iterate_stable(one_step, clip(y), rounds)
+
+            return VFunction(kind, call)
+
+        return Compiled(plan, make)

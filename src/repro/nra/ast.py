@@ -33,9 +33,13 @@ plus the recursion and iteration constructs of Sections 2 and 7.1:
 
 Each node is an immutable dataclass.  Variables are identified by name;
 ``Lambda`` stores the declared type of its variable, as in the paper's
-``\\x^s. e``.  The helpers at the bottom (:func:`free_variables`,
-:func:`subexpressions`, :func:`substitute`, :func:`expr_size`) are what the
-type checker, the depth analysis, the evaluators and the compiler build on.
+``\\x^s. e``.  All node classes carry ``slots=True``: expressions are interned
+into engine-side caches (plan cache, memo keys, the rewriter's ACU cache) and
+slotted frozen dataclasses both shrink the nodes and keep attribute access on
+the hot evaluator dispatch paths cheap.  The helpers at the bottom
+(:func:`free_variables`, :func:`subexpressions`, :func:`substitute`,
+:func:`expr_size`) are what the type checker, the depth analysis, the
+evaluators and the compiler build on.
 """
 
 from __future__ import annotations
@@ -69,7 +73,7 @@ class Expr:
 # Core constructs
 # ---------------------------------------------------------------------------
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, slots=True)
 class Const(Expr):
     """A literal complex object value, with its type."""
 
@@ -77,21 +81,21 @@ class Const(Expr):
     type: Type
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, slots=True)
 class EmptySet(Expr):
     """The empty set at element type ``elem_type``: ``{} : {elem_type}``."""
 
     elem_type: Type
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, slots=True)
 class Singleton(Expr):
     """The singleton set ``{e}``."""
 
     item: Expr
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, slots=True)
 class Union(Expr):
     """Set union ``e1 U e2``."""
 
@@ -99,12 +103,12 @@ class Union(Expr):
     right: Expr
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, slots=True)
 class UnitConst(Expr):
     """The empty tuple ``()`` of type ``unit``."""
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, slots=True)
 class Pair(Expr):
     """Pair formation ``(e1, e2)``."""
 
@@ -112,28 +116,28 @@ class Pair(Expr):
     snd: Expr
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, slots=True)
 class Proj1(Expr):
     """First projection ``pi1 e``."""
 
     pair: Expr
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, slots=True)
 class Proj2(Expr):
     """Second projection ``pi2 e``."""
 
     pair: Expr
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, slots=True)
 class BoolConst(Expr):
     """A boolean constant ``true`` or ``false``."""
 
     value: bool
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, slots=True)
 class Eq(Expr):
     """Equality test ``e1 = e2``.
 
@@ -148,14 +152,14 @@ class Eq(Expr):
     right: Expr
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, slots=True)
 class IsEmpty(Expr):
     """The emptiness test ``empty(e) : B``."""
 
     set: Expr
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, slots=True)
 class If(Expr):
     """Conditional ``if c then e1 else e2``."""
 
@@ -164,14 +168,14 @@ class If(Expr):
     orelse: Expr
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, slots=True)
 class Var(Expr):
     """A variable occurrence.  The type is attached by ``Lambda`` binders."""
 
     name: str
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, slots=True)
 class Lambda(Expr):
     """Function abstraction ``\\x^s. body`` with declared argument type ``s``."""
 
@@ -180,7 +184,7 @@ class Lambda(Expr):
     body: Expr
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, slots=True)
 class Apply(Expr):
     """Function application ``f(e)``."""
 
@@ -188,7 +192,7 @@ class Apply(Expr):
     arg: Expr
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, slots=True)
 class Ext(Expr):
     """The ``ext(f)`` construct: map ``f`` over a set and union the results.
 
@@ -200,7 +204,7 @@ class Ext(Expr):
     func: Expr
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, slots=True)
 class ExternalCall(Expr):
     """Application of a named external function to an argument expression.
 
@@ -217,7 +221,7 @@ class ExternalCall(Expr):
 # Recursion on sets and iterators
 # ---------------------------------------------------------------------------
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, slots=True)
 class Dcr(Expr):
     """Divide and conquer recursion ``dcr(e, f, u)`` as a function ``{s} -> t``.
 
@@ -231,7 +235,7 @@ class Dcr(Expr):
     combine: Expr
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, slots=True)
 class Sru(Expr):
     """Structural recursion on the union presentation, ``sru(e, f, u)``."""
 
@@ -240,7 +244,7 @@ class Sru(Expr):
     combine: Expr
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, slots=True)
 class Sri(Expr):
     """Structural recursion on the insert presentation, ``sri(e, i)``."""
 
@@ -248,7 +252,7 @@ class Sri(Expr):
     insert: Expr
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, slots=True)
 class Esr(Expr):
     """Element-step recursion ``esr(e, i)``."""
 
@@ -256,7 +260,7 @@ class Esr(Expr):
     insert: Expr
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, slots=True)
 class Bdcr(Expr):
     """Bounded divide and conquer recursion ``bdcr(e, f, u, b)``."""
 
@@ -266,7 +270,7 @@ class Bdcr(Expr):
     bound: Expr
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, slots=True)
 class Bsri(Expr):
     """Bounded insert recursion ``bsri(e, i, b)``."""
 
@@ -275,7 +279,7 @@ class Bsri(Expr):
     bound: Expr
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, slots=True)
 class LogLoop(Expr):
     """The logarithmic iterator ``log_loop(f) : {s} x t -> t`` (Section 7.1).
 
@@ -288,7 +292,7 @@ class LogLoop(Expr):
     set_elem_type: Type
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, slots=True)
 class Loop(Expr):
     """The linear iterator ``loop(f) : {s} x t -> t``."""
 
@@ -296,7 +300,7 @@ class Loop(Expr):
     set_elem_type: Type
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, slots=True)
 class BlogLoop(Expr):
     """The bounded logarithmic iterator ``blog_loop(f, b)``."""
 
@@ -305,7 +309,7 @@ class BlogLoop(Expr):
     set_elem_type: Type
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, slots=True)
 class Bloop(Expr):
     """The bounded linear iterator ``bloop(f, b)``."""
 

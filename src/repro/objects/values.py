@@ -110,7 +110,7 @@ class SetVal(Value):
     ``SetVal`` instances are equal exactly when they denote the same set.
     """
 
-    __slots__ = ("elements",)
+    __slots__ = ("elements", "_hash")
 
     elements: tuple[Value, ...]
 
@@ -122,6 +122,7 @@ class SetVal(Value):
         unique = {sort_key(e): e for e in elems}
         canonical = tuple(unique[k] for k in sorted(unique))
         object.__setattr__(self, "elements", canonical)
+        object.__setattr__(self, "_hash", None)
 
     def __setattr__(self, name: str, value: Any) -> None:  # pragma: no cover
         raise AttributeError("SetVal is immutable")
@@ -140,7 +141,14 @@ class SetVal(Value):
         return isinstance(other, SetVal) and self.elements == other.elements
 
     def __hash__(self) -> int:
-        return hash(("SetVal", self.elements))
+        # Hashing a deep set re-hashes every element; nested sets make that
+        # quadratic in the value's size.  Sets are immutable, so the hash is
+        # computed once and cached (memo keys and intern lookups hit this).
+        h = self._hash
+        if h is None:
+            h = hash(("SetVal", self.elements))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def __repr__(self) -> str:
         inner = ", ".join(repr(e) for e in self.elements)

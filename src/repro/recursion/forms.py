@@ -104,12 +104,32 @@ def dcr(
     if not isinstance(s, SetVal):
         raise RecursionError_(f"dcr expects a set value, got {s!r}")
     elems = s.elements
-    if trace is not None and elems:
+    if trace is None:
+        return _dcr_go_untraced(e, f, u, elems)
+    if elems:
         trace.combine_rounds = max(trace.combine_rounds, _ceil_log2(len(elems)))
     result, depth = _dcr_go(e, f, u, elems, trace)
-    if trace is not None:
-        trace.depth = max(trace.depth, depth)
+    trace.depth = max(trace.depth, depth)
     return result
+
+
+def _dcr_go_untraced(
+    e: Value,
+    f: Unary,
+    u: Binary,
+    elems: tuple[Value, ...],
+) -> Value:
+    """The combining tree without per-node trace branching (the hot path).
+
+    Identical splits to :func:`_dcr_go` — first/second halves of the canonical
+    element sequence — so traced and untraced runs produce the same value.
+    """
+    if not elems:
+        return e
+    if len(elems) == 1:
+        return f(elems[0])
+    mid = len(elems) // 2
+    return u(_dcr_go_untraced(e, f, u, elems[:mid]), _dcr_go_untraced(e, f, u, elems[mid:]))
 
 
 def _dcr_go(
@@ -188,17 +208,20 @@ def sri(
     """
     if not isinstance(s, SetVal):
         raise RecursionError_(f"sri expects a set value, got {s!r}")
-    acc = e
-    depth = 0
     # Consume in decreasing order so that the outermost application is on the
     # least element, matching the ordered set-reduce of [23] (section 2).
+    if trace is None:
+        acc = e
+        for x in reversed(s.elements):
+            acc = i(x, acc)
+        return acc
+    acc = e
+    depth = 0
     for x in reversed(s.elements):
-        if trace is not None:
-            trace.record("i")
+        trace.record("i")
         acc = i(x, acc)
         depth += 1
-    if trace is not None:
-        trace.depth = max(trace.depth, depth)
+    trace.depth = max(trace.depth, depth)
     return acc
 
 

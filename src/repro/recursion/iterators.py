@@ -72,15 +72,92 @@ def iterate(
     rounds: int,
     trace: Optional[EvaluationTrace] = None,
 ) -> Value:
-    """Apply ``f`` to ``y`` the given number of times, recording work/depth."""
+    """Apply ``f`` to ``y`` the given number of times, recording work/depth.
+
+    The untraced path is the hot loop of every iterator-backed evaluation, so
+    tracing is checked *once* up front: with no trace the loop carries zero
+    accounting overhead instead of re-testing ``trace is not None`` per round.
+    """
+    if trace is None:
+        acc = y
+        for _ in range(rounds):
+            acc = f(acc)
+        return acc
     acc = y
     for _ in range(rounds):
-        if trace is not None:
-            trace.record("step")
+        trace.record("step")
         acc = f(acc)
-    if trace is not None:
-        trace.depth += rounds
-        trace.combine_rounds = max(trace.combine_rounds, rounds)
+    trace.depth += rounds
+    trace.combine_rounds = max(trace.combine_rounds, rounds)
+    return acc
+
+
+# ---------------------------------------------------------------------------
+# Delta-aware entry points (the set-at-a-time backend's iteration strategies)
+# ---------------------------------------------------------------------------
+
+def iterate_stable(f: Step, y: Value, rounds: int) -> Value:
+    """Like :func:`iterate`, but stop as soon as a round is a no-op.
+
+    Exact for *every* step function: iteration applies one deterministic pure
+    function, so ``f(acc) == acc`` implies all remaining rounds return ``acc``
+    unchanged.  Callers that intern values get the equality test for free
+    (``is`` on canonical representatives); for plain values it is structural
+    equality.  This is the full-iteration fallback of the vectorized engine's
+    loop execution — semi-naive evaluation (:func:`seminaive_iterate`) needs
+    an inflationary, union-decomposable step, this needs nothing.
+    """
+    acc = y
+    for _ in range(rounds):
+        nxt = f(acc)
+        if nxt is acc or nxt == acc:
+            return acc
+        acc = nxt
+    return acc
+
+
+def seminaive_iterate(
+    full_round: Callable[[Value], Value],
+    delta_round: Callable[[SetVal, Value], Value],
+    y: Value,
+    rounds: int,
+    union: Optional[Callable[[SetVal, SetVal], SetVal]] = None,
+    difference: Optional[Callable[[SetVal, SetVal], SetVal]] = None,
+) -> Value:
+    """Semi-naive (frontier) iteration of an inflationary set-valued step.
+
+    ``full_round(acc)`` performs one complete application of the step;
+    ``delta_round(delta, acc)`` returns the elements the step derives when
+    only ``delta`` (the previous round's newly discovered elements) needs
+    re-deriving — the caller guarantees ``full_round(acc) == acc U
+    delta_round(delta, acc)`` whenever ``delta = acc - previous_acc``, which
+    holds exactly when the step is ``acc U F(acc)`` with every ``F`` operand
+    distributing over union (see the inflationary-step analysis in
+    :mod:`repro.engine.rewrite`).  Runs at most ``rounds`` rounds and stops
+    early once the frontier empties, which is exact because an empty frontier
+    means the step has reached its fixpoint.
+
+    ``union``/``difference`` default to the :class:`SetVal` operations; the
+    vectorized engine passes its interning merge/diff so every intermediate
+    stays canonical and shared.
+    """
+    if rounds <= 0:
+        return y
+    if not isinstance(y, SetVal):
+        raise TypeError(f"seminaive_iterate needs a set accumulator, got {y!r}")
+    union = union or (lambda a, b: a.union(b))
+    difference = difference or (lambda a, b: a.difference(b))
+    acc = full_round(y)
+    if not isinstance(acc, SetVal):
+        raise TypeError(f"seminaive_iterate step returned a non-set {acc!r}")
+    delta = difference(acc, y)
+    done = 1
+    while done < rounds and len(delta):
+        derived = delta_round(delta, acc)
+        nxt = union(acc, derived)
+        delta = difference(nxt, acc)
+        acc = nxt
+        done += 1
     return acc
 
 

@@ -10,6 +10,10 @@ Two families, matching the paper's two kinds of queries:
   instances with consecutive integer nodes, so the circuit compiler can index
   adjacency matrices by node number and consume the same inputs.
 
+* :mod:`repro.workloads.nested_graphs` -- graphs stored the nested way, as
+  adjacency databases of type ``{D x {D}}``, plus the unnest / two-hop /
+  nested-reachability query builders the engine benchmarks sweep over.
+
 * :mod:`repro.workloads.nested` -- complex-object data for the Theorem 6.1
   experiments: seeded-random types and values of bounded set height (the
   raw material of the property tests and of the engine's sampled algebraic
@@ -42,10 +46,21 @@ from .nested import (
     random_type,
     tagged_booleans,
 )
+from .nested_graphs import (
+    ADJ_DB_T,
+    ADJ_T,
+    adjacency_database,
+    edges_query,
+    nested_random_graph,
+    nested_reachability_query,
+    two_hop_query,
+)
 
 __all__ = [
     "path_graph", "cycle_graph", "binary_tree", "grid_graph", "random_graph",
     "layered_dag", "edge_count", "node_count",
     "random_type", "random_object", "department_database", "DEPARTMENT_T",
     "DEPARTMENTS_T", "tagged_booleans", "random_bits",
+    "ADJ_T", "ADJ_DB_T", "adjacency_database", "nested_random_graph",
+    "edges_query", "two_hop_query", "nested_reachability_query",
 ]

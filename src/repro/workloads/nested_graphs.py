@@ -1,0 +1,87 @@
+"""Nested-graph workloads: graphs stored as complex objects.
+
+The flat graph workloads (:mod:`repro.workloads.graphs`) feed queries whose
+input is a plain edge set ``{D x D}``.  This module stores the *same* graphs
+the way the nested relational model motivates -- as **adjacency databases**
+of type ``{D x {D}}``, one record per node holding its successor set -- and
+provides the query builders that consume them: unnesting back to edges,
+two-hop composition, and full reachability over the nested representation.
+
+These are the "nested-graph" workloads of the engine benchmark suite
+(``benchmarks/run_all.py``): the queries interleave restructuring (unnest)
+with joins and recursion, so they exercise the vectorized backend's bulk
+operators and hash joins on data that is genuinely nested, not merely flat
+pairs.  All builders are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from ..nra.ast import Apply, Expr, Lambda, Var
+from ..nra.derived import compose, unnest
+from ..objects.types import BASE, ProdType, SetType
+from ..objects.values import BaseVal, PairVal, SetVal
+from ..relational.queries import reachable_pairs_query
+from ..relational.relation import Relation
+from .graphs import random_graph
+
+#: The type ``D x {D}`` of one adjacency record (node, successor set).
+ADJ_T = ProdType(BASE, SetType(BASE))
+#: The type ``{D x {D}}`` of an adjacency database.
+ADJ_DB_T = SetType(ADJ_T)
+
+
+def adjacency_database(relation: Relation) -> SetVal:
+    """Regroup a flat edge relation into its nested adjacency database.
+
+    Every node of the active domain gets a record, including sinks (whose
+    successor set is empty) -- unnesting therefore recovers exactly the
+    original edge set, and the record count equals the node count.
+    """
+    succs: dict = {}
+    for a, b in relation:
+        succs.setdefault(a, set()).add(b)
+        succs.setdefault(b, set())
+    return SetVal(
+        PairVal(BaseVal(node), SetVal(BaseVal(s) for s in out))
+        for node, out in succs.items()
+    )
+
+
+def nested_random_graph(n: int, p: float, seed: int = 0) -> SetVal:
+    """The adjacency database of a seeded Erdos-Renyi digraph ``G(n, p)``."""
+    return adjacency_database(random_graph(n, p, seed=seed))
+
+
+# ---------------------------------------------------------------------------
+# Queries over adjacency databases
+# ---------------------------------------------------------------------------
+
+def edges_query() -> Lambda:
+    """``{D x {D}} -> {D x D}``: unnest the adjacency database back to edges."""
+    db = Var("db")
+    return Lambda("db", ADJ_DB_T, unnest(db, BASE, BASE))
+
+
+def two_hop_query() -> Lambda:
+    """All pairs connected by a path of exactly two edges.
+
+    ``unnest(db) o unnest(db)``: two unnests feeding one relation
+    composition -- the equi-join shape the vectorized backend turns into a
+    hash join, and a quadratic nested loop everywhere else.
+    """
+    db = Var("db")
+    edges = unnest(db, BASE, BASE)
+    return Lambda("db", ADJ_DB_T, compose(edges, edges, BASE))
+
+
+def nested_reachability_query(style: str = "logloop") -> Lambda:
+    """Full reachability over the nested representation.
+
+    Unnests the adjacency database and applies the transitive closure query
+    of the requested style (``dcr`` / ``logloop`` / ``sri`` from
+    :mod:`repro.relational.queries`) to the recovered edge set.
+    """
+    tc = reachable_pairs_query(style)
+    db = Var("db")
+    body: Expr = Apply(tc, unnest(db, BASE, BASE))
+    return Lambda("db", ADJ_DB_T, body)

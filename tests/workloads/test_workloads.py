@@ -78,3 +78,52 @@ class TestNested:
     def test_random_bits_reproducible(self):
         assert random_bits(16, seed=3) == random_bits(16, seed=3)
         assert len(random_bits(16, seed=3)) == 16
+
+
+class TestNestedGraphs:
+    def test_adjacency_database_type_and_size(self):
+        from repro.workloads.graphs import path_graph
+        from repro.workloads.nested_graphs import ADJ_DB_T, adjacency_database
+
+        db = adjacency_database(path_graph(6))
+        assert check_type(db, ADJ_DB_T)
+        assert len(db) == 6  # one record per node, sinks included
+
+    def test_unnest_recovers_the_edge_set(self):
+        from repro.nra.eval import run
+        from repro.objects.values import to_python
+        from repro.workloads.graphs import random_graph
+        from repro.workloads.nested_graphs import adjacency_database, edges_query
+
+        g = random_graph(9, 0.3, seed=5)
+        db = adjacency_database(g)
+        recovered = to_python(run(edges_query(), db))
+        assert recovered == frozenset(g.tuples)
+
+    def test_two_hop_matches_python_composition(self):
+        from repro.nra.eval import run
+        from repro.objects.values import to_python
+        from repro.relational.algebra import natural_join_binary
+        from repro.workloads.graphs import random_graph
+        from repro.workloads.nested_graphs import adjacency_database, two_hop_query
+
+        g = random_graph(10, 0.25, seed=3)
+        db = adjacency_database(g)
+        got = to_python(run(two_hop_query(), db))
+        assert got == natural_join_binary(frozenset(g.tuples), frozenset(g.tuples))
+
+    def test_nested_reachability_matches_flat_closure(self):
+        from repro.nra.eval import run
+        from repro.objects.values import to_python
+        from repro.workloads.graphs import path_graph
+        from repro.workloads.nested_graphs import adjacency_database, nested_reachability_query
+
+        g = path_graph(7)
+        db = adjacency_database(g)
+        closure, _ = transitive_closure_squaring(frozenset(g.tuples))
+        assert to_python(run(nested_reachability_query("logloop"), db)) == closure
+
+    def test_nested_random_graph_reproducible(self):
+        from repro.workloads.nested_graphs import nested_random_graph
+
+        assert nested_random_graph(12, 0.2, seed=4) == nested_random_graph(12, 0.2, seed=4)
