@@ -3,13 +3,15 @@
 # `test` is the tier-1 gate the repo is held to; `bench` prints the
 # experiment series tables; `bench-all` regenerates BENCH_engine.json
 # (the machine-readable backend suite; `bench-all-quick` is the CI smoke
-# variant); `docs-check` runs the documentation consistency tests (no
-# dangling *.md references from docstrings).
+# variant); `bench-check` is the regression guard (fresh quick run held
+# to the 3x vectorized-over-memo acceptance bar against the committed
+# BENCH_engine.json); `docs-check` runs the documentation consistency
+# tests (no dangling *.md references from docstrings).
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-engine bench-all bench-all-quick docs-check
+.PHONY: test bench bench-engine bench-all bench-all-quick bench-check docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -25,6 +27,9 @@ bench-all:
 
 bench-all-quick:
 	$(PYTHON) benchmarks/run_all.py --quick
+
+bench-check:
+	$(PYTHON) benchmarks/check_regression.py
 
 docs-check:
 	$(PYTHON) -m pytest tests/test_docs.py -q

@@ -1,0 +1,129 @@
+"""Benchmark-regression guard: hold CI to the engine's acceptance ratios.
+
+The committed ``BENCH_engine.json`` records the full-suite speedups the repo
+claims (vectorized >= 3x memo on the acceptance workloads, measured at
+n >= 200).  CI cannot afford the full suite -- the memo baselines at those
+sizes take minutes by design -- so this guard runs the **quick** suite fresh
+and checks the cheap invariant that tracks the expensive one: on every quick
+workload of an acceptance *family* (transitive-closure, nested-graph), the
+vectorized-over-memo speedup must still clear the **3x** bar.  Historically
+the quick ratios sit at 9-20x (see ``BENCH_engine.quick.json``), so 3x only
+trips on a real regression -- a disabled strategy, a cache that stopped
+hitting, a pathological rewrite -- not on runner noise.
+
+The guard also prints the fresh-vs-committed ratio per workload (quick row
+against the committed full-suite row of the same name, where one exists) so
+a slow drift is visible in CI logs before it crosses the bar.
+
+Usage::
+
+    python benchmarks/check_regression.py             # run quick suite, check
+    python benchmarks/check_regression.py --fresh F   # check an existing file
+    python benchmarks/check_regression.py --bar 4.0   # raise the bar
+
+Wired into ``make bench-check`` and the GitHub Actions workflow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "BENCH_engine.json"
+
+#: The workload families whose full-suite rows carry the acceptance tag; the
+#: quick rows of the same families are what the guard holds to the bar.
+ACCEPTANCE_FAMILIES = ("transitive-closure", "nested-graph")
+DEFAULT_BAR = 3.0
+
+
+def run_quick_suite(output: Path) -> None:
+    """Run ``run_all.py --quick`` in a subprocess, writing to ``output``."""
+    cmd = [
+        sys.executable,
+        str(REPO_ROOT / "benchmarks" / "run_all.py"),
+        "--quick",
+        "-o",
+        str(output),
+    ]
+    result = subprocess.run(cmd, cwd=REPO_ROOT)
+    if result.returncode != 0:
+        raise SystemExit(f"quick benchmark run failed (exit {result.returncode})")
+
+
+def load_rows(path: Path) -> list[dict]:
+    report = json.loads(path.read_text(encoding="utf-8"))
+    return report["workloads"]
+
+
+def check(fresh_rows: list[dict], baseline_rows: list[dict], bar: float) -> int:
+    by_name_full = {
+        (r["name"], r["family"]): r for r in baseline_rows if r.get("speedups")
+    }
+    failures = []
+    checked = 0
+    print(f"== benchmark regression guard (bar: vectorized >= {bar}x memo)")
+    for row in fresh_rows:
+        if row["family"] not in ACCEPTANCE_FAMILIES:
+            continue
+        speedup = row["speedups"].get("vectorized_vs_memo")
+        if speedup is None:
+            continue
+        checked += 1
+        committed = by_name_full.get((row["name"], row["family"]))
+        committed_speedup = (
+            committed["speedups"].get("vectorized_vs_memo") if committed else None
+        )
+        drift = (
+            f"  (committed full-suite: {committed_speedup:.1f}x)"
+            if committed_speedup
+            else ""
+        )
+        verdict = "ok" if speedup >= bar else "FAIL"
+        print(f"  {row['name']:>22} n={row['n']:<4} {speedup:7.1f}x  {verdict}{drift}")
+        if speedup < bar:
+            failures.append(row)
+    if checked == 0:
+        print("no acceptance-family rows found in the fresh run -- refusing to pass")
+        return 1
+    if failures:
+        names = [f"{r['name']} (n={r['n']}, {r['speedups']['vectorized_vs_memo']:.1f}x)"
+                 for r in failures]
+        print(f"REGRESSION: vectorized speedup below {bar}x on {names}")
+        return 1
+    print(f"all {checked} acceptance-family workloads clear the {bar}x bar")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", type=Path, default=None,
+                        help="use this quick-run JSON instead of running the suite")
+    parser.add_argument("--baseline", type=Path, default=BASELINE,
+                        help=f"committed full-suite JSON (default {BASELINE.name})")
+    parser.add_argument("--bar", type=float, default=DEFAULT_BAR,
+                        help=f"required vectorized/memo speedup (default {DEFAULT_BAR})")
+    args = parser.parse_args(argv)
+
+    if args.fresh is not None:
+        fresh_rows = load_rows(args.fresh)
+    else:
+        with tempfile.TemporaryDirectory() as td:
+            out = Path(td) / "bench_quick.json"
+            run_quick_suite(out)
+            fresh_rows = load_rows(out)
+
+    baseline_rows = load_rows(args.baseline) if args.baseline.exists() else []
+    if not baseline_rows:
+        print(f"warning: no committed baseline at {args.baseline}; "
+              "checking the bar only")
+    return check(fresh_rows, baseline_rows, args.bar)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,10 +25,26 @@ The package implements, end to end, the systems the paper describes:
   examples, tests and benchmarks;
 * :mod:`repro.engine` -- the optimizing evaluation engine: algebraic rewrite
   rules (ext fusion, short-circuits, the Proposition 2.1 ``sri`` -> ``dcr``
-  preference), hash-consed values and a memoizing evaluator, cross-checked
-  against the reference interpreter and the cost model.
+  preference), hash-consed values, a memoizing evaluator and the vectorized
+  set-at-a-time backend, cross-checked against the reference interpreter and
+  the cost model;
+* :mod:`repro.api` -- the query-service layer over the engine: named
+  :class:`~repro.api.catalog.Database` collections with type-checked
+  schemas, the fluent :class:`~repro.api.query.Q` builder, sessions with
+  prepared statements, batched ``executemany`` and streaming cursors.
 
-Quick start::
+Quick start (the query-service API)::
+
+    from repro.api import Database, Q
+    from repro.workloads.graphs import path_graph
+
+    session = Database.of("g", edges=path_graph(16)).connect()
+    reach = session.prepare(
+        Q.coll("edges").fix().where(lambda e: e.fst == Q.param("src"))
+    )
+    print(reach.execute(src=0).fetchmany(5))
+
+or, one level down, the paper's own surface -- hand-built NRA expressions::
 
     from repro.relational import transitive_closure_dcr, run_tc, Relation
     edges = Relation.from_pairs("r", [(0, 1), (1, 2), (2, 3)])
@@ -38,6 +54,7 @@ Quick start::
 __version__ = "1.0.0"
 
 from . import (
+    api,
     circuits,
     complexity,
     engine,
@@ -59,5 +76,6 @@ __all__ = [
     "complexity",
     "workloads",
     "engine",
+    "api",
     "__version__",
 ]

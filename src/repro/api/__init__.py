@@ -1,0 +1,59 @@
+"""The query-service API: catalogs, sessions, fluent queries, prepared plans.
+
+This package is the public client surface the ROADMAP's serving ambitions
+build on.  Underneath sits the optimizing engine of :mod:`repro.engine`
+unchanged; what this layer adds is everything a *caller* needs so that nobody
+hand-builds AST nodes or re-derives plumbing per query:
+
+* :class:`Database` / :class:`Catalog` (:mod:`repro.api.catalog`) -- named
+  collections with type-checked schemas, registered once and served to any
+  number of sessions;
+* :class:`Q` / :class:`Query` (:mod:`repro.api.query`) -- the lazy fluent
+  builder that elaborates to NRA expression templates;
+* :class:`Row` (:mod:`repro.api.expr`) -- the typed row DSL inside
+  combinator callables;
+* :class:`Session` (:mod:`repro.api.session`) -- execution, per-session
+  stats, ``executemany`` batching over ``Engine.run_many``;
+* :class:`PreparedStatement` / :func:`lift_constants`
+  (:mod:`repro.api.prepare`) -- template/slot splitting so parametrized
+  queries cost one rewrite and one compile total;
+* :class:`Cursor` (:mod:`repro.api.cursor`) -- streaming results row by row.
+
+Quick start::
+
+    from repro.api import Database, Q, connect
+    from repro.workloads.graphs import path_graph
+
+    db = Database.of("graphs", edges=path_graph(32))
+    with connect(db) as session:
+        reach = session.prepare(
+            Q.coll("edges").fix().where(lambda e: e.fst == Q.param("src"))
+        )
+        for src in (0, 7, 13):
+            print(src, reach.execute(src=src).fetchmany(5))
+
+See README.md for the full tour and DESIGN.md for how the layer composes
+with the engine's caches.
+"""
+
+from .catalog import Catalog, Database
+from .cursor import Cursor
+from .expr import Row
+from .prepare import PreparedStatement, lift_constants
+from .query import Q, Query, param_var
+from .session import Session, SessionStats, connect
+
+__all__ = [
+    "Catalog",
+    "Database",
+    "Cursor",
+    "Row",
+    "PreparedStatement",
+    "lift_constants",
+    "Q",
+    "Query",
+    "param_var",
+    "Session",
+    "SessionStats",
+    "connect",
+]

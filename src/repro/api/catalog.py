@@ -1,0 +1,189 @@
+"""Named databases and catalogs: the data half of the query-service API.
+
+A :class:`Database` is a set of **named collections** -- complex object
+values registered once under a name, each with a schema type.  The schema is
+*inferred and validated through the type checker*: the registered value is
+wrapped as an NRA constant and pushed through :func:`repro.nra.typecheck.infer`,
+which re-checks the value against the inferred type (``Const`` nodes are
+verified with :func:`repro.objects.values.check_type`).  Queries built with
+:class:`~repro.api.query.Q` reference collections by name; at execution time
+a :class:`~repro.api.session.Session` elaborates the query against this
+schema and supplies the collection values through the evaluation
+environment.
+
+Registration accepts :class:`~repro.relational.relation.Relation` instances,
+whole :class:`~repro.relational.database.OrderedDatabase` contents, ready
+:class:`~repro.objects.values.Value` objects, or plain python data (converted
+with :func:`~repro.objects.values.from_python`).
+
+A :class:`Catalog` is one level up: named databases, so one process can serve
+many datasets and ``catalog.connect("graphs")`` hands out sessions.  Both
+classes are safe to share between sessions; collections are immutable once
+registered (replace via :meth:`Database.drop` + re-register, which bumps the
+database *version* so attached sessions refresh their interned environments).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator, Optional
+
+from ..nra.ast import Const
+from ..nra.typecheck import infer
+from ..objects.types import Type
+from ..objects.values import Value, from_python, infer_type
+from ..relational.database import OrderedDatabase
+from ..relational.relation import Relation
+from .query import PARAM_PREFIX, Schema
+
+
+class Database:
+    """A named, immutable-per-collection database served by sessions."""
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self._collections: dict[str, Value] = {}
+        self._schema: Schema = {}
+        # Guards registration against concurrent sessions reading the schema.
+        self._lock = threading.Lock()
+        #: Bumped on every mutation; sessions compare it to re-intern lazily.
+        self.version = 0
+
+    # -- registration -------------------------------------------------------------
+
+    def register(self, name: str, data, type: Optional[Type] = None) -> "Database":
+        """Register collection ``name``; returns ``self`` for chaining.
+
+        ``data`` may be a ``Relation``, a complex object ``Value``, or plain
+        python data.  The schema entry is ``type`` if given, else inferred;
+        either way the pair is validated through the type checker.
+        """
+        if name.startswith(PARAM_PREFIX):
+            raise ValueError(
+                f"collection name {name!r} collides with the parameter namespace"
+            )
+        if isinstance(data, Relation):
+            value = data.value()
+            t = type if type is not None else data.type
+        else:
+            value = data if isinstance(data, Value) else from_python(data)
+            # An explicit type wins; inference cannot see through empty sets
+            # (and nested data with empty inner sets *needs* the declaration).
+            t = type if type is not None else infer_type(value)
+        # Schema inference *via the type checker*: a Const node carrying the
+        # value and candidate type only types if the value inhabits the type.
+        inferred = infer(Const(value, t))
+        with self._lock:
+            if name in self._collections:
+                raise ValueError(f"collection {name!r} already registered")
+            self._collections[name] = value
+            self._schema[name] = inferred
+            self.version += 1
+        return self
+
+    def drop(self, name: str) -> None:
+        with self._lock:
+            if name not in self._collections:
+                raise KeyError(f"no collection {name!r}")
+            del self._collections[name]
+            del self._schema[name]
+            self.version += 1
+
+    @classmethod
+    def of(cls, name: str = "db", **collections) -> "Database":
+        """``Database.of(name, edges=relation, bits={...})`` convenience."""
+        db = cls(name)
+        for coll, data in collections.items():
+            db.register(coll, data)
+        return db
+
+    @classmethod
+    def from_relations(cls, *relations: Relation, name: str = "db") -> "Database":
+        """One collection per relation, under the relation's own name."""
+        db = cls(name)
+        for r in relations:
+            db.register(r.name, r)
+        return db
+
+    @classmethod
+    def from_ordered(cls, odb: OrderedDatabase, name: str = "db") -> "Database":
+        """Adopt the contents of a Section-5 :class:`OrderedDatabase`."""
+        return cls.from_relations(*odb, name=name)
+
+    # -- views --------------------------------------------------------------------
+
+    def schema(self) -> Schema:
+        """Collection name -> complex object type (a copy; safe to mutate)."""
+        with self._lock:
+            return dict(self._schema)
+
+    def environment(self) -> dict[str, Value]:
+        """Collection name -> value, as an NRA evaluation environment."""
+        with self._lock:
+            return dict(self._collections)
+
+    def __getitem__(self, name: str) -> Value:
+        return self._collections[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._collections
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(list(self._collections))
+
+    def __len__(self) -> int:
+        return len(self._collections)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(sorted(self._collections))
+        return f"Database({self.name!r}: {cols})"
+
+    # -- sessions -----------------------------------------------------------------
+
+    def connect(self, **session_kwargs) -> "Session":
+        """Open a :class:`~repro.api.session.Session` serving this database."""
+        from .session import Session
+
+        return Session(self, **session_kwargs)
+
+
+class Catalog:
+    """Named databases; the top of the serving hierarchy."""
+
+    def __init__(self) -> None:
+        self._databases: dict[str, Database] = {}
+        self._lock = threading.Lock()
+
+    def create(self, name: str) -> Database:
+        """Create and register an empty database."""
+        return self.register(Database(name))
+
+    def register(self, db: Database) -> Database:
+        with self._lock:
+            if db.name in self._databases:
+                raise ValueError(f"database {db.name!r} already in the catalog")
+            self._databases[db.name] = db
+        return db
+
+    def drop(self, name: str) -> None:
+        with self._lock:
+            del self._databases[name]
+
+    def __getitem__(self, name: str) -> Database:
+        return self._databases[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._databases
+
+    def __iter__(self) -> Iterator[Database]:
+        return iter(list(self._databases.values()))
+
+    def names(self) -> list[str]:
+        return sorted(self._databases)
+
+    def connect(self, name: str, **session_kwargs) -> "Session":
+        """Open a session against the named database."""
+        return self[name].connect(**session_kwargs)
+
+    def __repr__(self) -> str:
+        return f"Catalog({', '.join(self.names())})"

@@ -1,0 +1,140 @@
+"""The row-expression DSL of the fluent query builder.
+
+A :class:`Row` wraps one NRA expression denoting *one element* of a set being
+mapped, filtered or joined, together with its complex object type.  The
+callables a :class:`~repro.api.query.Query` combinator takes (``map``,
+``where``, ``join`` keys, ...) receive ``Row`` values and return ``Row``
+values, so callers write
+
+    q.where(lambda e: e.fst == 0).map(lambda e: Row.pair(e.snd, e.fst))
+
+and never see an AST constructor.  Every operator builds the core-NRA node
+underneath (``Proj1``/``Proj2``, ``Eq``, ``Pair``, ``If``, ``Const``) and
+threads types through, so the elaborated expression is exactly what a careful
+human would have written against :mod:`repro.nra.ast` -- the engine's rewriter
+and the vectorized compiler see their usual shapes.
+
+Types are load-bearing: NRA is explicitly typed at binders and at empty sets,
+so each ``Row`` carries the type the type checker would assign it.  Where a
+type cannot be derived locally (``Row.lit`` of an empty python set), pass it
+explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..nra.ast import BoolConst, Eq, Expr, If, Pair, Proj1, Proj2, Var
+from ..nra import ast
+from ..objects.types import BOOL, ProdType, Type
+from ..objects.values import Value, from_python, infer_type
+
+
+class Row:
+    """One element of a set, as seen inside a query combinator's callable."""
+
+    __slots__ = ("expr", "type")
+
+    def __init__(self, expr: Expr, type: Type) -> None:
+        self.expr = expr
+        self.type = type
+
+    # -- projections --------------------------------------------------------------
+
+    @property
+    def fst(self) -> "Row":
+        """First component of a pair row (``pi1``)."""
+        if not isinstance(self.type, ProdType):
+            raise TypeError(f".fst needs a pair-typed row, got {self.type!r}")
+        return Row(Proj1(self.expr), self.type.fst)
+
+    @property
+    def snd(self) -> "Row":
+        """Second component of a pair row (``pi2``)."""
+        if not isinstance(self.type, ProdType):
+            raise TypeError(f".snd needs a pair-typed row, got {self.type!r}")
+        return Row(Proj2(self.expr), self.type.snd)
+
+    # -- predicates ---------------------------------------------------------------
+
+    def eq(self, other: "RowLike") -> "Row":
+        """Equality at any type (``Eq`` is primitive on canonical values)."""
+        o = to_row(other)
+        return Row(Eq(self.expr, o.expr), BOOL)
+
+    def __eq__(self, other: object) -> "Row":  # type: ignore[override]
+        return self.eq(other)  # type: ignore[arg-type]
+
+    def __ne__(self, other: object) -> "Row":  # type: ignore[override]
+        return self.eq(other).not_()  # type: ignore[arg-type]
+
+    # DSL objects are ephemeral builder values, never dict keys.
+    __hash__ = None  # type: ignore[assignment]
+
+    def not_(self) -> "Row":
+        if self.type != BOOL:
+            raise TypeError(f".not_() needs a boolean row, got {self.type!r}")
+        return Row(If(self.expr, BoolConst(False), BoolConst(True)), BOOL)
+
+    def and_(self, other: "RowLike") -> "Row":
+        o = to_row(other)
+        if self.type != BOOL or o.type != BOOL:
+            raise TypeError(".and_() needs boolean rows")
+        return Row(If(self.expr, o.expr, BoolConst(False)), BOOL)
+
+    def or_(self, other: "RowLike") -> "Row":
+        o = to_row(other)
+        if self.type != BOOL or o.type != BOOL:
+            raise TypeError(".or_() needs boolean rows")
+        return Row(If(self.expr, BoolConst(True), o.expr), BOOL)
+
+    # -- construction -------------------------------------------------------------
+
+    @staticmethod
+    def pair(fst: "RowLike", snd: "RowLike") -> "Row":
+        a, b = to_row(fst), to_row(snd)
+        return Row(Pair(a.expr, b.expr), ProdType(a.type, b.type))
+
+    @staticmethod
+    def lit(value, type: Optional[Type] = None) -> "Row":
+        """A literal row from python data (or a ready complex object value)."""
+        v = value if isinstance(value, Value) else from_python(value)
+        t = type if type is not None else infer_type(v)
+        return Row(ast.Const(v, t), t)
+
+    def if_(self, then: "RowLike", orelse: "RowLike") -> "Row":
+        """``if self then then else orelse`` (self must be boolean)."""
+        if self.type != BOOL:
+            raise TypeError(f".if_() needs a boolean condition, got {self.type!r}")
+        t, e = to_row(then), to_row(orelse)
+        if t.type != e.type:
+            raise TypeError(f".if_() branches disagree: {t.type!r} vs {e.type!r}")
+        return Row(If(self.expr, t.expr, e.expr), t.type)
+
+    def __repr__(self) -> str:
+        return f"Row({self.expr!r} : {self.type!r})"
+
+
+#: What combinator callables may return / take: a Row or plain python data
+#: (converted with Row.lit).
+RowLike = Union[Row, Value, bool, int, str, tuple, frozenset, set]
+
+
+def to_row(x: RowLike) -> Row:
+    """Coerce python data to a :class:`Row` (rows pass through unchanged).
+
+    Objects exposing ``__as_row__`` (parameter placeholders, which must
+    resolve against the elaboration in progress) are asked to convert
+    themselves; everything else goes through :meth:`Row.lit`.
+    """
+    if isinstance(x, Row):
+        return x
+    as_row = getattr(x, "__as_row__", None)
+    if as_row is not None:
+        return as_row()
+    return Row.lit(x)
+
+
+def row_var(name: str, type: Type) -> Row:
+    """The row for a bound variable (used by the elaborator, not by callers)."""
+    return Row(Var(name), type)

@@ -1,0 +1,106 @@
+"""Prepared statements: split a query into a template plus parameter slots.
+
+The engine's plan cache keys on the whole expression, so the classic serving
+anti-pattern -- re-issuing the same query with a different constant -- used to
+recompile per constant: every ``Const(k)`` yields a structurally distinct
+tree, a fresh rewrite, and a fresh vectorized compile.  Preparation fixes the
+keying, not the cache: the query is split into
+
+* a **template**: one expression in which every parameter position is a free
+  variable in the reserved ``$`` namespace, and
+* **parameter slots**: name -> declared type, bound at execute time through
+  the evaluation environment (exactly how collections already flow in).
+
+Because every binding executes the *same* template object, the rewrite is
+cached by ``Engine.optimize`` and the set-at-a-time plan by the vectorized
+compiler **once per template** -- N distinct bindings cost one rewrite and one
+compile, then N environment lookups.  That is the cache keying documented in
+DESIGN.md and asserted by ``tests/api/test_session.py``.
+
+Queries built with :class:`~repro.api.query.Q` are born parametrized
+(``Q.param`` elaborates to a slot, never a constant).  For raw AST queries,
+:func:`lift_constants` performs the split mechanically: every ``Const`` leaf
+is hoisted into a slot (structurally equal constants share one slot) and its
+original value is kept as the slot's *default* binding, so the prepared form
+is a drop-in for the original expression.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..nra import ast
+from ..nra.ast import Expr, Var, map_children
+from ..objects.types import Type
+from ..objects.values import Value
+from .cursor import Cursor
+from .query import param_var
+
+
+def lift_constants(e: Expr) -> tuple[Expr, dict[str, Type], dict[str, Value]]:
+    """Hoist every ``Const`` leaf of ``e`` into a parameter slot.
+
+    Returns ``(template, slot_types, defaults)`` where the template reads
+    each lifted constant from the free variable ``$cN`` and ``defaults`` maps
+    the slot names back to the original values.  Structurally equal constants
+    collapse to one slot, so the template is as general as the expression
+    allows.  ``BoolConst`` / ``EmptySet`` / ``UnitConst`` leaves are *not*
+    lifted: they are language syntax, not data.
+    """
+    slots: dict[tuple, str] = {}
+    types: dict[str, Type] = {}
+    defaults: dict[str, Value] = {}
+
+    def walk(x: Expr) -> Expr:
+        if isinstance(x, ast.Const):
+            key = (x.value, x.type)
+            name = slots.get(key)
+            if name is None:
+                name = f"c{len(slots)}"
+                slots[key] = name
+                types[name] = x.type
+                defaults[name] = x.value
+            return Var(param_var(name))
+        return map_children(x, walk)
+
+    return walk(e), types, defaults
+
+
+class PreparedStatement:
+    """A query prepared against one session: bound once, executed many times."""
+
+    __slots__ = ("session", "template", "param_types", "defaults", "label", "backend")
+
+    def __init__(
+        self,
+        session,
+        template: Expr,
+        param_types: dict[str, Type],
+        defaults: Optional[dict[str, Value]] = None,
+        label: str = "prepared",
+        backend: Optional[str] = None,
+    ) -> None:
+        self.session = session
+        self.template = template
+        self.param_types = dict(param_types)
+        self.defaults = dict(defaults or {})
+        self.label = label
+        self.backend = backend
+
+    @property
+    def param_names(self) -> list[str]:
+        return sorted(self.param_types)
+
+    def execute(self, params: Optional[dict] = None, **named) -> Cursor:
+        """Run the template with these bindings; plan caches hit by design."""
+        bindings = dict(params or {})
+        bindings.update(named)
+        return self.session._execute_prepared(self, bindings)
+
+    def executemany(self, bindings: list) -> list[Cursor]:
+        """One cursor per binding, all through the session's batch path."""
+        return self.session.executemany(self, bindings)
+
+    def __repr__(self) -> str:
+        ps = ", ".join(self.param_names)
+        return f"<PreparedStatement {self.label} params=[{ps}]>"

@@ -1,0 +1,352 @@
+"""Sessions: the per-client face of the query service.
+
+A :class:`Session` ties together one :class:`~repro.api.catalog.Database`,
+one :class:`~repro.engine.Engine`, and per-session bookkeeping:
+
+* ``execute(query, params=...)`` -- elaborate a fluent
+  :class:`~repro.api.query.Query` (or accept a raw :class:`Expr`) against the
+  database schema, evaluate it with collections and parameters supplied
+  through the environment, and hand back a streaming
+  :class:`~repro.api.cursor.Cursor`;
+* ``prepare(query)`` -- the prepared-statement path of
+  :mod:`repro.api.prepare`: one rewrite + one vectorized compile per
+  *template*, however many bindings follow;
+* ``executemany(query, bindings)`` -- the batch path; single-parameter
+  templates are closed into a unary function and delegated to
+  ``Engine.run_many``, so the whole batch shares one compiled plan, one
+  intern table and all join indexes;
+* ``stats`` -- per-session counters (executes, rewrites, vectorized
+  compiles, plan-cache hits, rows streamed), fed by the engine's own
+  plan-cache and backend counters.
+
+Sessions are cheap: many sessions can share one engine (pass ``engine=``) and
+therefore its plan caches -- the engine serializes cache access internally
+(see the concurrency note in :class:`repro.engine.Engine`) -- or own a
+private engine (the default), which is the one-engine-per-worker-thread
+deployment shape.  The database is always shareable; its collection values
+are immutable and interned into the session engine's table on first use (and
+re-interned only when the database version changes).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Optional, Union
+
+from ..engine.engine import Engine
+from ..nra.ast import Expr, Lambda
+from ..nra.externals import EMPTY_SIGMA, Signature
+from ..objects.values import Value, from_python
+from .catalog import Database
+from .cursor import Cursor
+from .prepare import PreparedStatement, lift_constants
+from .query import Query, param_var
+
+
+@dataclass
+class SessionStats:
+    """Counters for one session's lifetime (see DESIGN.md, query-service layer)."""
+
+    executes: int = 0
+    batches: int = 0
+    prepares: int = 0
+    prepared_hits: int = 0
+    rewrites: int = 0          # engine plan-cache misses caused by this session
+    plan_hits: int = 0         # engine plan-cache hits observed by this session
+    vec_compiles: int = 0      # vectorized subexpression compiles caused
+    rows_streamed: int = 0     # python rows handed out by cursors
+
+    def snapshot(self) -> "SessionStats":
+        return SessionStats(**{f: getattr(self, f) for f in self.__dataclass_fields__})
+
+
+#: What ``execute``/``prepare`` accept: a fluent query, a prepared statement,
+#: or a raw NRA expression.
+Runnable = Union[Query, PreparedStatement, Expr]
+
+
+class Session:
+    """One client's window onto a database and an engine."""
+
+    def __init__(
+        self,
+        db: Optional[Database] = None,
+        engine: Optional[Engine] = None,
+        backend: str = "vectorized",
+        sigma: Signature = EMPTY_SIGMA,
+        rules=None,
+    ) -> None:
+        self.db = db
+        self.engine = engine if engine is not None else Engine(
+            sigma=sigma, rules=rules, backend=backend
+        )
+        self.stats = SessionStats()
+        self.closed = False
+        self._lock = threading.RLock()
+        self._env: dict[str, Value] = {}
+        self._env_version: Optional[int] = None
+        # Keyed on (template, defaults, backend): two raw expressions whose
+        # lifted constants differ share the template but not the defaults,
+        # and must not share a statement.
+        self._prepared: dict[tuple, PreparedStatement] = {}
+
+    # -- context management -------------------------------------------------------
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Drop prepared statements and refuse further work."""
+        with self._lock:
+            self._prepared.clear()
+            self.closed = True
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise RuntimeError("session is closed")
+
+    # -- environment / schema plumbing --------------------------------------------
+
+    def schema(self) -> dict:
+        return self.db.schema() if self.db is not None else {}
+
+    def _environment(self) -> dict[str, Value]:
+        """The database's collections, interned into the engine's table (cached)."""
+        if self.db is None:
+            return {}
+        with self._lock:
+            if self._env_version != self.db.version:
+                # Read the version BEFORE snapshotting: if a registration
+                # lands in between, we stamp the old version and re-intern on
+                # the next call, instead of stamping a fresh version onto a
+                # stale snapshot.  Engine.intern (not interner.intern):
+                # interning must happen under the engine lock to stay
+                # interned-exactly-once when sessions share an engine across
+                # threads.
+                version = self.db.version
+                intern = self.engine.intern
+                self._env = {
+                    name: intern(v) for name, v in self.db.environment().items()
+                }
+                self._env_version = version
+            return self._env
+
+    def _template_of(self, query: Runnable) -> tuple[Expr, dict, dict, str]:
+        """(template, param types, default bindings, label) for any runnable."""
+        if isinstance(query, PreparedStatement):
+            return query.template, query.param_types, query.defaults, query.label
+        if isinstance(query, Query):
+            el = query.elaborate(self.schema(), self.engine.sigma)
+            return el.expr, el.params, {}, query.label
+        if isinstance(query, Expr):
+            return query, {}, {}, "expr"
+        raise TypeError(f"cannot execute {query!r}; expected Query, prepared or Expr")
+
+    def _bind(self, param_types: dict, defaults: dict, params: Optional[dict]) -> dict:
+        """Parameter bindings -> ``$``-namespaced, interned environment entries."""
+        given = dict(params or {})
+        unknown = [k for k in given if k not in param_types]
+        if unknown:
+            raise KeyError(
+                f"unknown parameter(s) {sorted(unknown)}; "
+                f"this query declares {sorted(param_types)}"
+            )
+        env: dict[str, Value] = {}
+        intern = self.engine.intern
+        for name in param_types:
+            if name in given:
+                v = given[name]
+                value = v if isinstance(v, Value) else from_python(v)
+            elif name in defaults:
+                value = defaults[name]
+            else:
+                raise KeyError(f"parameter {name!r} is unbound and has no default")
+            env[param_var(name)] = intern(value)
+        return env
+
+    # -- execution ----------------------------------------------------------------
+
+    def execute(
+        self,
+        query: Runnable,
+        params: Optional[dict] = None,
+        backend: Optional[str] = None,
+        optimize: bool = True,
+    ) -> Cursor:
+        """Elaborate, optimize (cached), evaluate; returns a streaming cursor."""
+        self._check_open()
+        if isinstance(query, PreparedStatement):
+            backend = backend if backend is not None else query.backend
+        template, ptypes, defaults, _ = self._template_of(query)
+        env = dict(self._environment())
+        env.update(self._bind(ptypes, defaults, params))
+        value = self._run(template, env, backend, optimize)
+        return self._cursor(value)
+
+    def _execute_prepared(self, ps: PreparedStatement, params: dict) -> Cursor:
+        return self.execute(ps, params=params)
+
+    def executemany(
+        self,
+        query: Runnable,
+        bindings: Iterable,
+        backend: Optional[str] = None,
+    ) -> list[Cursor]:
+        """Run one query over many parameter bindings, caches shared batch-wide.
+
+        ``bindings`` is an iterable of parameter dicts (or, for single-
+        parameter queries, bare values).  Single-parameter templates are
+        closed into a unary function over the slot and delegated to
+        ``Engine.run_many`` -- one compiled plan, one intern table and all
+        join indexes serve the whole batch.  Multi-parameter templates fall
+        back to per-binding execution, which still hits every template-keyed
+        cache.
+        """
+        self._check_open()
+        template, ptypes, defaults, _ = self._template_of(query)
+        bindings = list(bindings)
+        with self._lock:
+            self.stats.batches += 1
+        if backend is None and isinstance(query, PreparedStatement):
+            backend = query.backend
+        if len(ptypes) == 1:
+            (name, ptype), = ptypes.items()
+            values = []
+            for b in bindings:
+                if isinstance(b, dict):
+                    bound = self._bind(ptypes, defaults, b)
+                    values.append(bound[param_var(name)])
+                else:
+                    v = b if isinstance(b, Value) else from_python(b)
+                    values.append(self.engine.intern(v))
+            closed = Lambda(param_var(name), ptype, template)
+            env = self._environment()
+            results = self._run_many(closed, values, env, backend)
+            return [self._cursor(v) for v in results]
+        out = []
+        for b in bindings:
+            if not isinstance(b, dict):
+                raise TypeError(
+                    "multi-parameter executemany needs dict bindings, "
+                    f"got {b!r} for parameters {sorted(ptypes)}"
+                )
+            out.append(self.execute(query, params=b, backend=backend))
+        return out
+
+    def prepare(self, query: Runnable, backend: Optional[str] = None) -> PreparedStatement:
+        """Split into template + slots and warm the template's caches.
+
+        Raw expressions are parametrized by :func:`~repro.api.prepare.lift_constants`
+        (every ``Const`` becomes a slot with its original value as default);
+        fluent queries are already templates.  Preparing the same template
+        twice returns the cached statement.
+        """
+        self._check_open()
+        if isinstance(query, PreparedStatement):
+            return query
+        if isinstance(query, Expr):
+            template, ptypes, defaults = lift_constants(query)
+            label = "prepared-expr"
+        else:
+            template, ptypes, defaults, label = self._template_of(query)
+        cache_key = (template, tuple(sorted(defaults.items())), backend)
+        with self._lock:
+            found = self._prepared.get(cache_key)
+            if found is not None:
+                self.stats.prepared_hits += 1
+                return found
+        # Warm the rewrite and (for the vectorized backend) the compiled plan
+        # now, so the first execute is as cheap as the hundredth.  Counter
+        # deltas are taken under the engine lock for exact attribution.
+        chosen = backend if backend is not None else self.engine.backend
+        with self.engine.lock:
+            before_misses = self.engine.plan_misses
+            before_compiles = self.engine.vectorized_compiles()
+            self.engine.optimize(template)
+            if chosen == "vectorized":
+                self.engine.explain_plan(template)
+            misses = self.engine.plan_misses - before_misses
+            compiles = self.engine.vectorized_compiles() - before_compiles
+        ps = PreparedStatement(self, template, ptypes, defaults, label, backend)
+        with self._lock:
+            self.stats.prepares += 1
+            self.stats.rewrites += misses
+            self.stats.vec_compiles += compiles
+            self._prepared[cache_key] = ps
+        return ps
+
+    # -- explain ------------------------------------------------------------------
+
+    def explain(self, query: Runnable):
+        """The engine's rewrite plan for the query's template."""
+        template, _, _, _ = self._template_of(query)
+        return self.engine.explain(template)
+
+    def explain_plan(self, query: Runnable, optimize: bool = True):
+        """The vectorized operator tree for the query's template."""
+        template, _, _, _ = self._template_of(query)
+        return self.engine.explain_plan(template, optimize=optimize)
+
+    # -- engine call-throughs with stats accounting --------------------------------
+
+    def _run(self, template, env, backend, optimize) -> Value:
+        # The engine lock (reentrant) is held across the counter snapshot,
+        # the run and the delta reads, so with a shared engine each call's
+        # rewrites/compiles are attributed to exactly one session.
+        with self.engine.lock:
+            before_misses = self.engine.plan_misses
+            before_hits = self.engine.plan_hits
+            result = self.engine.run(
+                template, db=None, env=env, optimize=optimize, backend=backend
+            )
+            misses = self.engine.plan_misses - before_misses
+            hits = self.engine.plan_hits - before_hits
+            compiles = getattr(self.engine.last_stats, "compiled_exprs", 0)
+        with self._lock:
+            self.stats.executes += 1
+            self.stats.rewrites += misses
+            self.stats.plan_hits += hits
+            self.stats.vec_compiles += compiles
+        return result
+
+    def _run_many(self, closed, values, env, backend) -> list[Value]:
+        with self.engine.lock:
+            before_misses = self.engine.plan_misses
+            before_hits = self.engine.plan_hits
+            results = self.engine.run_many(closed, values, env=env, backend=backend)
+            misses = self.engine.plan_misses - before_misses
+            hits = self.engine.plan_hits - before_hits
+            compiles = getattr(self.engine.last_stats, "compiled_exprs", 0)
+        with self._lock:
+            self.stats.executes += len(values)
+            self.stats.rewrites += misses
+            self.stats.plan_hits += hits
+            self.stats.vec_compiles += compiles
+        return results
+
+    def _cursor(self, value: Value) -> Cursor:
+        def count_rows(n: int) -> None:
+            with self._lock:
+                self.stats.rows_streamed += n
+
+        return Cursor(value, rows_hook=count_rows)
+
+    def __repr__(self) -> str:
+        dbname = self.db.name if self.db is not None else None
+        return (
+            f"<Session db={dbname!r} backend={self.engine.backend!r} "
+            f"executes={self.stats.executes}>"
+        )
+
+
+def connect(
+    db: Optional[Database] = None,
+    backend: str = "vectorized",
+    **kwargs,
+) -> Session:
+    """Open a session -- the one-liner front door of the query service."""
+    return Session(db, backend=backend, **kwargs)

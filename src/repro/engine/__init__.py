@@ -22,7 +22,10 @@ Layers (each usable on its own):
 * :mod:`repro.engine.engine` -- the :class:`Engine` facade:
   ``Engine.run(expr, db, optimize=True, backend=...)``, the batched
   ``Engine.run_many(expr, inputs)``, ``Engine.explain(expr)`` and
-  ``Engine.explain_plan(expr)``.
+  ``Engine.explain_plan(expr)``.  Engine-scoped caches are serialized
+  behind one lock (see the concurrency note on :class:`Engine`); the
+  client-facing layer over this facade -- catalogs, sessions, fluent
+  queries, prepared statements -- is :mod:`repro.api`.
 
 The contract, precisely: interning and memoization never change results (the
 language is pure and total, and the recursion constructs delegate to the same

@@ -46,6 +46,7 @@ batch of inputs, so overlapping inputs pay only for what is genuinely new.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Union
 
@@ -54,6 +55,7 @@ from ..nra.eval import run as reference_run
 from ..nra.externals import EMPTY_SIGMA, Signature
 from ..nra.pretty import pretty
 from ..objects.values import Value, from_python
+from ..relational.relation import Relation
 from .interning import InternTable
 from .memo import MemoEvaluator, MemoStats
 from .rewrite import DEFAULT_RULES, Rewriter, Rule, RuleFiring
@@ -61,6 +63,13 @@ from .vectorized import PlanNode, VecStats, VectorizedEvaluator
 
 #: The evaluation backends an :class:`Engine` can run.
 BACKENDS = ("reference", "memo", "vectorized")
+
+
+def _validate_backend(name: str) -> str:
+    """The single point of backend-name validation (constructor and per-call)."""
+    if name not in BACKENDS:
+        raise ValueError(f"unknown backend {name!r}; expected one of {BACKENDS}")
+    return name
 
 
 @dataclass
@@ -123,6 +132,20 @@ class Engine:
     ``last_stats`` always describes just the most recent ``run`` /
     ``run_many`` call (a whole batch for ``run_many``), whatever the
     backend; a second call on a warm engine therefore reports zero compiles.
+
+    Concurrency.  An engine owns four engine-scoped mutable caches, none of
+    which is safe under unsynchronized concurrent mutation: the plan cache
+    (``_plans``), the intern table (plain dicts; identity-keyed soundness
+    additionally requires values to be interned exactly once), and the
+    vectorized backend's compile cache and join-index cache.  The engine
+    therefore serializes ``optimize`` / ``run`` / ``run_many`` /
+    ``explain_plan`` / ``clear_plans`` behind one reentrant lock: sharing an
+    engine across threads (e.g. many :class:`repro.api.session.Session`
+    objects over one engine) is *correct* but not parallel.  For parallel
+    serving, give each worker thread its own engine -- caches are warm per
+    worker, results identical.  ``last_stats`` is written under the lock but
+    is a per-engine cell: with concurrent callers, read it from the session
+    layer (which accounts per call) rather than from the engine.
     """
 
     def __init__(
@@ -132,34 +155,77 @@ class Engine:
         seed: int = 0,
         backend: str = "memo",
     ) -> None:
-        if backend not in BACKENDS:
-            raise ValueError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
         self.sigma = sigma
-        self.backend = backend
+        self.backend = _validate_backend(backend)
         self.rewriter = Rewriter(rules=rules, sigma=sigma, seed=seed)
         self.interner = InternTable()
         self.last_stats: Optional[Union[MemoStats, VecStats]] = None
         # Keyed on the expression itself (AST nodes are frozen, hashable
         # dataclasses), so structurally equal queries share one plan.
         self._plans: dict[Expr, Plan] = {}
+        #: Plan-cache traffic: hits are repeat queries (including every
+        #: prepared-statement execute), misses are fresh rewrites.  The
+        #: session layer reads deltas of these to attribute work per call.
+        self.plan_hits = 0
+        self.plan_misses = 0
         # The vectorized evaluator is created on first use and lives as long
         # as the engine: its compile cache and join indexes span runs.
         self._vectorized: Optional[VectorizedEvaluator] = None
+        # Serializes access to every engine-scoped cache; see the class
+        # docstring's concurrency note.
+        self._lock = threading.RLock()
+
+    @property
+    def lock(self) -> threading.RLock:
+        """The engine's cache lock (reentrant).
+
+        Callers composing several engine operations that must be atomic
+        against other threads -- e.g. the session layer interning values and
+        then differencing ``plan_misses``/``last_stats`` around a ``run`` --
+        hold this across the compound; the engine's own methods re-acquire
+        it reentrantly.
+        """
+        return self._lock
+
+    def intern(self, v: Value) -> Value:
+        """Intern a value into the engine's table, under the engine lock.
+
+        The intern table's ``id``-keyed soundness requires every value to be
+        canonicalized exactly once; callers outside the engine must go
+        through this method (not ``engine.interner.intern`` directly) so
+        concurrent interning cannot register duplicate representatives.
+        """
+        with self._lock:
+            return self.interner.intern(v)
 
     # -- planning -----------------------------------------------------------------
 
     def optimize(self, e: Expr) -> Plan:
         """Rewrite ``e`` and return the plan (cached per structural equality)."""
-        plan = self._plans.get(e)
-        if plan is None:
-            optimized, firings = self.rewriter.rewrite(e)
-            plan = Plan(e, optimized, firings)
-            self._plans[e] = plan
-        return plan
+        with self._lock:
+            plan = self._plans.get(e)
+            if plan is None:
+                self.plan_misses += 1
+                optimized, firings = self.rewriter.rewrite(e)
+                plan = Plan(e, optimized, firings)
+                self._plans[e] = plan
+            else:
+                self.plan_hits += 1
+            return plan
 
     def clear_plans(self) -> None:
-        """Drop all cached plans (long-lived engines over many ad-hoc queries)."""
-        self._plans.clear()
+        """Drop all per-query caches (long-lived engines over many ad-hoc queries).
+
+        Clears the rewrite-plan cache and, when the vectorized backend has
+        run, its compile cache and join indexes -- the engine-scoped memory
+        that grows with the number of *distinct queries* seen.  The intern
+        table is kept: it grows with the *data*, stays shared with the memo
+        backend, and dropping it would invalidate ``id``-keyed state.
+        """
+        with self._lock:
+            self._plans.clear()
+            if self._vectorized is not None:
+                self._vectorized.clear_caches()
 
     def explain(self, e: Expr) -> Plan:
         """The plan for ``e``: rewritten expression and the rules that fired."""
@@ -171,10 +237,24 @@ class Engine:
         Useful for asserting strategy selection (``"hash-join" in
         engine.explain_plan(q).ops()``) and for eyeballing what a query
         actually executes as; compiling is cheap and cached, and no
-        evaluation happens.
+        evaluation happens.  Session ``prepare`` calls this to warm the
+        compile cache for a template ahead of the first execute.
         """
-        expr = self.optimize(e).optimized if optimize else e
-        return self._vec().plan(expr)
+        with self._lock:
+            expr = self.optimize(e).optimized if optimize else e
+            return self._vec().plan(expr)
+
+    def vectorized_compiles(self) -> int:
+        """Lifetime count of vectorized subexpression compiles (0 if unused).
+
+        Monotone; callers (the session stats layer) difference it around
+        calls to attribute compile work.  Complements ``last_stats``, which
+        only describes the most recent ``run``/``run_many``.
+        """
+        with self._lock:
+            if self._vectorized is None:
+                return 0
+            return self._vectorized.stats.compiled_exprs
 
     # -- evaluation ---------------------------------------------------------------
 
@@ -197,23 +277,25 @@ class Engine:
         ``backend`` overrides the engine default for this call.
         """
         chosen = self._backend(backend)
-        expr = self.optimize(e).optimized if optimize else e
-        arg = self._to_value(db)
-        if chosen == "reference":
-            self.last_stats = None
-            return reference_run(expr, arg, env=env, sigma=self.sigma)
-        if chosen == "vectorized":
-            ev = self._vec()
-            # The evaluator's counters run for its whole lifetime (they back
-            # the engine-scoped caches); report just this call's share.
-            before = ev.stats.copy()
-            result = ev.run(expr, arg=arg, env=env)
-            self.last_stats = ev.stats.since(before)
+        with self._lock:
+            expr = self.optimize(e).optimized if optimize else e
+            arg = self._to_value(db)
+            if chosen == "reference":
+                self.last_stats = None
+                return reference_run(expr, arg, env=env, sigma=self.sigma)
+            if chosen == "vectorized":
+                ev = self._vec()
+                # The evaluator's counters run for its whole lifetime (they
+                # back the engine-scoped caches); report just this call's
+                # share.
+                before = ev.stats.copy()
+                result = ev.run(expr, arg=arg, env=env)
+                self.last_stats = ev.stats.since(before)
+                return result
+            evaluator = MemoEvaluator(self.sigma, self.interner)
+            result = evaluator.run(expr, arg=arg, env=env)
+            self.last_stats = evaluator.stats
             return result
-        evaluator = MemoEvaluator(self.sigma, self.interner)
-        result = evaluator.run(expr, arg=arg, env=env)
-        self.last_stats = evaluator.stats
-        return result
 
     def run_many(
         self,
@@ -235,41 +317,58 @@ class Engine:
         same way.  Returns one result per input, in order.
         """
         chosen = self._backend(backend)
-        expr = self.optimize(e).optimized if optimize else e
-        args = [self._to_value(db) for db in inputs]
-        if chosen == "reference":
-            self.last_stats = None
-            return [reference_run(expr, a, env=env, sigma=self.sigma) for a in args]
-        if chosen == "vectorized":
-            ev = self._vec()
-            before = ev.stats.copy()
-            out = ev.run_many(expr, args, env=env)
-            self.last_stats = ev.stats.since(before)
+        with self._lock:
+            expr = self.optimize(e).optimized if optimize else e
+            args = [self._to_value(db) for db in inputs]
+            if chosen == "reference":
+                self.last_stats = None
+                return [reference_run(expr, a, env=env, sigma=self.sigma) for a in args]
+            if chosen == "vectorized":
+                ev = self._vec()
+                before = ev.stats.copy()
+                out = ev.run_many(expr, args, env=env)
+                self.last_stats = ev.stats.since(before)
+                return out
+            evaluator = MemoEvaluator(self.sigma, self.interner)
+            out = [evaluator.run(expr, arg=a, env=env) for a in args]
+            self.last_stats = evaluator.stats
             return out
-        evaluator = MemoEvaluator(self.sigma, self.interner)
-        out = [evaluator.run(expr, arg=a, env=env) for a in args]
-        self.last_stats = evaluator.stats
-        return out
 
     # -- helpers ------------------------------------------------------------------
 
     def _backend(self, override: Optional[str]) -> str:
-        if override is None:
-            return self.backend
-        if override not in BACKENDS:
-            raise ValueError(f"unknown backend {override!r}; expected one of {BACKENDS}")
-        return override
+        return self.backend if override is None else _validate_backend(override)
 
     def _vec(self) -> VectorizedEvaluator:
-        if self._vectorized is None:
-            self._vectorized = VectorizedEvaluator(self.sigma, self.interner)
-        return self._vectorized
+        with self._lock:
+            if self._vectorized is None:
+                self._vectorized = VectorizedEvaluator(self.sigma, self.interner)
+            return self._vectorized
 
     def _to_value(self, db) -> Optional[Value]:
+        """Coerce an input to a complex object value.
+
+        Accepted, in order: ``None``; a ready :class:`Value`; a flat
+        :class:`~repro.relational.relation.Relation`; any object implementing
+        the documented conversion hook ``__nra_value__() -> Value`` (how
+        custom containers opt in -- merely *having* an unrelated ``value``
+        attribute no longer makes an object an input, it is converted like
+        plain data or rejected); plain python data via
+        :func:`~repro.objects.values.from_python`.
+        """
         if db is None:
             return None
         if isinstance(db, Value):
             return db
-        if hasattr(db, "value") and callable(db.value):  # Relation and friends
+        if isinstance(db, Relation):
             return db.value()
+        hook = getattr(type(db), "__nra_value__", None)
+        if hook is not None:
+            converted = hook(db)
+            if not isinstance(converted, Value):
+                raise TypeError(
+                    f"__nra_value__ of {type(db).__name__} returned "
+                    f"{converted!r}, not a complex object value"
+                )
+            return converted
         return from_python(db)

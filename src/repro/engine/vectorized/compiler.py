@@ -180,6 +180,10 @@ class PlanCompiler:
             self.ctx.stats.compiled_exprs += 1
         return c
 
+    def clear_cache(self) -> None:
+        """Drop every cached compilation (recompiling is always sound)."""
+        self._cache.clear()
+
     # -- dispatch -----------------------------------------------------------------
 
     def _compile(self, e: Expr) -> Compiled:
@@ -430,6 +434,28 @@ class PlanCompiler:
             # function of the right element; the key expression itself is the
             # cache tag, so structurally equal keys share indexes.
             rkey_tag = rkey if free_variables(rkey) <= {rvar} else None
+
+            def join_fn(env):
+                left = expect_set(sfn(env), "ext")
+                if not left.elements:
+                    # The right source sits inside the outer lambda, so the
+                    # reference interpreter never evaluates it when the left
+                    # set is empty; short-circuit to match it exactly (an
+                    # external in the right source may raise).
+                    return ctx.interner.empty_set
+                return hash_join(
+                    ctx,
+                    env,
+                    left,
+                    expect_set(rfn(env), "ext"),
+                    var,
+                    rvar,
+                    lkfn,
+                    rkfn,
+                    out_fn,
+                    rkey_tag,
+                )
+
             return Compiled(
                 node(
                     "hash-join",
@@ -438,18 +464,7 @@ class PlanCompiler:
                     rc.plan,
                     annotations=("indexed",) if rkey_tag is not None else (),
                 ),
-                lambda env: hash_join(
-                    ctx,
-                    env,
-                    expect_set(sfn(env), "ext"),
-                    expect_set(rfn(env), "ext"),
-                    var,
-                    rvar,
-                    lkfn,
-                    rkfn,
-                    out_fn,
-                    rkey_tag,
-                ),
+                join_fn,
             )
 
         # General body: element-wise loop over a compiled body, one merged

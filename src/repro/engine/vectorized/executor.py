@@ -45,6 +45,17 @@ class VectorizedEvaluator:
         """Compile (or fetch the cached plan for) an expression."""
         return self.compiler.compile(e)
 
+    def clear_caches(self) -> None:
+        """Drop the compile cache and every join index (results unaffected).
+
+        The intern table is deliberately kept: interned values back ``id``-
+        keyed equality across the engine and are shared with the memo
+        backend.  This is what ``Engine.clear_plans`` calls for long-lived
+        engines serving many ad-hoc queries.
+        """
+        self.compiler.clear_cache()
+        self.ctx.clear_indexes()
+
     def plan(self, e: Expr) -> PlanNode:
         """The set-at-a-time plan chosen for ``e`` (for explain/tests)."""
         return self.compile(e).plan

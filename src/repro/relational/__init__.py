@@ -20,7 +20,10 @@ where the capture theorems live (``NRA1(dcr, <=)`` = NC over flat queries,
 * :mod:`repro.relational.queries` -- the paper's query library as ready-made
   NRA expressions, each in up to three evaluation styles (``dcr`` /
   ``log_loop`` / ``sri``-``esr``), plus :func:`parity_esr_translated`, the
-  Proposition 2.1 image that the optimizing engine rewrites back to ``dcr``.
+  Proposition 2.1 image that the optimizing engine rewrites back to ``dcr``;
+  the same library doubles as fluent :mod:`repro.api` ``Query`` values via
+  :func:`query_library` / :func:`transitive_closure_query` /
+  :func:`parity_query` / :func:`reachable_from_query`.
 
 The examples, benchmarks and the engine cross-checks all funnel through the
 runner helpers at the bottom of :mod:`repro.relational.queries`
@@ -56,12 +59,16 @@ from .queries import (
     parity_dcr,
     parity_esr,
     parity_esr_translated,
+    parity_query,
+    query_library,
+    reachable_from_query,
     reachable_pairs_query,
     run_on_relation,
     run_tc,
     tagged_boolean_set,
     transitive_closure_dcr,
     transitive_closure_logloop,
+    transitive_closure_query,
     transitive_closure_sri,
 )
 
@@ -75,4 +82,6 @@ __all__ = [
     "parity_dcr", "parity_esr", "parity_esr_translated", "cardinality_parity_dcr",
     "transitive_closure_dcr", "transitive_closure_logloop", "transitive_closure_sri",
     "reachable_pairs_query", "run_on_relation", "run_tc", "tagged_boolean_set",
+    "query_library", "transitive_closure_query", "parity_query",
+    "reachable_from_query",
 ]

@@ -15,6 +15,13 @@ by either evaluator, compiled to circuits, or pretty printed.  The helpers at
 the bottom run a query against a :class:`repro.relational.relation.Relation`
 and hand back plain Python data, which is what the examples and benchmarks
 use.
+
+For the query-service API (:mod:`repro.api`) the same library is exposed a
+second time as fluent :class:`~repro.api.query.Query` values over named
+collections -- see :func:`query_library` and the ``*_query`` builders at the
+bottom: ``session.execute(transitive_closure_query())`` runs the paper's
+Section 1 construction against the session's ``"edges"`` collection without
+the caller ever touching an AST node.
 """
 
 from __future__ import annotations
@@ -230,3 +237,84 @@ def tagged_boolean_set(bits: list[bool]) -> SetVal:
     from ..objects.values import BaseVal, BoolVal, PairVal
 
     return SetVal(PairVal(BaseVal(i), BoolVal(b)) for i, b in enumerate(bits))
+
+
+# ---------------------------------------------------------------------------
+# The library as fluent Query values (the repro.api surface)
+# ---------------------------------------------------------------------------
+#
+# Imports of repro.api stay inside the builders: repro.engine imports this
+# package's sibling `relation` module at import time, and repro.api imports
+# repro.engine, so a module-level import here would be circular.
+
+def transitive_closure_query(source: str = "edges", style: str = "dcr"):
+    """Transitive closure over the ``source`` collection, as a ``Query``.
+
+    ``style="logloop"`` uses the builder-native ``fix`` (repeated squaring,
+    the semi-naive fast path of the vectorized backend); every other style
+    pipes the collection through the corresponding paper expression.
+    """
+    from ..api import Q
+
+    base = Q.coll(source, REL_T)
+    if style == "logloop":
+        return base.fix()
+    return base.pipe(reachable_pairs_query(style))
+
+
+def parity_query(source: str = "bits", style: str = "dcr"):
+    """Parity of a collection of tagged booleans, as a boolean ``Query``."""
+    from ..api import Q
+
+    builders = {
+        "dcr": parity_dcr,
+        "esr": parity_esr,
+        "esr_translated": parity_esr_translated,
+    }
+    if style not in builders:
+        raise ValueError(f"unknown style {style!r}; expected one of {sorted(builders)}")
+    return Q.coll(source, SetType(TAGGED_BOOL_T)).pipe(builders[style]())
+
+
+def reachable_from_query(source: str = "edges", param: str = "src"):
+    """All nodes reachable from the parameter node: the prepared-statement demo.
+
+    ``fix`` then a parametrized selection on the first component --
+    ``session.prepare(...)`` turns the per-constant recompile into a per-call
+    environment lookup.
+    """
+    from ..api import Q
+
+    return (
+        transitive_closure_query(source, style="logloop")
+        .where(lambda e: e.fst == _param(param))
+        .map(lambda e: e.snd)
+    )
+
+
+def _param(name: str):
+    from ..api import Q
+
+    return Q.param(name)
+
+
+def query_library(source: str = "edges") -> dict:
+    """The paper's named queries as ready ``Query`` values over ``source``.
+
+    Keys mirror the expression builders above; every value cross-checks
+    against its expression form in ``tests/api/test_query_builder.py``.
+    """
+    return {
+        "tc_dcr": transitive_closure_query(source, "dcr"),
+        "tc_logloop": transitive_closure_query(source, "logloop"),
+        "tc_sri": transitive_closure_query(source, "sri"),
+        "two_hop": _two_hop(source),
+        "reachable_from": reachable_from_query(source),
+    }
+
+
+def _two_hop(source: str):
+    from ..api import Q
+
+    edges = Q.coll(source, REL_T)
+    return edges.compose(edges)

@@ -14,6 +14,11 @@ Two families, matching the paper's two kinds of queries:
   adjacency databases of type ``{D x {D}}``, plus the unnest / two-hop /
   nested-reachability query builders the engine benchmarks sweep over.
 
+* :mod:`repro.workloads.databases` -- the same data packaged as
+  :class:`repro.api.catalog.Database` instances (named ``edges`` / ``adj`` /
+  ``bits`` collections and a ready :func:`workload_catalog`), so sessions of
+  the query-service API open directly onto every workload family.
+
 * :mod:`repro.workloads.nested` -- complex-object data for the Theorem 6.1
   experiments: seeded-random types and values of bounded set height (the
   raw material of the property tests and of the engine's sampled algebraic
@@ -55,6 +60,14 @@ from .nested_graphs import (
     nested_reachability_query,
     two_hop_query,
 )
+from .databases import (
+    GRAPH_KINDS,
+    edges_database,
+    graph_database,
+    nested_graph_database,
+    parity_database,
+    workload_catalog,
+)
 
 __all__ = [
     "path_graph", "cycle_graph", "binary_tree", "grid_graph", "random_graph",
@@ -63,4 +76,6 @@ __all__ = [
     "DEPARTMENTS_T", "tagged_booleans", "random_bits",
     "ADJ_T", "ADJ_DB_T", "adjacency_database", "nested_random_graph",
     "edges_query", "two_hop_query", "nested_reachability_query",
+    "GRAPH_KINDS", "graph_database", "edges_database",
+    "nested_graph_database", "parity_database", "workload_catalog",
 ]

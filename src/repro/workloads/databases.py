@@ -1,0 +1,86 @@
+"""Ready-made :class:`~repro.api.catalog.Database` instances per workload.
+
+The generators in this package hand back raw data (relations, adjacency
+values, bit sets).  These builders package that data the way the
+query-service API serves it: named collections in a registered database, so
+examples, tests and benchmarks open sessions with one call::
+
+    from repro.workloads.databases import graph_database
+    session = graph_database(64, kind="path").connect()
+    session.execute(transitive_closure_query())
+
+Collection naming convention (what the query builders in
+:mod:`repro.relational.queries` and :mod:`repro.workloads.nested_graphs`
+expect): flat edge sets register as ``"edges"``, adjacency databases as
+``"adj"``, tagged boolean sets as ``"bits"``.
+"""
+
+from __future__ import annotations
+
+from ..api.catalog import Catalog, Database
+from ..relational.queries import tagged_boolean_set
+from ..relational.relation import Relation
+from .graphs import binary_tree, cycle_graph, grid_graph, path_graph, random_graph
+from .nested import random_bits
+from .nested_graphs import ADJ_DB_T, adjacency_database, nested_random_graph
+
+#: The flat-graph generators ``graph_database`` can sweep over.
+GRAPH_KINDS = ("path", "cycle", "tree", "grid", "random")
+
+
+def graph_database(n: int, kind: str = "path", seed: int = 0, p: float = 0.1) -> Database:
+    """A database with one ``"edges"`` collection of the requested graph.
+
+    ``n`` is the node count except for ``tree`` (depth: the tree has
+    ``2**(n+1) - 1`` nodes) and ``grid`` (an ``n x n`` grid).
+    """
+    if kind == "path":
+        rel = path_graph(n)
+    elif kind == "cycle":
+        rel = cycle_graph(n)
+    elif kind == "tree":
+        rel = binary_tree(n)
+    elif kind == "grid":
+        rel = grid_graph(n, n)
+    elif kind == "random":
+        rel = random_graph(n, p, seed=seed)
+    else:
+        raise ValueError(f"unknown graph kind {kind!r}; expected one of {GRAPH_KINDS}")
+    return Database(f"{kind}-{n}").register("edges", rel)
+
+
+def edges_database(relation: Relation, name: str = "graph") -> Database:
+    """Any flat binary relation as an ``"edges"`` database."""
+    return Database(name).register("edges", relation)
+
+
+def nested_graph_database(n: int, p: float, seed: int = 0) -> Database:
+    """An adjacency database ``{D x {D}}`` under the ``"adj"`` collection.
+
+    Registers both the nested form (``"adj"``) and its flat edge set
+    (``"edges"``), so nested and flat queries run against one session.
+    """
+    adj = nested_random_graph(n, p, seed=seed)
+    edges = random_graph(n, p, seed=seed)
+    return (
+        Database(f"nested-{n}")
+        # Sink nodes carry empty successor sets, so the element type cannot
+        # be inferred from the value alone -- declare it.
+        .register("adj", adj, type=ADJ_DB_T)
+        .register("edges", edges)
+    )
+
+
+def parity_database(bits: list, name: str = "parity") -> Database:
+    """A ``"bits"`` collection of tagged booleans for the parity queries."""
+    return Database(name).register("bits", tagged_boolean_set(list(bits)))
+
+
+def workload_catalog(seed: int = 0) -> Catalog:
+    """A small catalog covering every workload family (examples / smoke tests)."""
+    cat = Catalog()
+    cat.register(graph_database(16, "path"))
+    cat.register(graph_database(3, "tree"))
+    cat.register(nested_graph_database(16, 0.15, seed=seed))
+    cat.register(parity_database(random_bits(64, seed=seed)))
+    return cat

@@ -1,0 +1,89 @@
+"""Databases and catalogs: registration, typecheck-backed schemas, versioning."""
+
+import pytest
+
+from repro.api import Catalog, Database, Q
+from repro.objects.types import BASE, BOOL, ProdType, SetType
+from repro.objects.values import SetVal, from_python
+from repro.relational.database import OrderedDatabase
+from repro.relational.relation import Relation
+from repro.workloads.graphs import path_graph
+from repro.workloads.nested_graphs import ADJ_DB_T, nested_random_graph
+
+EDGES_T = SetType(ProdType(BASE, BASE))
+
+
+def test_register_relation_infers_relation_type():
+    db = Database("g").register("edges", path_graph(4))
+    assert db.schema() == {"edges": EDGES_T}
+    assert db["edges"] == path_graph(4).value()
+
+
+def test_register_python_data_infers_type():
+    db = Database().register("s", {1, 2, 3}).register("flags", {(1, True), (2, False)})
+    assert db.schema()["s"] == SetType(BASE)
+    assert db.schema()["flags"] == SetType(ProdType(BASE, BOOL))
+
+
+def test_register_validates_value_against_declared_type():
+    from repro.nra.errors import NRATypeError
+
+    with pytest.raises(NRATypeError):
+        Database().register("s", {1, 2}, type=SetType(BOOL))
+
+
+def test_explicit_type_needed_for_empty_inner_sets():
+    adj = nested_random_graph(8, 0.2, seed=3)
+    # Inference cannot see through the sinks' empty successor sets ...
+    with pytest.raises(TypeError):
+        Database().register("adj", adj)
+    # ... a declared type both registers and is validated.
+    db = Database().register("adj", adj, type=ADJ_DB_T)
+    assert db.schema()["adj"] == ADJ_DB_T
+
+
+def test_duplicate_and_param_namespace_rejected():
+    db = Database().register("edges", path_graph(3))
+    with pytest.raises(ValueError):
+        db.register("edges", path_graph(4))
+    with pytest.raises(ValueError):
+        db.register("$oops", {1})
+
+
+def test_drop_bumps_version_and_sessions_refresh():
+    db = Database("g").register("edges", path_graph(4))
+    session = db.connect()
+    assert len(session.execute(Q.coll("edges"))) == 3
+    db.drop("edges")
+    db.register("edges", path_graph(7))
+    # The session re-interns the new collection because the version changed.
+    assert len(session.execute(Q.coll("edges"))) == 6
+
+
+def test_from_relations_and_from_ordered():
+    r1 = Relation.from_pairs("e1", [(0, 1)])
+    r2 = Relation.unary("names", ["a", "b"])
+    db = Database.from_relations(r1, r2)
+    assert set(db) == {"e1", "names"}
+    odb = OrderedDatabase.of(r1, r2)
+    db2 = Database.from_ordered(odb)
+    assert db2.schema() == db.schema()
+    assert db2["e1"] == db["e1"]
+
+
+def test_catalog_lifecycle():
+    cat = Catalog()
+    cat.register(Database.of("g", edges=path_graph(4)))
+    assert "g" in cat and cat.names() == ["g"]
+    with pytest.raises(ValueError):
+        cat.register(Database("g"))
+    session = cat.connect("g")
+    assert session.db.name == "g"
+    cat.drop("g")
+    assert "g" not in cat
+
+
+def test_database_of_kwargs():
+    db = Database.of("w", edges=path_graph(3), bits={(0, True), (1, False)})
+    assert set(db) == {"edges", "bits"}
+    assert isinstance(db["bits"], SetVal)

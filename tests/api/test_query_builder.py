@@ -1,0 +1,200 @@
+"""The fluent builder: every combinator cross-checked against the reference.
+
+The builder's contract is that it elaborates to *exactly* the NRA the paper's
+expression library would spell by hand, so each test runs the elaborated
+template through :func:`repro.nra.eval.run` (the oracle) and compares the
+session's answer value-for-value.
+"""
+
+import pytest
+
+from repro.api import Database, Q, Row, connect
+from repro.nra.eval import run as ref_run
+from repro.nra.typecheck import infer
+from repro.objects.types import BASE, BOOL, ProdType, SetType
+from repro.objects.values import from_python, to_python
+from repro.relational.queries import (
+    query_library,
+    reachable_pairs_query,
+    transitive_closure_dcr,
+)
+from repro.workloads.graphs import binary_tree, path_graph, random_graph
+
+EDGES_T = SetType(ProdType(BASE, BASE))
+
+
+@pytest.fixture()
+def session():
+    db = Database.of("g", edges=random_graph(9, 0.25, seed=2))
+    return connect(db)
+
+
+def check(session, query, params=None):
+    """Session answer == reference interpreter answer on the same template."""
+    cur = session.execute(query, params=params)
+    el = query.elaborate(session.schema(), session.engine.sigma)
+    env = dict(session.db.environment())
+    for name, value in (params or {}).items():
+        env["$" + name] = from_python(value)
+    want = ref_run(el.expr, None, env=env)
+    assert cur.value == want
+    return cur
+
+
+def test_scan(session):
+    cur = check(session, Q.coll("edges"))
+    assert sorted(cur.fetchall()) == sorted(to_python(session.db["edges"]))
+
+
+def test_where(session):
+    cur = check(session, Q.coll("edges").where(lambda e: e.fst == 0))
+    assert all(a == 0 for a, _ in cur.fetchall())
+
+
+def test_where_with_param(session):
+    q = Q.coll("edges").where(lambda e: e.snd == Q.param("dst"))
+    cur = check(session, q, params={"dst": 3})
+    assert all(b == 3 for _, b in cur.fetchall())
+
+
+def test_map_swap(session):
+    q = Q.coll("edges").map(lambda e: Row.pair(e.snd, e.fst))
+    cur = check(session, q)
+    edges = set(to_python(session.db["edges"]))
+    assert set(cur.fetchall()) == {(b, a) for a, b in edges}
+
+
+def test_flat_map(session):
+    # Each edge maps to the set of edges continuing it; the union is the
+    # source set of the two-hop composition.
+    q = Q.coll("edges").flat_map(
+        lambda e: Q.coll("edges").where(lambda f: f.fst == e.snd)
+    )
+    check(session, q)
+
+
+def test_project(session):
+    firsts = check(session, Q.coll("edges").project(1))
+    seconds = check(session, Q.coll("edges").project(2))
+    edges = set(to_python(session.db["edges"]))
+    assert set(firsts.fetchall()) == {a for a, _ in edges}
+    assert set(seconds.fetchall()) == {b for _, b in edges}
+
+
+def test_union_difference_intersect_cross(session):
+    e = Q.coll("edges")
+    swapped = e.map(lambda r: Row.pair(r.snd, r.fst))
+    check(session, e | swapped)
+    check(session, e - swapped)
+    check(session, e & swapped)
+    cur = check(session, e.project(1).cross(e.project(2)))
+    assert len(cur) > 0
+
+
+def test_join_and_compose_agree(session):
+    joined = Q.coll("edges").join(
+        Q.coll("edges"),
+        left_key=lambda e: e.snd,
+        right_key=lambda f: f.fst,
+        result=lambda e, f: Row.pair(e.fst, f.snd),
+    )
+    composed = Q.coll("edges").compose(Q.coll("edges"))
+    a = check(session, joined)
+    b = check(session, composed)
+    assert a.value == b.value
+
+
+def test_join_key_type_mismatch_raises(session):
+    q = Q.coll("edges").join(
+        Q.coll("edges"),
+        left_key=lambda e: e,
+        right_key=lambda f: f.fst,
+    )
+    with pytest.raises(TypeError):
+        session.execute(q)
+
+
+def test_nest_unnest_roundtrip(session):
+    q = Q.coll("edges").nest().unnest()
+    cur = check(session, q)
+    assert cur.value == session.db["edges"]
+
+
+def test_fix_is_transitive_closure(session):
+    cur = check(session, Q.coll("edges").fix())
+    tc_ref = ref_run(
+        reachable_pairs_query("dcr"), session.db["edges"]
+    )
+    assert cur.value == tc_ref
+
+
+def test_exists_is_empty_contains(session):
+    assert check(session, Q.coll("edges").exists()).scalar() is True
+    assert check(session, Q.coll("edges").is_empty()).scalar() is False
+    some_edge = next(iter(to_python(session.db["edges"])))
+    assert check(session, Q.coll("edges").contains(some_edge)).scalar() is True
+    q = Q.coll("edges").contains(Q.param("probe", ProdType(BASE, BASE)))
+    assert check(session, q, params={"probe": some_edge}).scalar() is True
+
+
+def test_pipe_paper_query(session):
+    cur = check(session, Q.coll("edges").pipe(transitive_closure_dcr()))
+    assert cur.value == ref_run(transitive_closure_dcr(), session.db["edges"])
+
+
+def test_query_library_cross_checks(session):
+    for name, q in query_library().items():
+        params = {"src": 0} if name == "reachable_from" else None
+        check(session, q, params=params)
+
+
+def test_infer_type_validates_elaboration(session):
+    schema = session.schema()
+    assert Q.coll("edges").infer_type(schema) == EDGES_T
+    assert Q.coll("edges").fix().infer_type(schema) == EDGES_T
+    assert Q.coll("edges").exists().infer_type(schema) == BOOL
+    q = Q.coll("edges").map(lambda e: e.fst)
+    assert q.infer_type(schema) == SetType(BASE)
+
+
+def test_elaboration_is_cached_per_schema(session):
+    q = Q.coll("edges").fix()
+    schema = session.schema()
+    first = q.elaborate(schema)
+    second = q.elaborate(dict(schema))
+    assert first is second  # same template object -> same engine plan keys
+
+
+def test_param_type_conflict_raises():
+    q = Q.coll("edges", EDGES_T).where(
+        lambda e: e.fst.eq(Q.param("x")).and_(e.eq(Q.param("x", ProdType(BASE, BASE))))
+    )
+    with pytest.raises(TypeError):
+        q.elaborate({})
+
+
+def test_unknown_collection_raises():
+    with pytest.raises(KeyError):
+        Q.coll("nope").elaborate({})
+
+
+def test_q_const_and_raw():
+    session = connect()
+    cur = session.execute(Q.const({(1, 2), (3, 4)}).project(1))
+    assert set(cur.fetchall()) == {1, 3}
+    from repro.nra.ast import Var
+    raw = Q.raw(Var("edges"), EDGES_T).fix()
+    db = Database.of("g", edges=path_graph(5))
+    assert len(db.connect().execute(raw)) == 10
+
+
+def test_row_misuse_raises(session):
+    with pytest.raises(TypeError):
+        session.execute(Q.coll("edges").where(lambda e: e.fst))  # not boolean
+    with pytest.raises(TypeError):
+        session.execute(Q.coll("edges").map(lambda e: e.fst.fst))  # not a pair
+
+
+def test_param_outside_elaboration_raises():
+    with pytest.raises(RuntimeError):
+        Q.param("x").__as_row__()

@@ -233,3 +233,102 @@ def test_engine_accepts_plain_python_and_relations():
     eng = Engine()
     assert to_python(eng.run(q, {1, 2, 3})) is True
     assert to_python(eng.run(q, {1, 2, 3, 4})) is False
+
+
+# ---------------------------------------------------------------------------
+# Input conversion: the explicit protocol (no more .value duck-typing)
+# ---------------------------------------------------------------------------
+
+def test_to_value_does_not_hijack_unrelated_value_methods():
+    """Regression: any object with a callable ``.value`` used to be treated
+    as a Relation.  An unrelated object must go down the plain-data path --
+    and fail there, loudly, instead of silently running on garbage."""
+
+    class Sneaky:
+        def value(self):
+            return 42
+
+    eng = Engine()
+    with pytest.raises(TypeError):
+        eng.run(cardinality_parity_dcr(), Sneaky())
+
+
+def test_to_value_conversion_hook():
+    """``__nra_value__`` is the documented opt-in for custom containers."""
+
+    class Wrapped:
+        def __init__(self, atoms):
+            self.atoms = atoms
+
+        def __nra_value__(self):
+            return from_python(set(self.atoms))
+
+    eng = Engine()
+    assert to_python(eng.run(cardinality_parity_dcr(), Wrapped([1, 2, 3]))) is True
+
+
+def test_to_value_hook_must_return_a_value():
+    class Broken:
+        def __nra_value__(self):
+            return {"not": "a value"}
+
+    with pytest.raises(TypeError, match="__nra_value__"):
+        Engine().run(cardinality_parity_dcr(), Broken())
+
+
+def test_backend_validation_is_uniform():
+    """Constructor and per-call override reject unknown backends identically."""
+    with pytest.raises(ValueError, match="reference") as ctor:
+        Engine(backend="gpu")
+    eng = Engine()
+    with pytest.raises(ValueError, match="reference") as call:
+        eng.run(cardinality_parity_dcr(), {1}, backend="gpu")
+    with pytest.raises(ValueError, match="reference"):
+        eng.run_many(cardinality_parity_dcr(), [{1}], backend="gpu")
+    assert str(ctor.value).replace("'gpu'", "X") == str(call.value).replace("'gpu'", "X")
+
+
+# ---------------------------------------------------------------------------
+# Plan management and warm-engine stats (docstring claims, now asserted)
+# ---------------------------------------------------------------------------
+
+def test_explain_plan_without_optimize_compiles_the_raw_expression():
+    q = parity_esr_translated()
+    eng = Engine(backend="vectorized")
+    raw_ops = eng.explain_plan(q, optimize=False).ops()
+    opt_ops = eng.explain_plan(q).ops()
+    # The rewriter turns the translated esr into a dcr; unoptimized the plan
+    # must still show the elementwise sri/esr strategy.
+    assert "sri-elementwise" in raw_ops
+    assert "dcr-tree" in opt_ops and "sri-elementwise" not in opt_ops
+
+
+def test_clear_plans_forces_a_fresh_rewrite():
+    q = reachable_pairs_query("dcr")
+    eng = Engine()
+    eng.run(q, path_graph(6))
+    assert eng.plan_misses == 1
+    eng.run(q, path_graph(6))
+    assert (eng.plan_hits, eng.plan_misses) == (1, 1)
+    eng.clear_plans()
+    eng.run(q, path_graph(6))
+    assert eng.plan_misses == 2
+
+
+def test_warm_engine_reports_zero_compiles():
+    """Second run on a warm vectorized engine: last_stats shows no compiles."""
+    q = reachable_pairs_query("logloop")
+    eng = Engine(backend="vectorized")
+    eng.run(q, path_graph(8))
+    assert eng.last_stats.compiled_exprs > 0
+    eng.run(q, path_graph(8))
+    assert eng.last_stats.compiled_exprs == 0
+    # And the lifetime counter is monotone and lock-protected.
+    assert eng.vectorized_compiles() > 0
+    eng.run(q, path_graph(10))
+    assert eng.last_stats.compiled_exprs == 0
+
+
+def test_vectorized_compiles_counter_starts_at_zero():
+    eng = Engine()
+    assert eng.vectorized_compiles() == 0

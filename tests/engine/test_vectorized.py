@@ -444,3 +444,59 @@ class TestBindingAndPatternCorners:
         eng = vec_engine()
         assert eng.run(q, inp, optimize=False) == run(q, inp)
         assert eng.last_stats.seminaive_loops == 1
+
+
+def test_hash_join_skips_right_source_on_empty_left():
+    """Reference semantics: the right source sits inside the outer lambda,
+    so an empty left set must not evaluate it (regression: the compiled
+    hash join hoisted and evaluated it eagerly)."""
+    from repro.engine import Engine
+    from repro.nra import ast
+    from repro.nra.ast import Apply, EmptySet, Eq, Ext, If, Lambda, Pair, Singleton, Var
+    from repro.nra.eval import run as ref_run
+    from repro.nra.externals import ExternalFunction, Signature
+    from repro.objects.types import BASE, ProdType, SetType
+
+    calls = []
+
+    def boom(v):
+        calls.append(v)
+        raise RuntimeError("right source must not be evaluated")
+
+    sigma = Signature([ExternalFunction(
+        "boom", SetType(ProdType(BASE, BASE)), SetType(ProdType(BASE, BASE)), boom
+    )])
+    edge_t = ProdType(BASE, BASE)
+    out_t = ProdType(edge_t, edge_t)
+    inner = Lambda("y", edge_t, If(
+        Eq(ast.Proj1(Var("x")), ast.Proj1(Var("y"))),
+        Singleton(Pair(Var("x"), Var("y"))),
+        EmptySet(out_t),
+    ))
+    body = Apply(Ext(inner), ast.ExternalCall("boom", Var("db")))
+    expr = Apply(Ext(Lambda("x", edge_t, body)), Var("db"))
+    env = {"db": from_python(set())}
+
+    want = ref_run(expr, None, env=env, sigma=sigma)
+    eng = Engine(sigma=sigma, backend="vectorized")
+    assert "hash-join" in eng.explain_plan(expr).ops()
+    got = eng.run(expr, env=env)
+    assert got == want and len(got) == 0
+    assert calls == []
+
+
+def test_clear_plans_drops_vectorized_compile_cache():
+    """clear_plans targets long-lived ad-hoc engines: the vectorized compile
+    cache (the dominant per-query memory) must go with the rewrite plans."""
+    from repro.engine import Engine
+    from repro.relational.queries import reachable_pairs_query
+    from repro.workloads.graphs import path_graph
+
+    eng = Engine(backend="vectorized")
+    q = reachable_pairs_query("logloop")
+    eng.run(q, path_graph(6))
+    eng.run(q, path_graph(6))
+    assert eng.last_stats.compiled_exprs == 0  # warm
+    eng.clear_plans()
+    eng.run(q, path_graph(6))
+    assert eng.last_stats.compiled_exprs > 0  # recompiled after the clear
