@@ -1,6 +1,8 @@
 # One-invocation wrappers for the standard workflows (see README.md).
 #
-# `test` is the tier-1 gate the repo is held to; `bench` prints the
+# `test` is the tier-1 gate the repo is held to; `test-fast` excludes the
+# suites marked slow / stress / differential (the CI matrix runs it on
+# every push; the main CI job runs the full gate); `bench` prints the
 # experiment series tables; `bench-all` regenerates BENCH_engine.json
 # (the machine-readable backend suite; `bench-all-quick` is the CI smoke
 # variant); `bench-check` is the regression guard (fresh quick run held
@@ -11,10 +13,13 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-engine bench-all bench-all-quick bench-check docs-check
+.PHONY: test test-fast bench bench-engine bench-all bench-all-quick bench-check docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+test-fast:
+	$(PYTHON) -m pytest -q -m "not slow and not stress and not differential"
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ -s --benchmark-only

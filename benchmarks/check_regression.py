@@ -41,6 +41,13 @@ BASELINE = REPO_ROOT / "BENCH_engine.json"
 ACCEPTANCE_FAMILIES = ("transitive-closure", "nested-graph")
 DEFAULT_BAR = 3.0
 
+#: The parallel-backend acceptance row (PR 4): the sharded backend with >= 4
+#: workers must beat single-threaded vectorized on the oracle-call overlap
+#: workload.  The bar holds on single-core runners too -- the win is latency
+#: overlap, not CPU parallelism -- so the guard enforces it unconditionally.
+PARALLEL_ACCEPTANCE_NAME = "parallel-ext-overlap"
+PARALLEL_BAR = 1.5
+
 
 def run_quick_suite(output: Path) -> None:
     """Run ``run_all.py --quick`` in a subprocess, writing to ``output``."""
@@ -97,6 +104,40 @@ def check(fresh_rows: list[dict], baseline_rows: list[dict], bar: float) -> int:
         print(f"REGRESSION: vectorized speedup below {bar}x on {names}")
         return 1
     print(f"all {checked} acceptance-family workloads clear the {bar}x bar")
+    return check_parallel(fresh_rows, baseline_rows)
+
+
+def check_parallel(fresh_rows: list[dict], baseline_rows: list[dict]) -> int:
+    """Hold the parallel backend to its overlap acceptance bar."""
+    rows = [r for r in fresh_rows if r["name"] == PARALLEL_ACCEPTANCE_NAME]
+    print(f"== parallel-backend guard (bar: parallel >= {PARALLEL_BAR}x vectorized "
+          f"on {PARALLEL_ACCEPTANCE_NAME})")
+    if not rows:
+        print("no parallel acceptance row found in the fresh run -- refusing to pass")
+        return 1
+    committed = {
+        r["name"]: r["speedups"].get("parallel_vs_vectorized")
+        for r in baseline_rows
+        if r.get("family") == "parallel" and r.get("speedups")
+    }
+    failures = []
+    for row in rows:
+        speedup = row["speedups"].get("parallel_vs_vectorized", 0.0)
+        committed_speedup = committed.get(row["name"])
+        drift = (
+            f"  (committed full-suite: {committed_speedup:.1f}x)"
+            if committed_speedup
+            else ""
+        )
+        verdict = "ok" if speedup >= PARALLEL_BAR else "FAIL"
+        print(f"  {row['name']:>22} n={row['n']:<4} workers={row.get('workers', '?')} "
+              f"{speedup:7.2f}x  {verdict}{drift}")
+        if speedup < PARALLEL_BAR:
+            failures.append(row)
+    if failures:
+        print(f"REGRESSION: parallel speedup below {PARALLEL_BAR}x")
+        return 1
+    print(f"the parallel backend clears the {PARALLEL_BAR}x overlap bar")
     return 0
 
 

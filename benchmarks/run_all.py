@@ -1,14 +1,16 @@
 """E12 -- the engine benchmark suite, machine-readable.
 
-Runs the three evaluation backends (``reference`` interpreter, PR-1 ``memo``
-engine, PR-2 ``vectorized`` set-at-a-time engine) over the transitive-closure
-and nested-graph workload families, plus the PR-3 **query-service** rows
-(prepared-vs-unprepared parametrized execution and cursor streaming
-throughput), cross-checks every measured result value-for-value against the
-reference interpreter (on the workloads where the reference is feasible,
-against the memo engine otherwise -- itself reference-checked in
-``tests/engine``), and writes ``BENCH_engine.json`` at the repository root so
-the performance trajectory is tracked from PR 2 on.
+Runs the four evaluation backends (``reference`` interpreter, PR-1 ``memo``
+engine, PR-2 ``vectorized`` set-at-a-time engine, PR-4 ``parallel`` sharded
+engine) over the transitive-closure and nested-graph workload families, plus
+the PR-3 **query-service** rows (prepared-vs-unprepared parametrized
+execution and cursor streaming throughput) and the PR-4 **parallel** rows
+(oracle-call overlap -- the acceptance row -- and the sharded fixpoint),
+cross-checks every measured result value-for-value against the reference
+interpreter (on the workloads where the reference is feasible, against the
+memo engine otherwise -- itself reference-checked in ``tests/engine``), and
+writes ``BENCH_engine.json`` at the repository root so the performance
+trajectory is tracked from PR 2 on.
 
 Usage::
 
@@ -21,9 +23,14 @@ Usage::
 The acceptance bars this suite enforces in full mode: the vectorized backend
 is **>= 3x** faster than the memo engine on a transitive-closure workload and
 on a nested-graph workload at n >= 200 nodes (rows tagged ``acceptance``),
-and prepared execution of a parametrized selection is **>= 5x** faster than
-unprepared per-call ``Engine.run`` (the ``prepared-vs-unprepared`` row).
-``benchmarks/check_regression.py`` holds CI to the 3x bar on every push.
+prepared execution of a parametrized selection is **>= 5x** faster than
+unprepared per-call ``Engine.run`` (the ``prepared-vs-unprepared`` row), and
+the parallel backend with >= 4 workers is **>= 1.5x** faster than the
+single-threaded vectorized backend on the oracle-call enrichment workload
+(the ``parallel-ext-overlap`` row -- see DESIGN.md for why the overlap
+workload is the honest parallel measurement on single-core runners).
+``benchmarks/check_regression.py`` holds CI to the 3x and 1.5x bars on every
+push.
 """
 
 from __future__ import annotations
@@ -55,6 +62,7 @@ from repro.workloads.nested_graphs import (  # noqa: E402
     nested_reachability_query,
     two_hop_query,
 )
+from repro.workloads.services import enrichment_workload  # noqa: E402
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_engine.json"
@@ -238,6 +246,101 @@ def _prepared_workload(quick: bool) -> dict:
     }
 
 
+def _parallel_overlap_workload(quick: bool) -> dict:
+    """The PR-4 parallel acceptance row: oracle-call overlap.
+
+    ``ext`` over a request set whose body calls an external with simulated
+    service latency: one independent oracle call per element (the paper
+    keeps ``ext`` primitive because its applications are one parallel
+    step).  The vectorized backend pays the calls serially; the parallel
+    backend shards the request set over >= 4 workers and overlaps them --
+    a wall-clock win that does not require multiple cores, which is what
+    makes it the honest acceptance measurement on single-core CI runners
+    (CPU-bound sharding under the GIL cannot win there; the fixpoint row
+    below records that regime without gating on it).  Bar: **>= 1.5x**,
+    typically measured 3-4x.
+    """
+    n = 64 if quick else 240
+    latency = 0.0005  # 0.5 ms simulated round-trip per oracle call
+    workers, shards = 4, (16 if quick else 32)
+    sigma, query, value = enrichment_workload(n, latency=latency)
+
+    t_vec, r_vec = _best_of(
+        lambda: Engine(sigma=sigma, backend="vectorized").run(query, value), 3
+    )
+
+    def run_parallel():
+        eng = Engine(sigma=sigma, backend="parallel", workers=workers, shards=shards)
+        try:
+            return eng.run(query, value)
+        finally:
+            eng.close()
+
+    t_par, r_par = _best_of(run_parallel, 3)
+
+    # Cross-check against the latency-free reference (same oracle transform,
+    # no clock): all three must agree value-for-value.
+    pure_sigma, _, _ = enrichment_workload(n, latency=0.0)
+    want = reference_run(query, value, sigma=pure_sigma)
+    checked = r_vec == want and r_par == want
+    if not checked:
+        raise AssertionError("parallel-ext-overlap: backends disagree on the result")
+    return {
+        "name": "parallel-ext-overlap",
+        "family": "parallel",
+        "n": n,
+        "acceptance": not quick,
+        "workers": workers,
+        "shards": shards,
+        "oracle_latency_s": latency,
+        "times_s": {"vectorized": t_vec, "parallel": t_par},
+        "speedups": {"parallel_vs_vectorized": t_vec / t_par if t_par > 0 else float("inf")},
+        "checked": checked,
+    }
+
+
+def _parallel_fixpoint_workload(quick: bool) -> dict:
+    """Visibility row: the sharded semi-naive fixpoint on CPU-bound TC.
+
+    Records the parallel/vectorized ratio for the frontier-resharded
+    transitive closure.  On a single-core runner the GIL makes this <= 1x
+    (the translation and combine overhead is paid without CPU parallelism;
+    DESIGN.md's "when it loses" section); on multi-core machines the
+    process pool is the scaling route.  Not acceptance-gated -- the row
+    exists so the trajectory is measured, not assumed.
+    """
+    from repro.relational.queries import reachable_pairs_query
+
+    n = 24 if quick else 64
+    query = reachable_pairs_query("logloop")
+    value = path_graph(n).value()
+    t_vec, r_vec = _best_of(
+        lambda: Engine(backend="vectorized").run(query, value), 3
+    )
+
+    def run_parallel():
+        eng = Engine(backend="parallel", workers=4)
+        try:
+            return eng.run(query, value)
+        finally:
+            eng.close()
+
+    t_par, r_par = _best_of(run_parallel, 3)
+    checked = r_vec == r_par
+    if not checked:
+        raise AssertionError("parallel-tc-fixpoint: backends disagree on the result")
+    return {
+        "name": "parallel-tc-fixpoint",
+        "family": "parallel",
+        "n": n,
+        "acceptance": False,
+        "workers": 4,
+        "times_s": {"vectorized": t_vec, "parallel": t_par},
+        "speedups": {"parallel_vs_vectorized": t_vec / t_par if t_par > 0 else float("inf")},
+        "checked": checked,
+    }
+
+
 def _cursor_workload(quick: bool) -> dict:
     """Cursor streaming throughput over a large transitive-closure result."""
     from repro.workloads.graphs import path_graph as pg
@@ -353,6 +456,17 @@ def _print_query_service(rows: list[dict]) -> None:
                   f"fetchall {rps['fetchall']:8.0f} rows/s")
 
 
+def _print_parallel(rows: list[dict]) -> None:
+    for r in rows:
+        t = r["times_s"]
+        s = r["speedups"]["parallel_vs_vectorized"]
+        print(f"  {r['name']:<22}  n={r['n']:>4}  "
+              f"vectorized {t['vectorized']*1e3:8.1f}ms  "
+              f"parallel {t['parallel']*1e3:8.1f}ms  "
+              f"workers={r['workers']}  speedup {s:5.2f}x"
+              f"{'  *' if r['acceptance'] else ''}")
+
+
 def _print_table(rows: list[dict]) -> None:
     header = ["workload", "n", "reference", "memo", "vectorized",
               "vec/ref", "vec/memo", "accept"]
@@ -391,6 +505,11 @@ def main(argv: list[str] | None = None) -> int:
     rows.append(_batch_workload(args.quick))
     service_rows = [_prepared_workload(args.quick), _cursor_workload(args.quick)]
     rows.extend(service_rows)
+    parallel_rows = [
+        _parallel_overlap_workload(args.quick),
+        _parallel_fixpoint_workload(args.quick),
+    ]
+    rows.extend(parallel_rows)
 
     report = {
         "meta": {
@@ -406,15 +525,17 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"== engine benchmark suite ({'quick' if args.quick else 'full'}) "
           f"-> {args.output}")
-    _print_table([r for r in rows if r["family"] != "query-service"])
+    _print_table([r for r in rows if r["family"] not in ("query-service", "parallel")])
     print("-- query-service (PR-3 API layer)")
     _print_query_service(service_rows)
+    print("-- parallel backend (PR-4 sharded execution)")
+    _print_parallel(parallel_rows)
 
     if not args.quick:
         failures = [
             r for r in rows
             if r["acceptance"]
-            and r["family"] != "query-service"
+            and r["family"] not in ("query-service", "parallel")
             and r["speedups"].get("vectorized_vs_memo", 0.0) < 3.0
         ]
         failures += [
@@ -423,12 +544,18 @@ def main(argv: list[str] | None = None) -> int:
             and r["family"] == "query-service"
             and r["speedups"].get("prepared_vs_unprepared", 0.0) < 5.0
         ]
+        failures += [
+            r for r in rows
+            if r["acceptance"]
+            and r["family"] == "parallel"
+            and r["speedups"].get("parallel_vs_vectorized", 0.0) < 1.5
+        ]
         if failures:
             names = [f"{r['name']} (n={r['n']})" for r in failures]
             print(f"ACCEPTANCE FAILED on {names}")
             return 1
-        print("acceptance: vectorized >= 3x memo and prepared >= 5x unprepared "
-              "on every tagged workload")
+        print("acceptance: vectorized >= 3x memo, prepared >= 5x unprepared, "
+              "and parallel >= 1.5x vectorized on every tagged workload")
     return 0
 
 

@@ -265,16 +265,24 @@ class Session:
         chosen = backend if backend is not None else self.engine.backend
         with self.engine.lock:
             before_misses = self.engine.plan_misses
+            before_hits = self.engine.plan_hits
             before_compiles = self.engine.vectorized_compiles()
             self.engine.optimize(template)
-            if chosen == "vectorized":
-                self.engine.explain_plan(template)
+            if chosen in ("vectorized", "parallel"):
+                # Warming the parallel view also runs the shard analysis and
+                # compiles the shard-local template through the driver.
+                self.engine.explain_plan(template, backend=chosen)
             misses = self.engine.plan_misses - before_misses
+            hits = self.engine.plan_hits - before_hits
             compiles = self.engine.vectorized_compiles() - before_compiles
         ps = PreparedStatement(self, template, ptypes, defaults, label, backend)
         with self._lock:
             self.stats.prepares += 1
             self.stats.rewrites += misses
+            # The warm-up's second look at the plan cache is a hit; count it
+            # here so engine totals always equal the per-session sums (the
+            # invariant the concurrency stress suite asserts).
+            self.stats.plan_hits += hits
             self.stats.vec_compiles += compiles
             self._prepared[cache_key] = ps
         return ps
@@ -300,12 +308,15 @@ class Session:
         with self.engine.lock:
             before_misses = self.engine.plan_misses
             before_hits = self.engine.plan_hits
+            before_compiles = self.engine.vectorized_compiles()
             result = self.engine.run(
                 template, db=None, env=env, optimize=optimize, backend=backend
             )
             misses = self.engine.plan_misses - before_misses
             hits = self.engine.plan_hits - before_hits
-            compiles = getattr(self.engine.last_stats, "compiled_exprs", 0)
+            # Counter delta, not last_stats: uniform over backends (the
+            # parallel backend compiles through the same driver evaluator).
+            compiles = self.engine.vectorized_compiles() - before_compiles
         with self._lock:
             self.stats.executes += 1
             self.stats.rewrites += misses
@@ -317,10 +328,11 @@ class Session:
         with self.engine.lock:
             before_misses = self.engine.plan_misses
             before_hits = self.engine.plan_hits
+            before_compiles = self.engine.vectorized_compiles()
             results = self.engine.run_many(closed, values, env=env, backend=backend)
             misses = self.engine.plan_misses - before_misses
             hits = self.engine.plan_hits - before_hits
-            compiles = getattr(self.engine.last_stats, "compiled_exprs", 0)
+            compiles = self.engine.vectorized_compiles() - before_compiles
         with self._lock:
             self.stats.executes += len(values)
             self.stats.rewrites += misses

@@ -19,6 +19,9 @@ Layers (each usable on its own):
 * :mod:`repro.engine.vectorized` -- the set-at-a-time backend: a compiler
   from NRA expressions to columnar plans (hash joins, bulk select/project,
   semi-naive frontier iteration for provably inflationary steps);
+* :mod:`repro.engine.parallel` -- the data-parallel sharded backend:
+  hash-partitioned inputs, shard-local vectorized sub-plans on a worker
+  pool, union combiners, and frontier-resharded semi-naive fixpoints;
 * :mod:`repro.engine.engine` -- the :class:`Engine` facade:
   ``Engine.run(expr, db, optimize=True, backend=...)``, the batched
   ``Engine.run_many(expr, inputs)``, ``Engine.explain(expr)`` and
@@ -41,9 +44,10 @@ rules do not increase work or depth on their target shapes.  See DESIGN.md
 for where this sits in the package architecture.
 """
 
-from .engine import BACKENDS, Engine, Plan
+from .engine import BACKENDS, Engine, Plan, default_workers
 from .interning import InternTable
 from .memo import MemoEvaluator, MemoFunction, MemoStats
+from .parallel import ParallelEvaluator, ParStats
 from .rewrite import (
     COST_DIRECTED_RULES,
     DEFAULT_RULES,
@@ -66,12 +70,15 @@ __all__ = [
     "MemoEvaluator",
     "MemoFunction",
     "MemoStats",
+    "ParallelEvaluator",
+    "ParStats",
     "PlanNode",
     "Rewriter",
     "Rule",
     "RuleFiring",
     "VecStats",
     "VectorizedEvaluator",
+    "default_workers",
     "rewrite",
     "insert_as_step",
     "is_inflationary_step",

@@ -15,6 +15,10 @@ optimization layers of this package --
                  (:mod:`repro.engine.memo`)
    `vectorized`  compiled set-at-a-time plans: hash joins, bulk select/project,
                  semi-naive frontier iteration (:mod:`repro.engine.vectorized`)
+   `parallel`    data-parallel sharded execution: hash-partitioned inputs,
+                 shard-local vectorized sub-plans on a worker pool, union
+                 combiners, frontier-resharded semi-naive fixpoint rounds
+                 (:mod:`repro.engine.parallel`)
    ============  ==================================================================
 
 -- behind an API that mirrors :func:`repro.nra.eval.run`::
@@ -46,6 +50,7 @@ batch of inputs, so overlapping inputs pay only for what is genuinely new.
 
 from __future__ import annotations
 
+import os
 import threading
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Union
@@ -58,11 +63,22 @@ from ..objects.values import Value, from_python
 from ..relational.relation import Relation
 from .interning import InternTable
 from .memo import MemoEvaluator, MemoStats
+from .parallel import ParallelEvaluator, ParStats
 from .rewrite import DEFAULT_RULES, Rewriter, Rule, RuleFiring
 from .vectorized import PlanNode, VecStats, VectorizedEvaluator
 
 #: The evaluation backends an :class:`Engine` can run.
-BACKENDS = ("reference", "memo", "vectorized")
+BACKENDS = ("reference", "memo", "vectorized", "parallel")
+
+
+def default_workers() -> int:
+    """The default parallel-backend pool size.
+
+    At least 4 -- the overlap of external-call latency does not need cores,
+    only concurrent waiters -- and up to one worker per core (capped at 8)
+    where cores exist for CPU-bound shard work.
+    """
+    return max(4, min(8, os.cpu_count() or 1))
 
 
 def _validate_backend(name: str) -> str:
@@ -123,7 +139,13 @@ class Engine:
     backend:
         Default evaluation backend, one of :data:`BACKENDS`; ``run`` and
         ``run_many`` accept a per-call override.  ``memo`` is the default
-        (the PR-1 behaviour); ``vectorized`` is the set-at-a-time compiler.
+        (the PR-1 behaviour); ``vectorized`` is the set-at-a-time compiler;
+        ``parallel`` is the sharded backend over a worker pool.
+    workers / shards / pool:
+        Parallel-backend knobs (ignored by the other backends): pool size
+        (default :func:`default_workers`), target shards per wave (default
+        ``2 * workers``), and pool flavour (``"thread"`` default,
+        ``"process"`` for CPU-bound shards on multi-core machines).
 
     The intern table is engine-scoped (values are shared across runs and
     backends of the same engine).  The memo backend's closure caches are
@@ -141,7 +163,12 @@ class Engine:
     therefore serializes ``optimize`` / ``run`` / ``run_many`` /
     ``explain_plan`` / ``clear_plans`` behind one reentrant lock: sharing an
     engine across threads (e.g. many :class:`repro.api.session.Session`
-    objects over one engine) is *correct* but not parallel.  For parallel
+    objects over one engine) is *correct* but not parallel at the call
+    level.  The ``parallel`` backend parallelizes *inside* a call: its
+    worker pool is internal to ``run``/``run_many``, its workers own private
+    intern tables and never touch the engine-scoped caches, and the driver
+    thread (which holds the lock) is the only one re-interning worker
+    results -- so the lock contract is unchanged.  For parallel
     serving, give each worker thread its own engine -- caches are warm per
     worker, results identical.  ``last_stats`` is written under the lock but
     is a per-engine cell: with concurrent callers, read it from the session
@@ -154,12 +181,18 @@ class Engine:
         rules: Optional[list[Rule]] = None,
         seed: int = 0,
         backend: str = "memo",
+        workers: Optional[int] = None,
+        shards: Optional[int] = None,
+        pool: str = "thread",
     ) -> None:
         self.sigma = sigma
         self.backend = _validate_backend(backend)
         self.rewriter = Rewriter(rules=rules, sigma=sigma, seed=seed)
         self.interner = InternTable()
-        self.last_stats: Optional[Union[MemoStats, VecStats]] = None
+        self.workers = workers if workers is not None else default_workers()
+        self.shards = shards
+        self.pool = pool
+        self.last_stats: Optional[Union[MemoStats, VecStats, ParStats]] = None
         # Keyed on the expression itself (AST nodes are frozen, hashable
         # dataclasses), so structurally equal queries share one plan.
         self._plans: dict[Expr, Plan] = {}
@@ -169,8 +202,11 @@ class Engine:
         self.plan_hits = 0
         self.plan_misses = 0
         # The vectorized evaluator is created on first use and lives as long
-        # as the engine: its compile cache and join indexes span runs.
+        # as the engine: its compile cache and join indexes span runs.  The
+        # parallel evaluator (also lazy) uses it as its driver, so both
+        # backends share one compile cache and one intern table.
         self._vectorized: Optional[VectorizedEvaluator] = None
+        self._parallel: Optional[ParallelEvaluator] = None
         # Serializes access to every engine-scoped cache; see the class
         # docstring's concurrency note.
         self._lock = threading.RLock()
@@ -226,22 +262,35 @@ class Engine:
             self._plans.clear()
             if self._vectorized is not None:
                 self._vectorized.clear_caches()
+            if self._parallel is not None:
+                self._parallel.clear_caches()
 
     def explain(self, e: Expr) -> Plan:
         """The plan for ``e``: rewritten expression and the rules that fired."""
         return self.optimize(e)
 
-    def explain_plan(self, e: Expr, optimize: bool = True) -> PlanNode:
-        """The set-at-a-time operator tree the vectorized backend compiles.
+    def explain_plan(
+        self, e: Expr, optimize: bool = True, backend: Optional[str] = None
+    ) -> PlanNode:
+        """The set-at-a-time operator tree the compiling backends would run.
 
         Useful for asserting strategy selection (``"hash-join" in
         engine.explain_plan(q).ops()``) and for eyeballing what a query
         actually executes as; compiling is cheap and cached, and no
         evaluation happens.  Session ``prepare`` calls this to warm the
         compile cache for a template ahead of the first execute.
+
+        ``backend`` defaults to the *vectorized* view unless the engine's
+        default backend is ``parallel`` (or ``backend="parallel"`` is
+        passed), in which case the tree is the sharded plan: the shard
+        partitioning, the shard-local vectorized sub-plan, and the union
+        combiner -- or the driver fallback, clearly labelled.
         """
         with self._lock:
             expr = self.optimize(e).optimized if optimize else e
+            chosen = backend if backend is not None else self.backend
+            if chosen == "parallel":
+                return self._par().shard_plan(expr)
             return self._vec().plan(expr)
 
     def vectorized_compiles(self) -> int:
@@ -292,6 +341,12 @@ class Engine:
                 result = ev.run(expr, arg=arg, env=env)
                 self.last_stats = ev.stats.since(before)
                 return result
+            if chosen == "parallel":
+                pv = self._par()
+                before_par = pv.stats.copy()
+                result = pv.run(expr, arg=arg, env=env)
+                self.last_stats = pv.stats.since(before_par)
+                return result
             evaluator = MemoEvaluator(self.sigma, self.interner)
             result = evaluator.run(expr, arg=arg, env=env)
             self.last_stats = evaluator.stats
@@ -329,6 +384,12 @@ class Engine:
                 out = ev.run_many(expr, args, env=env)
                 self.last_stats = ev.stats.since(before)
                 return out
+            if chosen == "parallel":
+                pv = self._par()
+                before_par = pv.stats.copy()
+                out = pv.run_many(expr, args, env=env)
+                self.last_stats = pv.stats.since(before_par)
+                return out
             evaluator = MemoEvaluator(self.sigma, self.interner)
             out = [evaluator.run(expr, arg=a, env=env) for a in args]
             self.last_stats = evaluator.stats
@@ -344,6 +405,30 @@ class Engine:
             if self._vectorized is None:
                 self._vectorized = VectorizedEvaluator(self.sigma, self.interner)
             return self._vectorized
+
+    def _par(self) -> ParallelEvaluator:
+        with self._lock:
+            if self._parallel is None:
+                self._parallel = ParallelEvaluator(
+                    self.sigma,
+                    driver=self._vec(),
+                    workers=self.workers,
+                    shards=self.shards,
+                    pool=self.pool,
+                )
+            return self._parallel
+
+    def close(self) -> None:
+        """Release the parallel worker pool (idempotent; other state is GC'd).
+
+        Engines are usually process-lived; tests and benchmarks that churn
+        through many parallel engines call this to drop pool threads or
+        processes eagerly instead of waiting for garbage collection.
+        """
+        with self._lock:
+            if self._parallel is not None:
+                self._parallel.close()
+                self._parallel = None
 
     def _to_value(self, db) -> Optional[Value]:
         """Coerce an input to a complex object value.

@@ -148,6 +148,17 @@ class InternTable:
     def _set_from_canonical(self, elems: tuple[Value, ...]) -> Value:
         return self._canon(("s", *map(id, elems)), lambda: _raw_set(elems))
 
+    def canonical_set(self, elements: Iterable[Value]) -> Value:
+        """Interned set from *interned* elements already in canonical order.
+
+        Canonical order is a function of structure alone, so a sequence that
+        was canonical in another table (e.g. the driver's, when a parallel
+        worker translates a shard) stays canonical after element-wise
+        re-interning here; this constructor skips the sort :meth:`mkset`
+        would redo.  Passing unsorted or duplicated elements is unsound.
+        """
+        return self._set_from_canonical(tuple(elements))
+
     def mkset(self, elements: Iterable[Value]) -> Value:
         """Interned set from interned elements (sorts and dedupes by cached keys)."""
         by_key = {self.sort_key_of(e): e for e in elements}

@@ -23,6 +23,9 @@ OPS = frozenset(
         "map", "select", "hash-join", "ext", "ext-dynamic",
         "loop-seminaive", "loop-full", "dcr-by-size", "dcr-tree",
         "sri-as-loop", "sri-elementwise",
+        # The sharded backend (repro.engine.parallel) wraps vectorized
+        # sub-plans in these combinator nodes.
+        "parallel", "shard", "combine-union", "parallel-fixpoint",
     }
 )
 

@@ -127,6 +127,13 @@ class SetVal(Value):
     def __setattr__(self, name: str, value: Any) -> None:  # pragma: no cover
         raise AttributeError("SetVal is immutable")
 
+    def __reduce__(self) -> tuple:
+        # The immutability guard breaks pickle's default slot restoration;
+        # rebuild through the constructor instead (re-canonicalizing a
+        # canonical tuple is the identity).  Process-pool shard workers ship
+        # values this way.
+        return (SetVal, (self.elements,))
+
     # -- container protocol -------------------------------------------------------
     def __iter__(self) -> Iterator[Value]:
         return iter(self.elements)

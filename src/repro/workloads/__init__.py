@@ -19,6 +19,11 @@ Two families, matching the paper's two kinds of queries:
   ``bits`` collections and a ready :func:`workload_catalog`), so sessions of
   the query-service API open directly onto every workload family.
 
+* :mod:`repro.workloads.services` -- service-shaped workloads: relations
+  mapped through ``NRA(Sigma)`` oracle externals with configurable simulated
+  latency, the regime the parallel backend's worker pool overlaps (and the
+  engine suite's parallel acceptance row measures).
+
 * :mod:`repro.workloads.nested` -- complex-object data for the Theorem 6.1
   experiments: seeded-random types and values of bounded set height (the
   raw material of the property tests and of the engine's sampled algebraic
@@ -68,6 +73,13 @@ from .databases import (
     parity_database,
     workload_catalog,
 )
+from .services import (
+    REQUESTS_T,
+    enrichment_query,
+    enrichment_sigma,
+    enrichment_workload,
+    request_ids,
+)
 
 __all__ = [
     "path_graph", "cycle_graph", "binary_tree", "grid_graph", "random_graph",
@@ -78,4 +90,6 @@ __all__ = [
     "edges_query", "two_hop_query", "nested_reachability_query",
     "GRAPH_KINDS", "graph_database", "edges_database",
     "nested_graph_database", "parity_database", "workload_catalog",
+    "REQUESTS_T", "enrichment_sigma", "enrichment_query", "request_ids",
+    "enrichment_workload",
 ]

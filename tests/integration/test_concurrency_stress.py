@@ -1,0 +1,145 @@
+"""Concurrency stress: many threads, many sessions, one parallel engine.
+
+The documented lock contract (:class:`repro.engine.Engine`): an engine
+serializes its cache-touching operations behind one reentrant lock, so
+sharing an engine across sessions and threads is correct (not call-parallel);
+the ``parallel`` backend parallelizes *inside* a call with workers that never
+touch engine state.  This suite hammers exactly that contract: N threads over
+M sessions on one shared ``Engine(backend="parallel")``, mixing ``run``
+(execute), ``run_many`` (executemany) and prepared execution, then checks
+
+* every result matches the single-threaded expectation, and
+* the engine's plan-cache counters are exactly the sum of what the sessions
+  attributed to themselves (the sessions are the engine's only users, and
+  attribution happens under the engine lock, so nothing may be lost or
+  double-counted).
+"""
+
+import threading
+
+import pytest
+
+from repro.api import Database, Q
+from repro.api.session import Session
+from repro.engine import Engine
+from repro.workloads.graphs import path_graph
+
+pytestmark = [pytest.mark.stress, pytest.mark.slow]
+
+THREADS = 6
+SESSIONS = 3
+ITERATIONS = 8
+SOURCES = (0, 2, 5, 9, 13)
+
+
+# One Query object per template, shared by every session and thread: a
+# rebuilt fluent query elaborates with fresh bound-variable names and would
+# be a structurally new template (and a fresh rewrite) each time.
+SELECTION = Q.coll("edges").where(lambda e: e.fst == Q.param("src"))
+CLOSURE = Q.coll("edges").fix()
+
+
+def _selection():
+    return SELECTION
+
+
+def _closure():
+    return CLOSURE
+
+
+@pytest.fixture()
+def setup():
+    db = Database.of("g", edges=path_graph(16))
+    engine = Engine(backend="parallel", workers=2, shards=4)
+    sessions = [Session(db, engine=engine) for _ in range(SESSIONS)]
+    # Single-threaded expectations from a private vectorized session.
+    oracle = Session(db, backend="vectorized")
+    expected_select = {
+        k: oracle.execute(_selection(), params={"src": k}).value for k in SOURCES
+    }
+    expected_many = [
+        c.value for c in oracle.executemany(_selection(), list(SOURCES))
+    ]
+    expected_closure = oracle.execute(_closure()).value
+    yield engine, sessions, expected_select, expected_many, expected_closure
+    engine.close()
+
+
+def test_threads_sessions_and_prepared_execution_agree(setup):
+    engine, sessions, expected_select, expected_many, expected_closure = setup
+    prepared = [s.prepare(_selection()) for s in sessions]
+    start = threading.Barrier(THREADS)
+    failures: list[str] = []
+
+    def worker(tid: int) -> None:
+        session = sessions[tid % SESSIONS]
+        ps = prepared[tid % SESSIONS]
+        start.wait()
+        try:
+            for i in range(ITERATIONS):
+                k = SOURCES[(tid + i) % len(SOURCES)]
+                got = session.execute(_selection(), params={"src": k}).value
+                if got != expected_select[k]:
+                    failures.append(f"t{tid}: execute src={k} diverged")
+                got_many = [
+                    c.value for c in session.executemany(_selection(), list(SOURCES))
+                ]
+                if got_many != expected_many:
+                    failures.append(f"t{tid}: executemany diverged")
+                got_ps = ps.execute(src=k).value
+                if got_ps != expected_select[k]:
+                    failures.append(f"t{tid}: prepared src={k} diverged")
+                if i == ITERATIONS // 2:
+                    got_fix = session.execute(_closure()).value
+                    if got_fix != expected_closure:
+                        failures.append(f"t{tid}: closure diverged")
+        except Exception as exc:  # noqa: BLE001 - surfaced via the failure list
+            failures.append(f"t{tid}: raised {type(exc).__name__}: {exc}")
+
+    threads = [
+        threading.Thread(target=worker, args=(tid,), name=f"stress-{tid}")
+        for tid in range(THREADS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    assert not any(t.is_alive() for t in threads), "stress threads deadlocked"
+    assert not failures, "\n".join(failures)
+
+    # Cache-counter consistency: the sessions are this engine's only users
+    # and attribute their deltas under the engine lock, so the per-session
+    # sums must reproduce the engine totals exactly.
+    assert engine.plan_misses == sum(s.stats.rewrites for s in sessions)
+    assert engine.plan_hits == sum(s.stats.plan_hits for s in sessions)
+    per_thread_executes = ITERATIONS * (2 + len(SOURCES)) + 1
+    assert (
+        sum(s.stats.executes for s in sessions) == THREADS * per_thread_executes
+    )
+    assert sum(s.stats.batches for s in sessions) == THREADS * ITERATIONS
+
+
+def test_counter_attribution_is_exact_under_contention(setup):
+    engine, sessions, expected_select, *_ = setup
+    start = threading.Barrier(THREADS)
+    errors: list[str] = []
+
+    def worker(tid: int) -> None:
+        session = sessions[tid % SESSIONS]
+        start.wait()
+        for i in range(ITERATIONS):
+            k = SOURCES[(tid * 3 + i) % len(SOURCES)]
+            if session.execute(_selection(), params={"src": k}).value != expected_select[k]:
+                errors.append(f"t{tid} diverged")
+
+    threads = [threading.Thread(target=worker, args=(tid,)) for tid in range(THREADS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    assert not errors
+    # One template: exactly one rewrite ever, the rest plan-cache hits.
+    assert engine.plan_misses == 1
+    assert engine.plan_hits == THREADS * ITERATIONS - 1
+    assert sum(s.stats.rewrites for s in sessions) == 1
+    assert sum(s.stats.plan_hits for s in sessions) == THREADS * ITERATIONS - 1
