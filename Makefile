@@ -5,21 +5,27 @@
 # every push; the main CI job runs the full gate); `bench` prints the
 # experiment series tables; `bench-all` regenerates BENCH_engine.json
 # (the machine-readable backend suite; `bench-all-quick` is the CI smoke
-# variant); `bench-check` is the regression guard (fresh quick run held
-# to the 3x vectorized-over-memo acceptance bar against the committed
-# BENCH_engine.json); `docs-check` runs the documentation consistency
-# tests (no dangling *.md references from docstrings).
+# variant); `bench-ivm` runs just the incremental view-maintenance rows
+# (delta apply vs full recompute); `bench-check` is the regression guard
+# (fresh quick run held to the 3x vectorized-over-memo, 1.5x parallel and
+# 5x delta-maintenance acceptance bars against the committed
+# BENCH_engine.json); `test-ivm` selects the ivm-marked suites (unit
+# tests + maintenance oracle); `docs-check` runs the documentation
+# consistency tests (no dangling *.md references from docstrings).
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast bench bench-engine bench-all bench-all-quick bench-check docs-check
+.PHONY: test test-fast test-ivm bench bench-engine bench-all bench-all-quick bench-check bench-ivm docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 test-fast:
 	$(PYTHON) -m pytest -q -m "not slow and not stress and not differential"
+
+test-ivm:
+	$(PYTHON) -m pytest -q -m ivm
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ -s --benchmark-only
@@ -35,6 +41,9 @@ bench-all-quick:
 
 bench-check:
 	$(PYTHON) benchmarks/check_regression.py
+
+bench-ivm:
+	$(PYTHON) benchmarks/bench_ivm.py
 
 docs-check:
 	$(PYTHON) -m pytest tests/test_docs.py -q

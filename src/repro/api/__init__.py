@@ -17,7 +17,11 @@ hand-builds AST nodes or re-derives plumbing per query:
 * :class:`PreparedStatement` / :func:`lift_constants`
   (:mod:`repro.api.prepare`) -- template/slot splitting so parametrized
   queries cost one rewrite and one compile total;
-* :class:`Cursor` (:mod:`repro.api.cursor`) -- streaming results row by row.
+* :class:`Cursor` (:mod:`repro.api.cursor`) -- streaming results row by row;
+* :class:`MaterializedView` / :class:`Changeset`
+  (:mod:`repro.engine.incremental`) -- standing queries registered with
+  ``Session.materialize`` and kept consistent by delta propagation as
+  mutable databases absorb ``insert``/``delete``/``apply`` commits.
 
 Quick start::
 
@@ -36,6 +40,7 @@ See README.md for the full tour and DESIGN.md for how the layer composes
 with the engine's caches.
 """
 
+from ..engine.incremental import Changeset, MaterializedView, ViewDelta, ViewStats
 from .catalog import Catalog, Database
 from .cursor import Cursor
 from .expr import Row
@@ -45,8 +50,12 @@ from .session import Session, SessionStats, connect
 
 __all__ = [
     "Catalog",
+    "Changeset",
     "Database",
     "Cursor",
+    "MaterializedView",
+    "ViewDelta",
+    "ViewStats",
     "Row",
     "PreparedStatement",
     "lift_constants",

@@ -18,9 +18,21 @@ with :func:`~repro.objects.values.from_python`).
 
 A :class:`Catalog` is one level up: named databases, so one process can serve
 many datasets and ``catalog.connect("graphs")`` hands out sessions.  Both
-classes are safe to share between sessions; collections are immutable once
-registered (replace via :meth:`Database.drop` + re-register, which bumps the
-database *version* so attached sessions refresh their interned environments).
+classes are safe to share between sessions.
+
+Mutation.  A database is **mutable** by default: :meth:`Database.insert`,
+:meth:`Database.delete` and :meth:`Database.apply` change the *contents* of a
+registered collection (its schema type never changes) and return the
+normalized :class:`~repro.engine.incremental.changeset.Changeset` -- net
+effect only, validated element-by-element against the schema.  Every commit
+bumps the database *version* (so attached sessions refresh their interned
+environments) and is delivered, in commit order, to the
+:class:`~repro.engine.incremental.view.MaterializedView` objects registered
+by ``Session.materialize`` -- views absorb the delta (or fall back to
+recompute) before the mutating call returns.  Pass ``mutable=False`` for a
+frozen snapshot (the PR-3 behaviour) whose collections only change via
+:meth:`Database.drop` + re-register; dropping a collection marks dependent
+views *stale* rather than silently recomputing them against a new schema.
 """
 
 from __future__ import annotations
@@ -28,24 +40,33 @@ from __future__ import annotations
 import threading
 from typing import Iterator, Optional
 
+from ..engine.incremental.changeset import Changeset, CollectionDelta
 from ..nra.ast import Const
 from ..nra.typecheck import infer
-from ..objects.types import Type
-from ..objects.values import Value, from_python, infer_type
+from ..objects.types import SetType, Type
+from ..objects.values import SetVal, Value, check_type, from_python, infer_type
 from ..relational.database import OrderedDatabase
 from ..relational.relation import Relation
 from .query import PARAM_PREFIX, Schema
 
 
 class Database:
-    """A named, immutable-per-collection database served by sessions."""
+    """A named database of typed collections, served by sessions."""
 
-    def __init__(self, name: str = "db") -> None:
+    def __init__(self, name: str = "db", mutable: bool = True) -> None:
         self.name = name
+        self.mutable = mutable
         self._collections: dict[str, Value] = {}
         self._schema: Schema = {}
         # Guards registration against concurrent sessions reading the schema.
         self._lock = threading.Lock()
+        # Serializes commits *and* view registration, so every view observes
+        # every changeset exactly once and in commit order.  Lock order: the
+        # commit lock is taken before the state lock and before any engine
+        # lock (views acquire their engine's lock inside ``apply``); nothing
+        # acquires the commit lock while holding either.
+        self._commit_lock = threading.RLock()
+        self._views: list = []
         #: Bumped on every mutation; sessions compare it to re-intern lazily.
         self.version = 0
 
@@ -88,6 +109,119 @@ class Database:
             del self._collections[name]
             del self._schema[name]
             self.version += 1
+            views = list(self._views)
+        # The collection's schema entry is gone: dependent views can no
+        # longer be maintained *or* recomputed meaningfully -- mark them
+        # stale instead of serving a value over a vanished base.
+        for v in views:
+            if v.depends_on(name):
+                v.mark_stale()
+
+    # -- mutation -------------------------------------------------------------
+
+    def insert(self, name: str, rows) -> Changeset:
+        """Insert rows into a collection; returns the net changeset.
+
+        ``rows`` is an iterable of elements (``Value`` or plain python data).
+        Rows already present are dropped from the changeset (net effect),
+        every genuinely new row is validated against the collection's element
+        type, and registered views absorb the delta before this returns.
+        """
+        return self.apply(Changeset.of(**{name: (list(rows), [])}))
+
+    def delete(self, name: str, rows) -> Changeset:
+        """Delete rows from a collection; returns the net changeset.
+
+        Rows not present are dropped from the changeset (net effect).
+        """
+        return self.apply(Changeset.of(**{name: ([], list(rows))}))
+
+    def apply(self, changeset: Changeset) -> Changeset:
+        """Commit a (possibly multi-collection) changeset atomically.
+
+        The changeset is normalized against the live contents -- inserts of
+        present rows and deletes of absent rows become no-ops -- and the
+        normalized form is returned and delivered to every registered view
+        in registration order.  Raises ``TypeError`` if an inserted row does
+        not inhabit the collection's element type, ``KeyError`` for unknown
+        collections, and ``RuntimeError`` on a frozen (``mutable=False``)
+        database; a failed commit changes nothing.
+        """
+        if not self.mutable:
+            raise RuntimeError(
+                f"database {self.name!r} is frozen (mutable=False); "
+                "rebuild it with mutable=True to accept updates"
+            )
+        with self._commit_lock:
+            with self._lock:
+                normalized, updates = self._normalize(changeset)
+                if updates:
+                    self._collections.update(updates)
+                    self.version += 1
+                views = list(self._views)
+            if normalized:
+                for v in views:
+                    v._on_commit(normalized)
+            return normalized
+
+    def _normalize(self, changeset: Changeset) -> tuple[Changeset, dict[str, Value]]:
+        """Validate + net a changeset against live contents (under the lock)."""
+        deltas: dict[str, CollectionDelta] = {}
+        updates: dict[str, Value] = {}
+        for name in changeset:
+            if name not in self._collections:
+                raise KeyError(f"no collection {name!r}")
+            current = self._collections[name]
+            if not isinstance(current, SetVal):
+                raise TypeError(f"collection {name!r} is not a set; cannot mutate")
+            t = self._schema[name]
+            elem_t = t.elem if isinstance(t, SetType) else None
+            d = changeset[name]
+            present = set(current.elements)
+            dels = []
+            for v in d.deletes:
+                if v in present:
+                    dels.append(v)
+                    present.discard(v)
+            ins = []
+            for v in d.inserts:
+                if v in present:
+                    continue
+                if elem_t is not None and not check_type(v, elem_t):
+                    raise TypeError(
+                        f"insert into {name!r}: {v!r} does not have element "
+                        f"type {elem_t!r}"
+                    )
+                ins.append(v)
+                present.add(v)
+            dels_set = set(dels)
+            both = {v for v in ins if v in dels_set}
+            if both:
+                # Deleted and re-inserted in one commit: a no-op, and keeping
+                # the pair would break the changeset's disjointness invariant.
+                ins = [v for v in ins if v not in both]
+                dels = [v for v in dels if v not in both]
+            if ins or dels:
+                deltas[name] = CollectionDelta(ins, dels)
+                updates[name] = SetVal(present)
+        return Changeset(deltas), updates
+
+    # -- materialized views ---------------------------------------------------
+
+    def add_view(self, view) -> None:
+        """Register a materialized view for commit notifications."""
+        with self._lock:
+            self._views.append(view)
+
+    def remove_view(self, view) -> None:
+        with self._lock:
+            if view in self._views:
+                self._views.remove(view)
+
+    def views(self) -> list:
+        """The registered views, in notification (registration) order."""
+        with self._lock:
+            return list(self._views)
 
     @classmethod
     def of(cls, name: str = "db", **collections) -> "Database":

@@ -35,7 +35,8 @@ from dataclasses import dataclass
 from typing import Iterable, Optional, Union
 
 from ..engine.engine import Engine
-from ..nra.ast import Expr, Lambda
+from ..engine.incremental.view import MaterializedView
+from ..nra.ast import Expr, Lambda, free_variables
 from ..nra.externals import EMPTY_SIGMA, Signature
 from ..objects.values import Value, from_python
 from .catalog import Database
@@ -56,6 +57,10 @@ class SessionStats:
     plan_hits: int = 0         # engine plan-cache hits observed by this session
     vec_compiles: int = 0      # vectorized subexpression compiles caused
     rows_streamed: int = 0     # python rows handed out by cursors
+    materializes: int = 0      # views created by this session
+    delta_applies: int = 0     # changesets absorbed by this session's views
+    fallback_recomputes: int = 0  # view applies that fell back to recompute
+    view_rows_touched: int = 0    # view result rows inserted + deleted
 
     def snapshot(self) -> "SessionStats":
         return SessionStats(**{f: getattr(self, f) for f in self.__dataclass_fields__})
@@ -90,6 +95,10 @@ class Session:
         # lifted constants differ share the template but not the defaults,
         # and must not share a statement.
         self._prepared: dict[tuple, PreparedStatement] = {}
+        # Views this session materialized; closed (and hence unregistered
+        # from the database) with the session, so short-lived sessions do
+        # not leak standing maintenance work.
+        self._views: list[MaterializedView] = []
 
     # -- context management -------------------------------------------------------
 
@@ -100,10 +109,13 @@ class Session:
         self.close()
 
     def close(self) -> None:
-        """Drop prepared statements and refuse further work."""
+        """Drop prepared statements and this session's views; refuse further work."""
         with self._lock:
             self._prepared.clear()
+            views, self._views = self._views, []
             self.closed = True
+        for v in views:
+            v.close()
 
     def _check_open(self) -> None:
         if self.closed:
@@ -287,6 +299,82 @@ class Session:
             self._prepared[cache_key] = ps
         return ps
 
+    # -- materialized views --------------------------------------------------------
+
+    def materialize(
+        self,
+        query: Runnable,
+        name: Optional[str] = None,
+        params: Optional[dict] = None,
+    ) -> MaterializedView:
+        """Create a :class:`MaterializedView` maintained under database updates.
+
+        The query is elaborated, its result computed once, and a maintenance
+        plan compiled (delta rules where they are syntactic theorems,
+        recompute fallbacks elsewhere -- ``view.maintenance_plan()`` shows
+        which).  The view is registered with the session's database: every
+        subsequent ``insert``/``delete``/``apply`` commit refreshes it before
+        returning, and the session's stats aggregate the maintenance work
+        (``delta_applies``, ``fallback_recomputes``, ``view_rows_touched``).
+
+        Parameters are bound *now* (views are standing queries, not
+        templates); the result must be set-valued.  Works without a database
+        too, in which case there is nothing to maintain and the view is just
+        a cached result.  Views live until closed -- ``view.close()``
+        unregisters from the database, and closing the session closes every
+        view it materialized.
+        """
+        self._check_open()
+        template, ptypes, defaults, label = self._template_of(query)
+
+        def build() -> MaterializedView:
+            env = dict(self._environment())
+            env.update(self._bind(ptypes, defaults, params))
+            collections = set(self.db) if self.db is not None else set()
+            bases = frozenset(free_variables(template) & collections)
+            with self.engine.lock:
+                before_misses = self.engine.plan_misses
+                before_hits = self.engine.plan_hits
+                before_compiles = self.engine.vectorized_compiles()
+                view = MaterializedView(
+                    self.engine,
+                    template,
+                    env,
+                    bases,
+                    name=name if name is not None else label,
+                    on_apply=self._view_applied,
+                )
+                misses = self.engine.plan_misses - before_misses
+                hits = self.engine.plan_hits - before_hits
+                compiles = self.engine.vectorized_compiles() - before_compiles
+            with self._lock:
+                self.stats.materializes += 1
+                self.stats.rewrites += misses
+                self.stats.plan_hits += hits
+                self.stats.vec_compiles += compiles
+            return view
+
+        if self.db is not None:
+            # Snapshot + build + register under the commit lock, so no commit
+            # can land between the snapshot the view is built from and the
+            # point it starts receiving changesets.
+            with self.db._commit_lock:
+                view = build()
+                self.db.add_view(view)
+                view.bind_registry(self.db)
+        else:
+            view = build()
+        with self._lock:
+            self._views.append(view)
+        return view
+
+    def _view_applied(self, view, delta, fallback: bool) -> None:
+        with self._lock:
+            self.stats.delta_applies += 1
+            if fallback:
+                self.stats.fallback_recomputes += 1
+            self.stats.view_rows_touched += len(delta.inserted) + len(delta.deleted)
+
     # -- explain ------------------------------------------------------------------
 
     def explain(self, query: Runnable):
@@ -294,10 +382,17 @@ class Session:
         template, _, _, _ = self._template_of(query)
         return self.engine.explain(template)
 
-    def explain_plan(self, query: Runnable, optimize: bool = True):
-        """The vectorized operator tree for the query's template."""
+    def explain_plan(
+        self, query: Runnable, optimize: bool = True, backend: Optional[str] = None
+    ):
+        """The operator tree for the query's template.
+
+        By default the vectorized (or sharded) execution plan;
+        ``backend="incremental"`` returns the maintenance-plan tree a
+        materialized view of this query would use.
+        """
         template, _, _, _ = self._template_of(query)
-        return self.engine.explain_plan(template, optimize=optimize)
+        return self.engine.explain_plan(template, optimize=optimize, backend=backend)
 
     # -- engine call-throughs with stats accounting --------------------------------
 

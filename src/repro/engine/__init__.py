@@ -22,6 +22,10 @@ Layers (each usable on its own):
 * :mod:`repro.engine.parallel` -- the data-parallel sharded backend:
   hash-partitioned inputs, shard-local vectorized sub-plans on a worker
   pool, union combiners, and frontier-resharded semi-naive fixpoints;
+* :mod:`repro.engine.incremental` -- the view-maintenance subsystem:
+  delta-compiled standing queries (support counts, incremental join
+  indexes, semi-naive fixpoint continuation) kept consistent under
+  ``Changeset`` mutations instead of being recomputed;
 * :mod:`repro.engine.engine` -- the :class:`Engine` facade:
   ``Engine.run(expr, db, optimize=True, backend=...)``, the batched
   ``Engine.run_many(expr, inputs)``, ``Engine.explain(expr)`` and
@@ -45,6 +49,7 @@ for where this sits in the package architecture.
 """
 
 from .engine import BACKENDS, Engine, Plan, default_workers
+from .incremental import Changeset, MaterializedView, ViewDelta, ViewStats
 from .interning import InternTable
 from .memo import MemoEvaluator, MemoFunction, MemoStats
 from .parallel import ParallelEvaluator, ParStats
@@ -66,6 +71,10 @@ __all__ = [
     "BACKENDS",
     "Engine",
     "Plan",
+    "Changeset",
+    "MaterializedView",
+    "ViewDelta",
+    "ViewStats",
     "InternTable",
     "MemoEvaluator",
     "MemoFunction",

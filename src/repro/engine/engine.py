@@ -285,12 +285,23 @@ class Engine:
         passed), in which case the tree is the sharded plan: the shard
         partitioning, the shard-local vectorized sub-plan, and the union
         combiner -- or the driver fallback, clearly labelled.
+
+        ``backend="incremental"`` (an explain-only view: it is not a ``run``
+        backend) returns the **maintenance plan** the incremental
+        view-maintenance subsystem would use for the expression -- the
+        ``ivm-*`` delta rule chosen per operator, with every free variable
+        treated as a mutable base collection and conservative fallbacks
+        labelled ``ivm-recompute`` (see :mod:`repro.engine.incremental`).
         """
         with self._lock:
             expr = self.optimize(e).optimized if optimize else e
             chosen = backend if backend is not None else self.backend
             if chosen == "parallel":
                 return self._par().shard_plan(expr)
+            if chosen == "incremental":
+                from .incremental.delta import maintenance_plan
+
+                return maintenance_plan(expr)
             return self._vec().plan(expr)
 
     def vectorized_compiles(self) -> int:

@@ -1,0 +1,580 @@
+"""Materialized views: results kept consistent by delta propagation.
+
+A :class:`MaterializedView` pairs one view template (an NRA expression over
+named base collections) with the runtime state its maintenance plan needs,
+and exposes two operations: read the current result (:attr:`value`) and
+:meth:`apply` a :class:`~repro.engine.incremental.changeset.Changeset`.
+
+Runtime state, per :class:`~repro.engine.incremental.delta.DeltaOp` node:
+
+* every counted node (``map``/``select``/``ext``/``join``/``union``) holds
+  **support counts** -- for each output element, how many derivations
+  currently produce it -- so a deletion removes an element from the output
+  exactly when its last derivation disappears, with no recount;
+* ``join`` nodes additionally hold **hash indexes on both sides**
+  (key value -> matching elements), maintained incrementally, so a delta of
+  ``k`` elements probes in ``O(k * matches)`` instead of re-joining;
+* ``fixpoint`` nodes hold the current fixpoint set; insertions re-enter the
+  engine's semi-naive frontier iteration *from the new frontier* (the old
+  result is the accumulator, so converged work is never re-derived), and
+  deletions recompute the fixpoint from the maintained base -- the
+  conservative classical fallback;
+* ``recompute`` nodes hold only their output set and re-evaluate their
+  subtree through the engine's vectorized compiler, diffing old against new.
+
+Between nodes only **set-level deltas** flow (``+1`` when an element appears
+in a node's output, ``-1`` when it disappears); multiplicities are private to
+each node.  All per-element evaluation (ext bodies, join keys, outputs,
+frontier terms) runs through closures compiled by the engine's
+:class:`~repro.engine.vectorized.compiler.PlanCompiler`, so a view shares the
+engine's compile cache and intern table, and all state mutation happens under
+the engine lock (the same contract every backend follows).
+
+Exactness.  The maintained value is defined to equal a cold
+``engine.run(template)`` after every changeset; the differential maintenance
+oracle in ``tests/property/test_backend_differential.py`` enforces this.  For
+fixpoint nodes the initial build *verifies* the equality once (the semi-naive
+least fixpoint against the cold evaluation, whose iteration budget could in
+principle stop short of convergence); a view whose cold value is not a
+fixpoint degrades to whole-view recompute mode instead of serving a superset.
+See DESIGN.md ("when maintenance loses") for the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ...nra.ast import Expr
+from ...nra.errors import NRAEvalError
+from ...objects.values import SetVal, Value
+from ..vectorized.batch import bind, unbind
+from .changeset import Changeset
+from .delta import DeltaOp, derive, maintenance_plan
+
+#: A set-level delta: interned element -> +1 (appeared) or -1 (disappeared).
+SetDelta = dict
+
+
+@dataclass
+class ViewStats:
+    """Counters for one view's lifetime of maintenance work."""
+
+    delta_applies: int = 0        # changesets absorbed by delta propagation
+    fallback_recomputes: int = 0  # node-level recomputes (incl. whole-view mode)
+    rows_inserted: int = 0        # result rows added across all applies
+    rows_deleted: int = 0         # result rows removed across all applies
+    seminaive_rounds: int = 0     # fixpoint continuation rounds run
+
+    def rows_touched(self) -> int:
+        return self.rows_inserted + self.rows_deleted
+
+
+@dataclass
+class ViewDelta:
+    """What one ``apply`` did to the view's result."""
+
+    inserted: tuple[Value, ...] = ()
+    deleted: tuple[Value, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.inserted or self.deleted)
+
+
+class _NodeState:
+    """Mutable runtime state of one DeltaOp node."""
+
+    __slots__ = ("out", "counts", "lindex", "rindex", "children")
+
+    def __init__(self) -> None:
+        self.out: Optional[SetVal] = None
+        self.counts: Optional[dict] = None
+        self.lindex: Optional[dict] = None
+        self.rindex: Optional[dict] = None
+        self.children: tuple["_NodeState", ...] = ()
+
+
+def _expect_set(v, what: str) -> SetVal:
+    if not isinstance(v, SetVal):
+        raise NRAEvalError(f"{what}: expected a set, got {v!r}")
+    return v
+
+
+class MaterializedView:
+    """A standing query whose result is maintained under base-table updates."""
+
+    def __init__(
+        self,
+        engine,
+        template: Expr,
+        env: dict,
+        bases: frozenset[str],
+        name: str = "view",
+        on_apply: Optional[Callable[["MaterializedView", ViewDelta, bool], None]] = None,
+    ) -> None:
+        self.engine = engine
+        self.name = name
+        self.template = template
+        self.bases = frozenset(bases)
+        self.stats = ViewStats()
+        self.stale = False
+        self.closed = False
+        self._on_apply = on_apply
+        self._registry = None
+        with engine.lock:
+            # The view maintains the *optimized* template: it is what a cold
+            # run evaluates, and its compiled closures are already (or will
+            # be) in the engine's vectorized compile cache.
+            self.expr = engine.optimize(template).optimized
+            self._vec = engine._vec()
+            self._it = self._vec.interner
+            self._env = {k: self._it.intern(v) if isinstance(v, Value) else v
+                         for k, v in env.items()}
+            self.plan_ops = derive(self.expr, self.bases)
+            cold = engine.run(self.expr, env=self._env, optimize=False, backend="vectorized")
+            self._value = _expect_set(cold, f"view {name!r}")
+            self.recompute_only = not self._buildable()
+            if not self.recompute_only:
+                self._root = self._init_node(self.plan_ops)
+                if self._root.out != self._value:
+                    # The maintenance semantics (least fixpoints) disagrees
+                    # with the cold evaluation on this input -- serve the
+                    # cold value and recompute from now on.
+                    self.recompute_only = True
+
+    # -- public surface --------------------------------------------------------
+
+    @property
+    def value(self) -> SetVal:
+        """The current (maintained) result, a canonical interned set."""
+        self._check_usable()
+        return self._value
+
+    def rows(self) -> frozenset:
+        """The result as plain python rows (order-free comparison aid)."""
+        from ...objects.values import to_python
+
+        return frozenset(to_python(e) for e in self.value.elements)
+
+    def maintenance_plan(self):
+        """The ``ivm-*`` plan tree this view maintains by (for explain/tests)."""
+        return maintenance_plan(self.expr, self.bases)
+
+    def depends_on(self, collection: str) -> bool:
+        return collection in self.bases
+
+    def apply(self, changeset: Changeset) -> ViewDelta:
+        """Absorb one changeset; returns what changed in the result."""
+        self._check_usable()
+        if not changeset.touches(self.bases):
+            return ViewDelta()
+        with self.engine.lock:
+            self._refresh_env(changeset)
+            fallbacks_before = self.stats.fallback_recomputes
+            if self.recompute_only:
+                delta = self._recompute_value()
+                self.stats.fallback_recomputes += 1
+            else:
+                root_delta = self._apply_node(self.plan_ops, self._root, changeset)
+                delta = self._commit_root(root_delta)
+            fallback = self.stats.fallback_recomputes > fallbacks_before
+            self.stats.delta_applies += 1
+            self.stats.rows_inserted += len(delta.inserted)
+            self.stats.rows_deleted += len(delta.deleted)
+        if self._on_apply is not None:
+            self._on_apply(self, delta, fallback)
+        return delta
+
+    def refresh(self) -> ViewDelta:
+        """Full rebuild from the current base collections (always sound)."""
+        self._check_usable()
+        with self.engine.lock:
+            old = self._value
+            self._value = _expect_set(
+                self.engine.run(self.expr, env=self._env, optimize=False, backend="vectorized"),
+                f"view {self.name!r}",
+            )
+            if not self.recompute_only:
+                self._root = self._init_node(self.plan_ops)
+            self.stats.fallback_recomputes += 1
+            ins = self._it.difference(self._value, old)
+            dels = self._it.difference(old, self._value)
+            return ViewDelta(tuple(ins.elements), tuple(dels.elements))
+
+    def close(self) -> None:
+        """Stop serving and maintenance; unregisters from the database."""
+        self.closed = True
+        registry, self._registry = self._registry, None
+        if registry is not None:
+            registry.remove_view(self)
+
+    def bind_registry(self, registry) -> None:
+        """Attach the object (a Database) ``close`` should unregister from."""
+        self._registry = registry
+
+    def mark_stale(self) -> None:
+        """A depended-on collection was dropped: refuse further service."""
+        self.stale = True
+
+    # The Database commit hook (duck-typed; see repro.api.catalog).  Stale
+    # views are skipped, not failed: the commit already happened, and a
+    # RuntimeError here would report a succeeded commit as failed while
+    # starving every later-registered view of the changeset.
+    def _on_commit(self, changeset: Changeset) -> None:
+        if not self.closed and not self.stale and changeset.touches(self.bases):
+            self.apply(changeset)
+
+    def _check_usable(self) -> None:
+        if self.closed:
+            raise RuntimeError(f"view {self.name!r} is closed")
+        if self.stale:
+            raise RuntimeError(
+                f"view {self.name!r} is stale (a base collection was dropped); "
+                "re-materialize it"
+            )
+
+    def __repr__(self) -> str:
+        mode = "recompute" if self.recompute_only else "delta"
+        return (f"<MaterializedView {self.name!r} mode={mode} "
+                f"rows={len(self._value.elements)} applies={self.stats.delta_applies}>")
+
+    # -- environment upkeep ----------------------------------------------------
+
+    def _refresh_env(self, changeset: Changeset) -> None:
+        """Advance this view's collection values by the (net) changeset.
+
+        The view never re-reads the database: changesets arrive in commit
+        order, and net deltas applied to the previous snapshot reproduce the
+        database's collection value exactly.
+        """
+        it = self._it
+        for name in changeset:
+            if name not in self.bases and name not in self._env:
+                continue
+            d = changeset[name]
+            current = self._env.get(name, it.empty_set)
+            current = _expect_set(current, f"collection {name!r}")
+            if d.deletes:
+                current = it.difference(
+                    current, it.mkset(it.intern(v) for v in d.deletes)
+                )
+            if d.inserts:
+                current = it.union(
+                    current, it.mkset(it.intern(v) for v in d.inserts)
+                )
+            self._env[name] = current
+
+    def _recompute_value(self) -> ViewDelta:
+        old = self._value
+        self._value = _expect_set(
+            self.engine.run(self.expr, env=self._env, optimize=False, backend="vectorized"),
+            f"view {self.name!r}",
+        )
+        ins = self._it.difference(self._value, old)
+        dels = self._it.difference(old, self._value)
+        return ViewDelta(tuple(ins.elements), tuple(dels.elements))
+
+    def _commit_root(self, root_delta: SetDelta) -> ViewDelta:
+        ins = [v for v, dc in root_delta.items() if dc > 0]
+        dels = [v for v, dc in root_delta.items() if dc < 0]
+        it = self._it
+        out = self._value
+        if dels:
+            out = it.difference(out, it.mkset(dels))
+        if ins:
+            out = it.union(out, it.mkset(ins))
+        self._value = out
+        return ViewDelta(tuple(ins), tuple(dels))
+
+    # -- compiled-closure plumbing --------------------------------------------
+
+    def _fn(self, e: Expr):
+        return self._vec.compile(e).fn
+
+    # -- initial state build ---------------------------------------------------
+
+    def _buildable(self) -> bool:
+        """Delta mode needs a fully non-recompute plan over a set result."""
+        return self.plan_ops.maintainable()
+
+    def _init_node(self, op: DeltaOp) -> _NodeState:
+        st = _NodeState()
+        st.children = tuple(self._init_node(c) for c in op.children)
+        kind = op.kind
+        if kind in ("static", "base", "recompute"):
+            st.out = self._eval_set(op.expr)
+            return st
+        if kind in ("map", "select", "ext"):
+            st.counts = {}
+            src = st.children[0].out
+            self._ext_accumulate(op, st.counts, src.elements, +1)
+            st.out = self._it.mkset(st.counts)
+            return st
+        if kind == "join":
+            st.counts = {}
+            st.lindex = {}
+            st.rindex = {}
+            left, right = st.children[0].out, st.children[1].out
+            rkey_fn, env = self._fn(op.rkey), self._env
+            token = bind(env, op.rvar)
+            try:
+                for y in right.elements:
+                    env[op.rvar] = y
+                    st.rindex.setdefault(rkey_fn(env), {})[y] = None
+            finally:
+                unbind(env, op.rvar, token)
+            # Probe with the whole left side: builds lindex and the counts.
+            self._join_probe_left(op, st, left.elements, +1, st.counts)
+            st.out = self._it.mkset(st.counts)
+            return st
+        if kind == "union":
+            st.counts = {}
+            for child in st.children:
+                for v in child.out.elements:
+                    st.counts[v] = st.counts.get(v, 0) + 1
+            st.out = self._it.mkset(st.counts)
+            return st
+        if kind == "fixpoint":
+            base = st.children[0].out
+            st.out = self._fixpoint_from(op, base, base)
+            return st
+        raise AssertionError(f"unknown delta op kind {kind!r}")
+
+    def _eval_set(self, e: Expr) -> SetVal:
+        return _expect_set(self._fn(e)(self._env), "maintenance subexpression")
+
+    # -- delta propagation -----------------------------------------------------
+
+    def _apply_node(self, op: DeltaOp, st: _NodeState, cs: Changeset) -> SetDelta:
+        kind = op.kind
+        if kind == "static":
+            return {}
+        if kind == "base":
+            d = cs.get(op.source)
+            if d is None:
+                return {}
+            it = self._it
+            delta: SetDelta = {}
+            for v in d.inserts:
+                delta[it.intern(v)] = 1
+            for v in d.deletes:
+                delta[it.intern(v)] = -1
+            st.out = self._env[op.source]
+            return delta
+        if kind == "recompute":
+            old = st.out
+            st.out = self._eval_set(op.expr)
+            self.stats.fallback_recomputes += 1
+            it = self._it
+            delta = {}
+            for v in it.difference(st.out, old).elements:
+                delta[v] = 1
+            for v in it.difference(old, st.out).elements:
+                delta[v] = -1
+            return delta
+
+        child_deltas = [
+            self._apply_node(c, cst, cs) for c, cst in zip(op.children, st.children)
+        ]
+        if kind in ("map", "select", "ext"):
+            (d,) = child_deltas
+            acc: SetDelta = {}
+            if d:
+                inserted = [v for v, dc in d.items() if dc > 0]
+                deleted = [v for v, dc in d.items() if dc < 0]
+                self._ext_accumulate(op, acc, deleted, -1)
+                self._ext_accumulate(op, acc, inserted, +1)
+            return self._commit_counts(st, acc)
+        if kind == "union":
+            acc = {}
+            for d in child_deltas:
+                for v, dc in d.items():
+                    acc[v] = acc.get(v, 0) + dc
+            return self._commit_counts(st, acc)
+        if kind == "join":
+            return self._apply_join(op, st, child_deltas[0], child_deltas[1])
+        if kind == "fixpoint":
+            return self._apply_fixpoint(op, st, child_deltas[0])
+        raise AssertionError(f"unknown delta op kind {kind!r}")
+
+    def _commit_counts(self, st: _NodeState, acc: SetDelta) -> SetDelta:
+        """Fold signed derivation counts into the node; emit the set delta."""
+        counts = st.counts
+        out_delta: SetDelta = {}
+        for v, dc in acc.items():
+            if dc == 0:
+                continue
+            old = counts.get(v, 0)
+            new = old + dc
+            if new < 0:
+                raise AssertionError(
+                    "negative support count: changeset violated net-effect "
+                    "invariants"
+                )
+            if new == 0:
+                counts.pop(v, None)
+            else:
+                counts[v] = new
+            if old == 0 and new > 0:
+                out_delta[v] = 1
+            elif old > 0 and new == 0:
+                out_delta[v] = -1
+        if out_delta:
+            it = self._it
+            ins = [v for v, dc in out_delta.items() if dc > 0]
+            dels = [v for v, dc in out_delta.items() if dc < 0]
+            out = st.out
+            if dels:
+                out = it.difference(out, it.mkset(dels))
+            if ins:
+                out = it.union(out, it.mkset(ins))
+            st.out = out
+        return out_delta
+
+    # -- ext family ------------------------------------------------------------
+
+    def _ext_accumulate(self, op: DeltaOp, acc: SetDelta, elements, sign: int) -> None:
+        """Add ``sign`` per body-derived element, for each source element."""
+        if not elements:
+            return
+        env = self._env
+        body_fn = self._fn(op.body)
+        token = bind(env, op.var)
+        try:
+            for x in elements:
+                env[op.var] = x
+                piece = _expect_set(body_fn(env), "ext maintenance body")
+                for y in piece.elements:
+                    acc[y] = acc.get(y, 0) + sign
+        finally:
+            unbind(env, op.var, token)
+
+    # -- join ------------------------------------------------------------------
+
+    def _join_probe_left(
+        self, op: DeltaOp, st: _NodeState, elements, sign: int, counts: dict
+    ) -> None:
+        """Probe the right index with left-side elements; maintain lindex."""
+        env = self._env
+        lkey_fn, out_fn = self._fn(op.lkey), self._fn(op.out)
+        lindex, rindex = st.lindex, st.rindex
+        ltok, rtok = bind(env, op.var), bind(env, op.rvar)
+        try:
+            for x in elements:
+                env[op.var] = x
+                k = lkey_fn(env)
+                if sign > 0:
+                    lindex.setdefault(k, {})[x] = None
+                else:
+                    bucket = lindex.get(k)
+                    if bucket is not None:
+                        bucket.pop(x, None)
+                        if not bucket:
+                            del lindex[k]
+                matches = rindex.get(k)
+                if matches:
+                    for y in matches:
+                        env[op.rvar] = y
+                        out = out_fn(env)
+                        counts[out] = counts.get(out, 0) + sign
+        finally:
+            unbind(env, op.rvar, rtok)
+            unbind(env, op.var, ltok)
+
+    def _apply_join(
+        self, op: DeltaOp, st: _NodeState, dl: SetDelta, dr: SetDelta
+    ) -> SetDelta:
+        """Bilinear rule: ``dL >< R_old``, then ``L_new >< dR``."""
+        acc: SetDelta = {}
+        env = self._env
+        if dl:
+            # The left delta probes the *old* right index (while the left
+            # index advances to its new contents)...
+            deleted = [v for v, dc in dl.items() if dc < 0]
+            inserted = [v for v, dc in dl.items() if dc > 0]
+            self._join_probe_left(op, st, deleted, -1, acc)
+            self._join_probe_left(op, st, inserted, +1, acc)
+        if dr:
+            # ...then the right delta against the *updated* left index.
+            lindex = st.lindex
+            rkey_fn, out_fn = self._fn(op.rkey), self._fn(op.out)
+            ltok, rtok = bind(env, op.var), bind(env, op.rvar)
+            rindex = st.rindex
+            try:
+                for y, dc in dr.items():
+                    env[op.rvar] = y
+                    k = rkey_fn(env)
+                    if dc > 0:
+                        rindex.setdefault(k, {})[y] = None
+                    else:
+                        bucket = rindex.get(k)
+                        if bucket is not None:
+                            bucket.pop(y, None)
+                            if not bucket:
+                                del rindex[k]
+                    matches = lindex.get(k)
+                    if matches:
+                        for x in matches:
+                            env[op.var] = x
+                            out = out_fn(env)
+                            acc[out] = acc.get(out, 0) + dc
+            finally:
+                unbind(env, op.rvar, rtok)
+                unbind(env, op.var, ltok)
+        return self._commit_counts(st, acc)
+
+    # -- fixpoint --------------------------------------------------------------
+
+    def _fixpoint_from(self, op: DeltaOp, acc: SetVal, frontier: SetVal) -> SetVal:
+        """Semi-naive iteration to convergence from ``acc`` with ``frontier``.
+
+        With an inflationary, union-distributive step the least fixpoint
+        containing ``acc`` is reached exactly when the frontier empties --
+        the same rounds the vectorized backend runs, re-entered here from an
+        arbitrary frontier so insertions continue where the old result
+        stopped instead of starting over.
+        """
+        it = self._it
+        env = self._env
+        term_fns = [self._fn(t) for t in op.terms]
+        var, dv = op.step.var, op.delta_var
+        vtok, dtok = bind(env, var), bind(env, dv)
+        try:
+            while frontier.elements:
+                self.stats.seminaive_rounds += 1
+                env[var] = acc
+                env[dv] = frontier
+                derived: list[Value] = []
+                for fn in term_fns:
+                    derived.extend(
+                        _expect_set(fn(env), "fixpoint frontier term").elements
+                    )
+                new = it.union(acc, it.mkset(derived))
+                frontier = it.difference(new, acc)
+                acc = new
+        finally:
+            unbind(env, dv, dtok)
+            unbind(env, var, vtok)
+        return acc
+
+    def _apply_fixpoint(self, op: DeltaOp, st: _NodeState, d: SetDelta) -> SetDelta:
+        it = self._it
+        old = st.out
+        if not d:
+            return {}
+        if any(dc < 0 for dc in d.values()):
+            # Deletions may strand derived elements: recompute from the
+            # (already maintained) base.
+            base = st.children[0].out
+            st.out = self._fixpoint_from(op, base, base)
+            self.stats.fallback_recomputes += 1
+        else:
+            ins = it.mkset(v for v, dc in d.items() if dc > 0)
+            frontier = it.difference(ins, old)
+            st.out = self._fixpoint_from(op, it.union(old, frontier), frontier)
+        delta: SetDelta = {}
+        for v in it.difference(st.out, old).elements:
+            delta[v] = 1
+        for v in it.difference(old, st.out).elements:
+            delta[v] = -1
+        return delta

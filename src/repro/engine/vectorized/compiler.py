@@ -158,6 +158,59 @@ def _delta_terms(e: Expr, v: str, dv: str) -> Optional[list[Expr]]:
     return None
 
 
+def delta_terms(e: Expr, v: str, dv: str) -> Optional[list[Expr]]:
+    """Public delta entry point: the union-distributive decomposition of ``e``.
+
+    The incremental view-maintenance subsystem (:mod:`repro.engine.incremental`)
+    compiles fixpoint continuation rounds from exactly the frontier terms the
+    semi-naive loop strategy uses; both go through this one analysis so a
+    shape is delta-maintainable iff it runs semi-naively.
+    """
+    return _delta_terms(e, v, dv)
+
+
+def match_join(lvar: str, body: Expr) -> Optional[tuple[str, Expr, Expr, Expr, Expr]]:
+    """Recognise the equi-join ``ext`` body shape.
+
+    Given the outer bound variable ``lvar`` and the outer ``ext`` body,
+    returns ``(rvar, lkey, rkey, out, right_source)`` when the body is the
+    nested ``ext(\\rvar. if lkey = rkey then {out} else {})(right)`` shape
+    with an uncorrelated right source and side-pure keys -- the shape the
+    vectorized backend hash-joins and the incremental subsystem maintains
+    bilinearly -- or ``None``.
+    """
+    if not (
+        isinstance(body, ast.Apply)
+        and isinstance(body.func, ast.Ext)
+        and isinstance(body.func.func, ast.Lambda)
+    ):
+        return None
+    g = body.func.func
+    inner_src = body.arg
+    if lvar in free_variables(inner_src):
+        return None  # correlated inner source: not a join
+    inner = g.body
+    rvar = g.var
+    if rvar == lvar:
+        return None
+    if not (
+        isinstance(inner, ast.If)
+        and isinstance(inner.cond, ast.Eq)
+        and isinstance(inner.then, ast.Singleton)
+        and isinstance(inner.orelse, ast.EmptySet)
+    ):
+        return None
+    a, b = inner.cond.left, inner.cond.right
+    fa, fb = free_variables(a), free_variables(b)
+    if rvar not in fa and lvar not in fb:
+        lkey, rkey = a, b
+    elif rvar not in fb and lvar not in fa:
+        lkey, rkey = b, a
+    else:
+        return None  # a key mixes both sides: no hash index applies
+    return (rvar, lkey, rkey, inner.then.item, inner_src)
+
+
 # ---------------------------------------------------------------------------
 # The compiler
 # ---------------------------------------------------------------------------
@@ -423,7 +476,7 @@ class PlanCompiler:
                 )
 
         # HASH JOIN: ext(\x. ext(\y. if k1 = k2 then {out} else {})(s2))(s1)
-        join = self._match_join(var, body)
+        join = match_join(var, body)
         if join is not None:
             rvar, lkey, rkey, out_expr, inner_src = join
             rc = self.compile(inner_src)
@@ -475,41 +528,6 @@ class PlanCompiler:
             node("ext", var, sc.plan, bc.plan),
             lambda env: elementwise_ext(ctx, env, expect_set(sfn(env), "ext"), var, bfn),
         )
-
-    def _match_join(
-        self, lvar: str, body: Expr
-    ) -> Optional[tuple[str, Expr, Expr, Expr, Expr]]:
-        """Recognise the equi-join body shape; return (rvar, lkey, rkey, out, right)."""
-        if not (
-            isinstance(body, ast.Apply)
-            and isinstance(body.func, ast.Ext)
-            and isinstance(body.func.func, ast.Lambda)
-        ):
-            return None
-        g = body.func.func
-        inner_src = body.arg
-        if lvar in free_variables(inner_src):
-            return None  # correlated inner source: not a join
-        inner = g.body
-        rvar = g.var
-        if rvar == lvar:
-            return None
-        if not (
-            isinstance(inner, ast.If)
-            and isinstance(inner.cond, ast.Eq)
-            and isinstance(inner.then, ast.Singleton)
-            and isinstance(inner.orelse, ast.EmptySet)
-        ):
-            return None
-        a, b = inner.cond.left, inner.cond.right
-        fa, fb = free_variables(a), free_variables(b)
-        if rvar not in fa and lvar not in fb:
-            lkey, rkey = a, b
-        elif rvar not in fb and lvar not in fa:
-            lkey, rkey = b, a
-        else:
-            return None  # a key mixes both sides: no hash index applies
-        return (rvar, lkey, rkey, inner.then.item, inner_src)
 
     def _compile_bare_ext(self, e: ast.Ext) -> Compiled:
         """``ext(f)`` in function position: a set-to-set function value."""

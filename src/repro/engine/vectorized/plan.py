@@ -26,6 +26,11 @@ OPS = frozenset(
         # The sharded backend (repro.engine.parallel) wraps vectorized
         # sub-plans in these combinator nodes.
         "parallel", "shard", "combine-union", "parallel-fixpoint",
+        # Maintenance-plan trees of the incremental view-maintenance
+        # subsystem (repro.engine.incremental), shown by
+        # Engine.explain_plan(backend="incremental").
+        "ivm-static", "ivm-base", "ivm-map", "ivm-select", "ivm-ext",
+        "ivm-join", "ivm-union", "ivm-fixpoint", "ivm-recompute",
     }
 )
 

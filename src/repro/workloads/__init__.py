@@ -19,6 +19,11 @@ Two families, matching the paper's two kinds of queries:
   ``bits`` collections and a ready :func:`workload_catalog`), so sessions of
   the query-service API open directly onto every workload family.
 
+* :mod:`repro.workloads.streams` -- update-stream generators over *mutable*
+  databases (seeded random insert/delete batches at a configurable churn
+  rate, flat edge-level and nested record-level), the workload the
+  incremental view-maintenance subsystem is measured on.
+
 * :mod:`repro.workloads.services` -- service-shaped workloads: relations
   mapped through ``NRA(Sigma)`` oracle externals with configurable simulated
   latency, the regime the parallel backend's worker pool overlaps (and the
@@ -80,6 +85,15 @@ from .services import (
     enrichment_workload,
     request_ids,
 )
+from .streams import (
+    GraphUpdateStream,
+    NestedUpdateStream,
+    UpdateStream,
+    graph_update_stream,
+    nested_update_stream,
+    stream_graph_database,
+    stream_nested_database,
+)
 
 __all__ = [
     "path_graph", "cycle_graph", "binary_tree", "grid_graph", "random_graph",
@@ -92,4 +106,7 @@ __all__ = [
     "nested_graph_database", "parity_database", "workload_catalog",
     "REQUESTS_T", "enrichment_sigma", "enrichment_query", "request_ids",
     "enrichment_workload",
+    "UpdateStream", "GraphUpdateStream", "NestedUpdateStream",
+    "graph_update_stream", "nested_update_stream",
+    "stream_graph_database", "stream_nested_database",
 ]

@@ -28,11 +28,21 @@ from .nested_graphs import ADJ_DB_T, adjacency_database, nested_random_graph
 GRAPH_KINDS = ("path", "cycle", "tree", "grid", "random")
 
 
-def graph_database(n: int, kind: str = "path", seed: int = 0, p: float = 0.1) -> Database:
+def graph_database(
+    n: int,
+    kind: str = "path",
+    seed: int = 0,
+    p: float = 0.1,
+    mutable: bool = False,
+) -> Database:
     """A database with one ``"edges"`` collection of the requested graph.
 
     ``n`` is the node count except for ``tree`` (depth: the tree has
-    ``2**(n+1) - 1`` nodes) and ``grid`` (an ``n x n`` grid).
+    ``2**(n+1) - 1`` nodes) and ``grid`` (an ``n x n`` grid).  Builders
+    return frozen snapshots by default (they are shared across examples and
+    benchmarks); pass ``mutable=True`` for an update-capable database that
+    accepts ``insert``/``delete``/``apply`` -- no hand-copying of
+    collections required.
     """
     if kind == "path":
         rel = path_graph(n)
@@ -46,24 +56,30 @@ def graph_database(n: int, kind: str = "path", seed: int = 0, p: float = 0.1) ->
         rel = random_graph(n, p, seed=seed)
     else:
         raise ValueError(f"unknown graph kind {kind!r}; expected one of {GRAPH_KINDS}")
-    return Database(f"{kind}-{n}").register("edges", rel)
+    return Database(f"{kind}-{n}", mutable=mutable).register("edges", rel)
 
 
-def edges_database(relation: Relation, name: str = "graph") -> Database:
+def edges_database(
+    relation: Relation, name: str = "graph", mutable: bool = False
+) -> Database:
     """Any flat binary relation as an ``"edges"`` database."""
-    return Database(name).register("edges", relation)
+    return Database(name, mutable=mutable).register("edges", relation)
 
 
-def nested_graph_database(n: int, p: float, seed: int = 0) -> Database:
+def nested_graph_database(
+    n: int, p: float, seed: int = 0, mutable: bool = False
+) -> Database:
     """An adjacency database ``{D x {D}}`` under the ``"adj"`` collection.
 
     Registers both the nested form (``"adj"``) and its flat edge set
     (``"edges"``), so nested and flat queries run against one session.
+    ``mutable=True`` returns an update-capable database (note the two
+    collections are independent once built: streams mutate one of them).
     """
     adj = nested_random_graph(n, p, seed=seed)
     edges = random_graph(n, p, seed=seed)
     return (
-        Database(f"nested-{n}")
+        Database(f"nested-{n}", mutable=mutable)
         # Sink nodes carry empty successor sets, so the element type cannot
         # be inferred from the value alone -- declare it.
         .register("adj", adj, type=ADJ_DB_T)
@@ -71,16 +87,25 @@ def nested_graph_database(n: int, p: float, seed: int = 0) -> Database:
     )
 
 
-def parity_database(bits: list, name: str = "parity") -> Database:
+def parity_database(bits: list, name: str = "parity", mutable: bool = False) -> Database:
     """A ``"bits"`` collection of tagged booleans for the parity queries."""
-    return Database(name).register("bits", tagged_boolean_set(list(bits)))
+    return Database(name, mutable=mutable).register("bits", tagged_boolean_set(list(bits)))
 
 
 def workload_catalog(seed: int = 0) -> Catalog:
-    """A small catalog covering every workload family (examples / smoke tests)."""
+    """A small catalog covering every workload family (examples / smoke tests).
+
+    The ``stream-*`` entries are *mutable* databases (built by
+    :mod:`repro.workloads.streams`) for the update-stream workloads; the
+    rest are frozen snapshots.
+    """
+    from .streams import stream_graph_database, stream_nested_database
+
     cat = Catalog()
     cat.register(graph_database(16, "path"))
     cat.register(graph_database(3, "tree"))
     cat.register(nested_graph_database(16, 0.15, seed=seed))
     cat.register(parity_database(random_bits(64, seed=seed)))
+    cat.register(stream_graph_database(24, "random", seed=seed, p=0.12))
+    cat.register(stream_nested_database(16, 0.15, seed=seed))
     return cat

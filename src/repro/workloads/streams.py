@@ -1,0 +1,204 @@
+"""Update-stream workloads: databases that keep changing under standing queries.
+
+The other workload modules generate *snapshots*; this one generates the
+ROADMAP's serving regime -- bases that mutate continuously while materialized
+views stay registered.  An :class:`UpdateStream` is a seeded generator of
+insert/delete batches against one collection of a mutable
+:class:`~repro.api.catalog.Database`:
+
+* **churn rate** -- each batch touches ``max(1, round(churn * |collection|))``
+  rows of the live collection;
+* **insert ratio** -- which fraction of each batch inserts fresh rows (the
+  rest deletes existing ones); ``1.0`` gives the insert-only streams the
+  fixpoint views maintain without fallback, ``0.0`` a deletion stress;
+* **deterministic** -- batches are a pure function of the seed and the
+  collection contents at generation time, so benchmark and oracle runs
+  replay identically.
+
+Two ready-made stream shapes cover the repo's two graph representations:
+
+* :func:`graph_update_stream` -- random edge insert/deletes over a flat
+  ``"edges"`` collection (fresh edges are sampled over the same node domain,
+  never duplicating live ones);
+* :func:`nested_update_stream` -- record-level updates over a nested
+  ``"adj"`` adjacency collection: a batch picks nodes and rewrites their
+  successor sets, which at the collection level is exactly *delete the old
+  record, insert the new one* -- the shape record-typed deltas take.
+
+``stream_graph_database`` / ``stream_nested_database`` package the mutable
+databases these streams mutate, and :func:`repro.workloads.databases.workload_catalog`
+registers one of each so examples and smoke tests can open sessions on them.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional
+
+from ..api.catalog import Database
+from ..engine.incremental.changeset import Changeset
+from ..objects.values import BaseVal, PairVal, SetVal, sort_key, to_python
+from .databases import graph_database, nested_graph_database
+
+
+class UpdateStream:
+    """Seeded insert/delete batch generator over one database collection."""
+
+    def __init__(
+        self,
+        db: Database,
+        collection: str = "edges",
+        churn: float = 0.01,
+        insert_ratio: float = 0.5,
+        seed: int = 0,
+        domain: Optional[int] = None,
+    ) -> None:
+        if not 0.0 < churn <= 1.0:
+            raise ValueError(f"churn must be in (0, 1], got {churn}")
+        if not 0.0 <= insert_ratio <= 1.0:
+            raise ValueError(f"insert_ratio must be in [0, 1], got {insert_ratio}")
+        self.db = db
+        self.collection = collection
+        self.churn = churn
+        self.insert_ratio = insert_ratio
+        self.rng = random.Random(seed)
+        # The node domain fresh edges are sampled over; defaults to the
+        # atoms visible in the collection at construction time.
+        self.domain = domain
+
+    # -- batch construction ----------------------------------------------------
+
+    def _current(self) -> SetVal:
+        value = self.db[self.collection]
+        if not isinstance(value, SetVal):
+            raise TypeError(f"collection {self.collection!r} is not a set")
+        return value
+
+    def _batch_size(self, population: int) -> int:
+        return max(1, round(self.churn * population))
+
+    def next_changeset(self) -> Changeset:
+        """Build (without applying) the next batch against the live contents."""
+        raise NotImplementedError
+
+    def step(self) -> Changeset:
+        """Build the next batch and commit it; returns the normalized changeset."""
+        return self.db.apply(self.next_changeset())
+
+    def run(self, steps: int) -> Iterator[Changeset]:
+        """Commit ``steps`` batches, yielding each normalized changeset."""
+        for _ in range(steps):
+            yield self.step()
+
+
+class GraphUpdateStream(UpdateStream):
+    """Random edge insert/delete batches over a flat binary ``"edges"`` relation."""
+
+    def _node_domain(self, edges: SetVal) -> list[int]:
+        if self.domain is not None:
+            return list(range(self.domain))
+        nodes = set()
+        for e in edges.elements:
+            nodes.add(to_python(e.fst))
+            nodes.add(to_python(e.snd))
+        return sorted(nodes) or [0, 1]
+
+    def next_changeset(self) -> Changeset:
+        edges = self._current()
+        rng = self.rng
+        k = self._batch_size(len(edges.elements))
+        n_ins = round(k * self.insert_ratio)
+        n_del = k - n_ins
+        live = set(edges.elements)
+        deletes = (
+            rng.sample(list(edges.elements), min(n_del, len(edges.elements)))
+            if n_del
+            else []
+        )
+        nodes = self._node_domain(edges)
+        inserts: list[PairVal] = []
+        seen = set()
+        attempts = 0
+        while len(inserts) < n_ins and attempts < 50 * (n_ins + 1):
+            attempts += 1
+            e = PairVal(BaseVal(rng.choice(nodes)), BaseVal(rng.choice(nodes)))
+            if e in live or e in seen:
+                continue
+            seen.add(e)
+            inserts.append(e)
+        return Changeset.of(**{self.collection: (inserts, deletes)})
+
+
+class NestedUpdateStream(UpdateStream):
+    """Record-level successor-set rewrites over a nested ``"adj"`` collection.
+
+    Each batch picks nodes and toggles one successor in their adjacency
+    record: at the collection level that is a delete of the old
+    ``(node, succs)`` record plus an insert of the rewritten one.
+    """
+
+    def next_changeset(self) -> Changeset:
+        adj = self._current()
+        rng = self.rng
+        records = list(adj.elements)
+        if not records:
+            return Changeset.of(**{self.collection: ([], [])})
+        k = min(self._batch_size(len(records)), len(records))
+        nodes = [r.fst for r in records]
+        inserts, deletes = [], []
+        for record in rng.sample(records, k):
+            succs = set(record.snd.elements)
+            grow = rng.random() < self.insert_ratio or not succs
+            if grow:
+                candidates = [v for v in nodes if v not in succs]
+                if not candidates:
+                    continue
+                succs.add(rng.choice(candidates))
+            else:
+                succs.discard(rng.choice(sorted(succs, key=sort_key)))
+            deletes.append(record)
+            inserts.append(PairVal(record.fst, SetVal(succs)))
+        return Changeset.of(**{self.collection: (inserts, deletes)})
+
+
+# ---------------------------------------------------------------------------
+# Ready-made mutable databases + streams
+# ---------------------------------------------------------------------------
+
+def stream_graph_database(
+    n: int, kind: str = "random", seed: int = 0, p: float = 0.1
+) -> Database:
+    """A mutable flat-graph database ready to take an update stream."""
+    db = graph_database(n, kind=kind, seed=seed, p=p, mutable=True)
+    db.name = f"stream-{db.name}"
+    return db
+
+
+def stream_nested_database(n: int, p: float, seed: int = 0) -> Database:
+    """A mutable nested-graph database ready to take an update stream."""
+    db = nested_graph_database(n, p, seed=seed, mutable=True)
+    db.name = f"stream-{db.name}"
+    return db
+
+
+def graph_update_stream(
+    db: Database,
+    churn: float = 0.01,
+    insert_ratio: float = 0.5,
+    seed: int = 0,
+    domain: Optional[int] = None,
+) -> GraphUpdateStream:
+    """An edge-level stream over a mutable database's ``"edges"`` collection."""
+    return GraphUpdateStream(
+        db, "edges", churn=churn, insert_ratio=insert_ratio, seed=seed, domain=domain
+    )
+
+
+def nested_update_stream(
+    db: Database,
+    churn: float = 0.02,
+    insert_ratio: float = 0.5,
+    seed: int = 0,
+) -> NestedUpdateStream:
+    """A record-level stream over a mutable database's ``"adj"`` collection."""
+    return NestedUpdateStream(db, "adj", churn=churn, insert_ratio=insert_ratio, seed=seed)

@@ -1,0 +1,533 @@
+"""Unit suite for the incremental view-maintenance subsystem (PR 5).
+
+Covers the delta rules per operator shape (map / select / join / union /
+general ext / fixpoint), support counting under deletions, the conservative
+recompute fallbacks, mutable-database changeset normalization, view
+invalidation ordering and staleness, the session/stats wiring, and the
+``ivm-*`` maintenance-plan trees.  The cross-backend *oracle* (maintained ==
+recomputed over random update sequences) lives in
+``tests/property/test_backend_differential.py``.
+"""
+
+import pytest
+
+from repro.api import Changeset, Database, MaterializedView, Q, connect
+from repro.engine import Engine
+from repro.engine.incremental.delta import derive
+from repro.nra import ast
+from repro.nra.ast import Lambda, Singleton, Var
+from repro.nra.derived import compose, select
+from repro.nra.errors import NRAEvalError
+from repro.nra.externals import ExternalFunction, Signature
+from repro.objects.types import BASE, ProdType, SetType
+from repro.objects.values import BaseVal, from_python
+from repro.relational.queries import REL_T
+from repro.workloads.databases import graph_database, nested_graph_database
+from repro.workloads.graphs import path_graph, random_graph
+from repro.workloads.streams import (
+    graph_update_stream,
+    nested_update_stream,
+    stream_graph_database,
+    stream_nested_database,
+)
+
+pytestmark = pytest.mark.ivm
+
+EDGE_T = ProdType(BASE, BASE)
+
+
+def fresh_graph_db(n=8, kind="path", **kw):
+    return graph_database(n, kind, mutable=True, **kw)
+
+
+def assert_matches_cold(session, view, query):
+    assert view.value == session.execute(query).value
+
+
+# ---------------------------------------------------------------------------
+# Changesets and mutable databases
+# ---------------------------------------------------------------------------
+
+class TestMutableDatabase:
+    def test_insert_returns_net_changeset_and_updates_contents(self):
+        db = fresh_graph_db(4)
+        cs = db.insert("edges", [(0, 3), (0, 1)])  # (0, 1) already present
+        assert cs.collections() == ["edges"]
+        assert [str(v) for v in cs["edges"].inserts] == ["(0, 3)"]
+        assert not cs["edges"].deletes
+        assert from_python((0, 3)) in db["edges"]
+
+    def test_delete_drops_absent_rows_from_the_changeset(self):
+        db = fresh_graph_db(4)
+        cs = db.delete("edges", [(0, 1), (9, 9)])
+        assert len(cs["edges"].deletes) == 1
+        assert from_python((0, 1)) not in db["edges"]
+
+    def test_noop_commit_is_empty_and_does_not_bump_the_version(self):
+        db = fresh_graph_db(4)
+        v0 = db.version
+        cs = db.insert("edges", [(0, 1)])
+        assert not cs and db.version == v0
+
+    def test_delete_and_reinsert_in_one_commit_cancel(self):
+        db = fresh_graph_db(4)
+        cs = db.apply(Changeset.of(edges=([(0, 1)], [(0, 1)])))
+        assert not cs
+        assert from_python((0, 1)) in db["edges"]
+
+    def test_insert_validates_against_the_element_type(self):
+        db = fresh_graph_db(4)
+        with pytest.raises(TypeError, match="element"):
+            db.insert("edges", [7])
+
+    def test_unknown_collection_raises_and_commits_nothing(self):
+        db = fresh_graph_db(4)
+        v0 = db.version
+        with pytest.raises(KeyError):
+            db.apply(Changeset.of(nowhere=([(1, 2)], [])))
+        assert db.version == v0
+
+    def test_frozen_database_refuses_mutation(self):
+        db = graph_database(4, "path")  # builders freeze by default
+        assert not db.mutable
+        with pytest.raises(RuntimeError, match="frozen"):
+            db.insert("edges", [(2, 0)])
+
+    def test_version_bump_refreshes_attached_sessions(self):
+        db = fresh_graph_db(4)
+        session = connect(db)
+        before = session.execute(Q.coll("edges")).value
+        db.insert("edges", [(3, 0)])
+        after = session.execute(Q.coll("edges")).value
+        assert len(after.elements) == len(before.elements) + 1
+
+    def test_multi_collection_changeset_applies_atomically(self):
+        db = nested_graph_database(6, 0.3, seed=1, mutable=True)
+        cs = db.apply(Changeset.of(edges=([(0, 5)], []), adj=([], [])))
+        assert cs.collections() == ["edges"]
+        assert cs.rows_touched() == 1
+
+
+# ---------------------------------------------------------------------------
+# Delta rules per operator
+# ---------------------------------------------------------------------------
+
+class TestDeltaRules:
+    def check(self, db, query, batches):
+        """Materialize, replay batches, compare with cold recompute each time."""
+        session = connect(db)
+        view = session.materialize(query)
+        for ins, dels in batches:
+            db.apply(Changeset.of(edges=(ins, dels)))
+            assert_matches_cold(session, view, query)
+        return view
+
+    def test_map_rule(self):
+        view = self.check(
+            fresh_graph_db(6),
+            Q.coll("edges").map(lambda e: e.snd),
+            [([(0, 4), (2, 5)], []), ([], [(0, 1), (2, 5)])],
+        )
+        assert view.maintenance_plan().ops() == {"ivm-map", "ivm-base"}
+        assert view.stats.fallback_recomputes == 0
+
+    def test_select_rule(self):
+        view = self.check(
+            fresh_graph_db(6),
+            Q.coll("edges").where(lambda e: e.fst == 2),
+            [([(2, 0), (2, 5)], []), ([], [(2, 3), (2, 0)])],
+        )
+        assert view.maintenance_plan().ops() == {"ivm-select", "ivm-base"}
+        assert view.stats.fallback_recomputes == 0
+
+    def test_join_rule_both_sides(self):
+        view = self.check(
+            fresh_graph_db(8),
+            Q.coll("edges").compose(Q.coll("edges")),
+            [([(0, 5), (5, 2)], []), ([(7, 0)], [(1, 2)]), ([], [(5, 2)])],
+        )
+        assert view.maintenance_plan().ops() == {"ivm-join", "ivm-base"}
+        assert view.stats.fallback_recomputes == 0
+
+    def test_union_rule_with_overlap(self):
+        q = (Q.coll("edges").where(lambda e: e.fst == 1)
+             | Q.coll("edges").where(lambda e: e.snd == 2))
+        view = self.check(
+            fresh_graph_db(6), q,
+            [([(1, 5)], []), ([], [(1, 2)])],  # (1, 2) satisfied both arms
+        )
+        assert "ivm-union" in view.maintenance_plan().ops()
+        assert view.stats.fallback_recomputes == 0
+
+    def test_general_ext_rule_via_unnest(self):
+        db = stream_nested_database(8, 0.3, seed=2)
+        session = connect(db)
+        query = Q.coll("adj").unnest()
+        view = session.materialize(query)
+        assert view.maintenance_plan().ops() == {"ivm-ext", "ivm-base"}
+        for cs in nested_update_stream(db, churn=0.3, seed=3).run(4):
+            assert_matches_cold(session, view, query)
+        assert view.stats.fallback_recomputes == 0
+
+    def test_fixpoint_rule_insert_only(self):
+        db = fresh_graph_db(10)
+        session = connect(db)
+        query = Q.coll("edges").fix()
+        view = session.materialize(query)
+        assert view.maintenance_plan().ops() == {"ivm-fixpoint", "ivm-base"}
+        db.insert("edges", [(9, 0)])  # closes the cycle: closure becomes total
+        assert_matches_cold(session, view, query)
+        assert len(view.value.elements) == 100
+        assert view.stats.fallback_recomputes == 0
+        assert view.stats.seminaive_rounds > 0
+
+    def test_fixpoint_with_a_budget_not_reading_the_seed_degrades(self):
+        # A loop whose iteration budget is a *constant* control set stays
+        # fixed while the data grows: a cold run's round count can stop
+        # short of the fixpoint a semi-naive continuation reaches.  The
+        # delta compiler must reject the shape (the view then serves the
+        # exact cold value through recompute mode).
+        from repro.nra.derived import compose as compose_expr
+
+        step = Lambda("rr", REL_T,
+                      ast.Union(Var("rr"), compose_expr(Var("rr"), Var("rr"), BASE)))
+        budget = ast.Const(from_python({0, 1}), SetType(BASE))  # 2 rounds, forever
+        expr = ast.Apply(ast.Loop(step, BASE), ast.Pair(budget, Var("edges")))
+        db = Database("g", mutable=True).register(
+            "edges", from_python({(0, 1), (1, 2)}), type=REL_T
+        )
+        session = connect(db)
+        view = session.materialize(expr)
+        assert "ivm-recompute" in view.maintenance_plan().ops()
+        db.insert("edges", [(2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8)])
+        assert_matches_cold(session, view, expr)
+
+    def test_fixpoint_deletion_falls_back_to_recompute(self):
+        db = fresh_graph_db(10)
+        session = connect(db)
+        query = Q.coll("edges").fix()
+        view = session.materialize(query)
+        db.delete("edges", [(4, 5)])
+        assert_matches_cold(session, view, query)
+        assert view.stats.fallback_recomputes == 1
+
+    def test_fixpoint_over_a_maintained_join_base(self):
+        # fix() over two-hop edges: the fixpoint child is itself a join node.
+        db = fresh_graph_db(12, "cycle")
+        session = connect(db)
+        query = Q.coll("edges").compose(Q.coll("edges")).fix()
+        view = session.materialize(query)
+        assert view.maintenance_plan().ops() == {
+            "ivm-fixpoint", "ivm-join", "ivm-base"
+        }
+        db.insert("edges", [(3, 11), (11, 6)])
+        assert_matches_cold(session, view, query)
+        assert view.stats.fallback_recomputes == 0
+
+
+class TestSupportCounting:
+    def test_join_output_survives_losing_one_of_two_derivations(self):
+        db = Database("g", mutable=True).register(
+            "edges", from_python({(0, 1), (1, 2), (0, 3), (3, 2)}), type=REL_T
+        )
+        session = connect(db)
+        q = Q.coll("edges").compose(Q.coll("edges"))
+        view = session.materialize(q)
+        assert (0, 2) in view.rows()  # derived via 1 and via 3
+        db.delete("edges", [(1, 2)])
+        assert (0, 2) in view.rows()  # still derived via 3
+        assert_matches_cold(session, view, q)
+        db.delete("edges", [(3, 2)])
+        assert (0, 2) not in view.rows()  # last derivation gone
+        assert_matches_cold(session, view, q)
+        assert view.stats.fallback_recomputes == 0
+
+    def test_union_output_survives_losing_one_arm(self):
+        db = Database("g", mutable=True).register(
+            "edges", from_python({(1, 1), (2, 1)}), type=REL_T
+        )
+        session = connect(db)
+        q = (Q.coll("edges").where(lambda e: e.fst == 1)
+             | Q.coll("edges").where(lambda e: e.snd == 1))
+        view = session.materialize(q)
+        # (1, 1) is produced by both arms; delete nothing, shrink one arm.
+        db.insert("edges", [(1, 3)])
+        db.delete("edges", [(2, 1)])
+        assert (1, 1) in view.rows()
+        assert_matches_cold(session, view, q)
+
+
+# ---------------------------------------------------------------------------
+# Fallbacks and degraded modes
+# ---------------------------------------------------------------------------
+
+class TestFallbacks:
+    def test_difference_shape_runs_in_recompute_mode(self):
+        db = fresh_graph_db(6)
+        session = connect(db)
+        q = Q.coll("edges") - Q.coll("edges").where(lambda e: e.fst == 2)
+        view = session.materialize(q)
+        assert "ivm-recompute" in view.maintenance_plan().ops()
+        assert view.recompute_only
+        db.insert("edges", [(2, 0), (4, 0)])
+        assert_matches_cold(session, view, q)
+        db.delete("edges", [(2, 3)])
+        assert_matches_cold(session, view, q)
+        assert view.stats.fallback_recomputes == 2
+
+    def test_correlated_flat_map_is_recognised_as_a_join(self):
+        # A correlated subquery in the equi-join shape is maintained
+        # bilinearly, not degraded: the analysis sees through flat_map.
+        q = Q.coll("edges").flat_map(
+            lambda e: Q.coll("edges").where(lambda f: f.fst == e.snd)
+        )
+        db = fresh_graph_db(6)
+        session = connect(db)
+        view = session.materialize(q)
+        assert view.maintenance_plan().ops() == {"ivm-join", "ivm-base"}
+        db.insert("edges", [(5, 1)])
+        assert_matches_cold(session, view, q)
+        assert view.stats.fallback_recomputes == 0
+
+    def test_ext_body_reading_a_mutable_collection_degrades(self):
+        # The subquery ignores the element and is not a join shape: the
+        # per-element contribution is no longer a pure function of the
+        # element, so the node falls back to recompute.
+        q = Q.coll("edges").flat_map(lambda e: Q.coll("edges").project(1))
+        db = fresh_graph_db(6)
+        session = connect(db)
+        view = session.materialize(q)
+        assert "ivm-recompute" in view.maintenance_plan().ops()
+        db.insert("edges", [(5, 1)])
+        assert_matches_cold(session, view, q)
+
+    def test_untouched_views_are_not_refreshed(self):
+        db = nested_graph_database(8, 0.25, seed=3, mutable=True)
+        session = connect(db)
+        adj_view = session.materialize(Q.coll("adj").unnest())
+        edge_view = session.materialize(Q.coll("edges").where(lambda e: e.fst == 1))
+        db.insert("edges", [(1, 7)])
+        assert edge_view.stats.delta_applies == 1
+        assert adj_view.stats.delta_applies == 0  # "adj" untouched
+
+    def test_static_query_without_database(self):
+        session = connect()
+        view = session.materialize(Q.const({1, 2, 3}))
+        assert view.rows() == frozenset({1, 2, 3})
+
+    def test_scalar_query_is_rejected(self):
+        session = connect(fresh_graph_db(4))
+        with pytest.raises(NRAEvalError, match="expected a set"):
+            session.materialize(Q.coll("edges").is_empty())
+
+
+# ---------------------------------------------------------------------------
+# Invalidation ordering, staleness, lifecycle
+# ---------------------------------------------------------------------------
+
+class TestViewLifecycle:
+    def test_views_refresh_in_registration_order(self):
+        db = fresh_graph_db(6)
+        session = connect(db)
+        order = []
+        views = []
+        for label in ("first", "second", "third"):
+            v = session.materialize(Q.coll("edges").map(lambda e: e.fst), name=label)
+            v._on_apply = lambda view, delta, fb: order.append(view.name)
+            views.append(v)
+        db.insert("edges", [(5, 0)])
+        assert order == ["first", "second", "third"]
+        db.delete("edges", [(5, 0)])
+        assert order == ["first", "second", "third"] * 2
+
+    def test_dropping_a_base_collection_marks_dependents_stale(self):
+        db = nested_graph_database(6, 0.3, seed=5, mutable=True)
+        session = connect(db)
+        edge_view = session.materialize(Q.coll("edges").where(lambda e: e.fst == 0))
+        adj_view = session.materialize(Q.coll("adj").unnest())
+        db.drop("edges")
+        assert edge_view.stale and not adj_view.stale
+        with pytest.raises(RuntimeError, match="stale"):
+            edge_view.value
+        # The untouched view keeps serving.
+        adj_view.value
+
+    def test_closed_view_refuses_service_and_skips_commits(self):
+        db = fresh_graph_db(6)
+        session = connect(db)
+        view = session.materialize(Q.coll("edges"))
+        view.close()
+        db.insert("edges", [(5, 0)])
+        assert view.stats.delta_applies == 0
+        with pytest.raises(RuntimeError, match="closed"):
+            view.value
+
+    def test_closing_a_view_unregisters_it_from_the_database(self):
+        db = fresh_graph_db(6)
+        session = connect(db)
+        view = session.materialize(Q.coll("edges"))
+        assert db.views() == [view]
+        view.close()
+        assert db.views() == []
+
+    def test_closing_the_session_closes_its_views(self):
+        db = fresh_graph_db(6)
+        with connect(db) as session:
+            view = session.materialize(Q.coll("edges"))
+        assert view.closed and db.views() == []
+
+    def test_commits_skip_stale_views_and_still_reach_later_ones(self):
+        # A commit must not fail (after the data already changed) because an
+        # earlier-registered view went stale, and views registered after the
+        # stale one must still be notified.
+        db = nested_graph_database(6, 0.3, seed=9, mutable=True)
+        session = connect(db)
+        stale_view = session.materialize(Q.coll("adj").unnest())
+        live_view = session.materialize(Q.coll("edges").where(lambda e: e.fst == 0))
+        db.drop("adj")
+        assert stale_view.stale
+        db.insert("edges", [(0, 99)])  # must not raise
+        assert live_view.stats.delta_applies == 1
+        assert (0, 99) in live_view.rows()
+
+    def test_refresh_rebuilds_and_reports_the_diff(self):
+        db = fresh_graph_db(6)
+        session = connect(db)
+        view = session.materialize(Q.coll("edges"))
+        delta = view.refresh()
+        assert not delta  # nothing changed
+        assert view.stats.fallback_recomputes == 1
+
+    def test_materialize_with_params_binds_now(self):
+        db = fresh_graph_db(8)
+        session = connect(db)
+        q = Q.coll("edges").where(lambda e: e.fst == Q.param("src"))
+        view = session.materialize(q, params={"src": 2})
+        db.insert("edges", [(2, 7), (5, 7)])
+        assert view.rows() == frozenset({(2, 3), (2, 7)})
+        assert view.stats.fallback_recomputes == 0
+
+
+# ---------------------------------------------------------------------------
+# Stats wiring and explain
+# ---------------------------------------------------------------------------
+
+class TestStatsAndExplain:
+    def test_session_stats_aggregate_view_maintenance(self):
+        db = fresh_graph_db(8)
+        session = connect(db)
+        session.materialize(Q.coll("edges").fix(), name="tc")
+        session.materialize(Q.coll("edges").compose(Q.coll("edges")), name="hop")
+        assert session.stats.materializes == 2
+        db.insert("edges", [(7, 0)])
+        assert session.stats.delta_applies == 2
+        assert session.stats.fallback_recomputes == 0
+        assert session.stats.view_rows_touched > 0
+        db.delete("edges", [(3, 4)])
+        assert session.stats.delta_applies == 4
+        assert session.stats.fallback_recomputes == 1  # the fixpoint fallback
+
+    def test_engine_explain_plan_incremental_backend(self):
+        eng = Engine()
+        plan = eng.explain_plan(compose(Var("a"), Var("b"), BASE),
+                                backend="incremental")
+        assert plan.ops() == {"ivm-join", "ivm-base"}
+        assert "bilinear" in plan.annotations
+
+    def test_session_explain_plan_incremental_backend(self):
+        session = connect(fresh_graph_db(4))
+        plan = session.explain_plan(Q.coll("edges").fix(), backend="incremental")
+        assert "ivm-fixpoint" in plan.ops()
+
+    def test_maintenance_plan_marks_static_subtrees(self):
+        eng = Engine()
+        expr = ast.Union(Var("edges"), ast.Const(from_python({(1, 2)}), REL_T))
+        plan = derive(eng.optimize(expr).optimized, frozenset({"edges"}))
+        assert plan.kinds() == {"union", "base", "static"}
+
+    def test_run_rejects_incremental_as_an_execution_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            Engine().run(Var("x"), env={"x": from_python({1})},
+                         backend="incremental")
+
+
+# ---------------------------------------------------------------------------
+# Error-class agreement with recompute
+# ---------------------------------------------------------------------------
+
+class TestErrorAgreement:
+    def _sigma(self):
+        def boom(v):
+            if isinstance(v, BaseVal) and v.value == 13:
+                raise NRAEvalError("boom at 13")
+            return v
+
+        return Signature([ExternalFunction("boom", BASE, BASE, boom, "raises at 13")])
+
+    def test_maintenance_raises_the_same_error_class_as_recompute(self):
+        sigma = self._sigma()
+        db = Database("g", mutable=True).register(
+            "nums", from_python({1, 2, 3}), type=SetType(BASE)
+        )
+        session = connect(db, sigma=sigma)
+        expr = ast.Apply(
+            ast.Ext(Lambda("x", BASE, Singleton(ast.ExternalCall("boom", Var("x"))))),
+            Var("nums"),
+        )
+        view = session.materialize(expr)
+        db.insert("nums", [7])
+        assert view.rows() == frozenset({1, 2, 3, 7})
+        with pytest.raises(NRAEvalError):
+            db.insert("nums", [13])
+        with pytest.raises(NRAEvalError):
+            session.execute(expr)
+
+    def test_materialize_of_a_raising_view_raises_like_execute(self):
+        sigma = self._sigma()
+        db = Database("g", mutable=True).register(
+            "nums", from_python({13}), type=SetType(BASE)
+        )
+        session = connect(db, sigma=sigma)
+        expr = ast.Apply(
+            ast.Ext(Lambda("x", BASE, Singleton(ast.ExternalCall("boom", Var("x"))))),
+            Var("nums"),
+        )
+        with pytest.raises(NRAEvalError):
+            session.materialize(expr)
+        with pytest.raises(NRAEvalError):
+            session.execute(expr)
+
+
+# ---------------------------------------------------------------------------
+# Streams
+# ---------------------------------------------------------------------------
+
+class TestStreams:
+    def test_graph_stream_is_deterministic_per_seed(self):
+        a = stream_graph_database(16, "random", seed=4, p=0.2)
+        b = stream_graph_database(16, "random", seed=4, p=0.2)
+        ca = [cs.rows_touched() for cs in graph_update_stream(a, churn=0.1, seed=9).run(3)]
+        cb = [cs.rows_touched() for cs in graph_update_stream(b, churn=0.1, seed=9).run(3)]
+        assert ca == cb
+        assert a["edges"] == b["edges"]
+
+    def test_graph_stream_respects_churn_and_ratio(self):
+        db = stream_graph_database(20, "random", seed=6, p=0.3)
+        before = len(db["edges"].elements)
+        stream = graph_update_stream(db, churn=0.5, insert_ratio=0.0, seed=2)
+        cs = stream.step()
+        assert not cs["edges"].inserts
+        assert len(cs["edges"].deletes) == round(0.5 * before)
+
+    def test_nested_stream_rewrites_whole_records(self):
+        db = stream_nested_database(10, 0.3, seed=8)
+        cs = nested_update_stream(db, churn=0.3, seed=8).step()
+        d = cs.get("adj")
+        assert d is not None and len(d.inserts) == len(d.deletes)
+
+    def test_stream_validates_parameters(self):
+        db = stream_graph_database(8, seed=1)
+        with pytest.raises(ValueError):
+            graph_update_stream(db, churn=0.0)
+        with pytest.raises(ValueError):
+            graph_update_stream(db, insert_ratio=1.5)

@@ -25,9 +25,16 @@ Case families:
 * the oracle-enrichment workload (latency 0);
 * error cases: raising externals (empty and non-empty inputs), projections
   of non-pairs, non-boolean conditions, unbound variables, applying a
-  non-function.
+  non-function;
+* the **maintenance oracle** (PR-5): seed-pinned random update sequences
+  against mutable databases with a panel of registered views covering every
+  delta rule (selection, map, bilinear join, counted union, unnest,
+  recursive fixpoint) plus a deliberate fallback shape -- after *every*
+  changeset, each maintained view must equal a cold recompute of its query
+  value-for-value, and maintenance-time errors must match recompute's error
+  class.
 
-Roughly 200 cases in all; the whole suite carries the ``differential``
+Roughly 300 cases in all; the whole suite carries the ``differential``
 marker (CI runs it on the main job, ``make test-fast`` skips it).
 """
 
@@ -257,3 +264,88 @@ class TestErrorAgreement:
     def test_unknown_external(self):
         expr = ast.ExternalCall("missing", Const(from_python(1), BASE))
         assert_backends_agree(expr, label="unknown external")
+
+
+# ---------------------------------------------------------------------------
+# 7. The maintenance oracle (PR-5): maintained views == cold recompute
+#    after every changeset of random update sequences (~100 seeds)
+# ---------------------------------------------------------------------------
+
+from repro.api import Q, connect  # noqa: E402
+from repro.workloads.streams import (  # noqa: E402
+    graph_update_stream,
+    nested_update_stream,
+    stream_graph_database,
+    stream_nested_database,
+)
+
+
+def _view_panel():
+    """One query per delta rule, rebuilt fresh per case (templates cache)."""
+    return {
+        "selection": Q.coll("edges").where(lambda e: e.fst == 2),
+        "map": Q.coll("edges").map(lambda e: e.snd),
+        "two-hop-join": Q.coll("edges").compose(Q.coll("edges")),
+        "union-overlap": (Q.coll("edges").where(lambda e: e.fst == 1)
+                          | Q.coll("edges").where(lambda e: e.snd == 2)),
+        "tc-fixpoint": Q.coll("edges").fix(),
+        "difference-fallback": Q.coll("edges")
+        - Q.coll("edges").where(lambda e: e.fst == 0),
+    }
+
+
+def _assert_views_match_recompute(session, views, label):
+    for vname, (view, query) in views.items():
+        got = view.value
+        want = session.execute(query).value
+        assert got == want, (
+            f"{label}: view {vname!r} diverged from cold recompute "
+            f"({len(got.elements)} vs {len(want.elements)} rows)"
+        )
+
+
+@pytest.mark.ivm
+@pytest.mark.parametrize("seed", range(80))
+def test_maintained_views_equal_recompute_on_flat_streams(seed):
+    rng = random.Random(40_000 + seed)
+    n = rng.randrange(8, 16)
+    db = stream_graph_database(n, "random", seed=seed, p=rng.uniform(0.1, 0.3))
+    session = connect(db)
+    views = {name: (session.materialize(q, name=name), q)
+             for name, q in _view_panel().items()}
+    insert_ratio = rng.choice((1.0, 1.0, 0.7, 0.4, 0.0))
+    stream = graph_update_stream(
+        db, churn=rng.uniform(0.05, 0.4), insert_ratio=insert_ratio,
+        seed=seed + 1, domain=n + 2,
+    )
+    for step, _ in enumerate(stream.run(4)):
+        _assert_views_match_recompute(
+            session, views, f"flat seed {seed} step {step}"
+        )
+    if insert_ratio == 1.0:
+        # Insert-only streams must never fall back on the fixpoint view.
+        assert views["tc-fixpoint"][0].stats.fallback_recomputes == 0
+
+
+@pytest.mark.ivm
+@pytest.mark.parametrize("seed", range(20))
+def test_maintained_views_equal_recompute_on_nested_streams(seed):
+    rng = random.Random(50_000 + seed)
+    db = stream_nested_database(rng.randrange(8, 14), rng.uniform(0.15, 0.35),
+                                seed=seed)
+    session = connect(db)
+    panel = {
+        "unnest": Q.coll("adj").unnest(),
+        "nested-two-hop": Q.coll("adj").unnest().compose(Q.coll("adj").unnest()),
+        "nested-tc": Q.coll("adj").unnest().fix(),
+    }
+    views = {name: (session.materialize(q, name=name), q)
+             for name, q in panel.items()}
+    stream = nested_update_stream(
+        db, churn=rng.uniform(0.1, 0.35),
+        insert_ratio=rng.choice((1.0, 0.6, 0.3)), seed=seed + 7,
+    )
+    for step, _ in enumerate(stream.run(4)):
+        _assert_views_match_recompute(
+            session, views, f"nested seed {seed} step {step}"
+        )
