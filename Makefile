@@ -10,13 +10,16 @@
 # (fresh quick run held to the 3x vectorized-over-memo, 1.5x parallel and
 # 5x delta-maintenance acceptance bars against the committed
 # BENCH_engine.json); `test-ivm` selects the ivm-marked suites (unit
-# tests + maintenance oracle); `docs-check` runs the documentation
-# consistency tests (no dangling *.md references from docstrings).
+# tests + maintenance oracle); `test-dred` narrows to the dred-marked
+# deletion suites (delete/rederive units, honesty boundary, deletion
+# oracles, state-invariant properties); `docs-check` runs the
+# documentation consistency tests (no dangling *.md references from
+# docstrings).
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-ivm bench bench-engine bench-all bench-all-quick bench-check bench-ivm docs-check
+.PHONY: test test-fast test-ivm test-dred bench bench-engine bench-all bench-all-quick bench-check bench-ivm docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -26,6 +29,9 @@ test-fast:
 
 test-ivm:
 	$(PYTHON) -m pytest -q -m ivm
+
+test-dred:
+	$(PYTHON) -m pytest -q -m dred
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ -s --benchmark-only

@@ -1,10 +1,12 @@
 """Standalone runner for the incremental view-maintenance benchmark rows.
 
-Runs just the two IVM rows of :mod:`benchmarks.run_all` -- the gated
+Runs just the three IVM rows of :mod:`benchmarks.run_all` -- the gated
 ``ivm-small-delta`` acceptance row (delta apply vs full recompute under a 1%
-insert-churn stream) and the ungated ``ivm-deletion-recompute`` honesty row
-(the deletion fallback path) -- without the multi-minute memo baselines of
-the full suite.  Wired to ``make bench-ivm``.
+insert-churn stream), the gated ``ivm-deletion-delta`` acceptance row
+(delete/rederive vs full recompute under a 1% deletion-churn stream), and
+the ungated ``ivm-mixed-recompute`` honesty row (the fallback shapes) --
+without the multi-minute memo baselines of the full suite.  Wired to
+``make bench-ivm``.
 
 Usage::
 
@@ -26,7 +28,12 @@ HERE = Path(__file__).resolve().parent
 if str(HERE) not in sys.path:
     sys.path.insert(0, str(HERE))
 
-from run_all import _ivm_deletion_workload, _ivm_delta_workload, _print_ivm  # noqa: E402
+from run_all import (  # noqa: E402
+    _ivm_deletion_delta_workload,
+    _ivm_delta_workload,
+    _ivm_mixed_recompute_workload,
+    _print_ivm,
+)
 
 IVM_BAR = 5.0
 
@@ -39,7 +46,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="dump the raw rows as JSON to stdout")
     args = parser.parse_args(argv)
 
-    rows = [_ivm_delta_workload(args.quick), _ivm_deletion_workload(args.quick)]
+    rows = [
+        _ivm_delta_workload(args.quick),
+        _ivm_deletion_delta_workload(args.quick),
+        _ivm_mixed_recompute_workload(args.quick),
+    ]
     print(f"== incremental view-maintenance rows ({'quick' if args.quick else 'full'})")
     _print_ivm(rows)
     if args.json:

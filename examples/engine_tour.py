@@ -117,7 +117,9 @@ def main() -> None:
     print(f"   stats    : {view.stats}")
     live.delete("edges", [(1, 40)])
     assert view.value == live_session.execute(Q.coll("edges").fix()).value
-    print(f"   delete   : recursive views recompute on deletion -- "
+    print(f"   delete   : delete/rederive over the counted fixpoint -- "
+          f"overdeleted {view.stats.dred_overdeletes}, "
+          f"rederived {view.stats.dred_rederives}, "
           f"fallback_recomputes={view.stats.fallback_recomputes}")
 
     print()

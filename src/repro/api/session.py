@@ -61,6 +61,8 @@ class SessionStats:
     delta_applies: int = 0     # changesets absorbed by this session's views
     fallback_recomputes: int = 0  # view applies that fell back to recompute
     view_rows_touched: int = 0    # view result rows inserted + deleted
+    dred_overdeletes: int = 0     # elements over-deleted by delete/rederive
+    dred_rederives: int = 0       # over-deleted elements rederivation re-proved
 
     def snapshot(self) -> "SessionStats":
         return SessionStats(**{f: getattr(self, f) for f in self.__dataclass_fields__})
@@ -315,7 +317,9 @@ class Session:
         which).  The view is registered with the session's database: every
         subsequent ``insert``/``delete``/``apply`` commit refreshes it before
         returning, and the session's stats aggregate the maintenance work
-        (``delta_applies``, ``fallback_recomputes``, ``view_rows_touched``).
+        (``delta_applies``, ``fallback_recomputes``, ``view_rows_touched``,
+        and the delete/rederive counters ``dred_overdeletes`` /
+        ``dred_rederives``).
 
         Parameters are bound *now* (views are standing queries, not
         templates); the result must be set-valued.  Works without a database
@@ -374,6 +378,8 @@ class Session:
             if fallback:
                 self.stats.fallback_recomputes += 1
             self.stats.view_rows_touched += len(delta.inserted) + len(delta.deleted)
+            self.stats.dred_overdeletes += delta.dred_overdeleted
+            self.stats.dred_rederives += delta.dred_rederived
 
     # -- explain ------------------------------------------------------------------
 

@@ -40,8 +40,18 @@ approximate rule.  The accepted shapes, and the rules they get:
     (:func:`~repro.engine.vectorized.compiler.delta_terms` -- the *same*
     analysis that gates semi-naive execution, so a view is fixpoint-
     maintainable iff its loop runs semi-naively).  Insertions are maintained
-    by semi-naive **continuation** from the new frontier; deletions fall
-    back to recomputing the fixpoint from the maintained base.
+    by semi-naive **continuation** from the new frontier; deletions by
+    **delete/rederive** (DRed) -- over-delete every derivation through a
+    deleted element, re-prove the still-supported survivors, continue
+    semi-naively (the ``ivm-dred-*`` nodes under the fixpoint in the
+    rendered plan).  When the step is additionally the **bilinear
+    self-join** shape ``\\v. v U (v >< v)`` (the library's ``fix()``), the
+    view keeps counted two-sided hash indexes over the fixpoint itself, so
+    both DRed passes cost the derivation cone, never a full re-join; other
+    accepted steps run DRed over the generic frontier terms.  Both passes
+    are sound for exactly the accepted grammar, which is why no *extra*
+    analysis gates them: a shape that compiles to ``fixpoint`` is
+    deletion-maintainable, and a shape that does not never reaches DRed.
 
 ``static``
     any subexpression mentioning no mutable collection: evaluated once,
@@ -91,7 +101,10 @@ class DeltaOp:
     #: ``map``/``select``/``ext``: the bound element variable and set-valued body.
     var: str = ""
     body: Optional[Expr] = None
-    #: ``join``: bound variables, key expressions, output expression.
+    #: ``join``: bound variables, key expressions, output expression.  A
+    #: ``fixpoint`` whose step is the bilinear self-join shape (``fix()``'s
+    #: repeated squaring) carries the same fields for its indexed strategy;
+    #: they stay at their defaults for other accepted step shapes.
     rvar: str = ""
     lkey: Optional[Expr] = None
     rkey: Optional[Expr] = None
@@ -210,6 +223,22 @@ def _derive_fixpoint(e: ast.Apply, bases: frozenset[str]) -> Optional[DeltaOp]:
     terms = delta_terms(step.body, step.var, dv)
     if terms is None:
         return None
+    join = _match_self_join(step)
+    if join is not None:
+        lvar, rvar, lkey, rkey, out = join
+        return DeltaOp(
+            "fixpoint",
+            e,
+            (derive(base_expr, bases),),
+            step=step,
+            delta_var=dv,
+            terms=tuple(terms),
+            var=lvar,
+            rvar=rvar,
+            lkey=lkey,
+            rkey=rkey,
+            out=out,
+        )
     return DeltaOp(
         "fixpoint",
         e,
@@ -220,6 +249,48 @@ def _derive_fixpoint(e: ast.Apply, bases: frozenset[str]) -> Optional[DeltaOp]:
     )
 
 
+def _match_self_join(step: ast.Lambda) -> Optional[tuple[str, str, Expr, Expr, Expr]]:
+    """Recognise the bilinear self-join step ``\\v. v U (v >< v)``.
+
+    The shape the library's ``fix()`` emits (repeated-squaring transitive
+    closure): a union of the accumulator with an equi-join of the
+    accumulator against itself.  For this shape the view keeps **two-sided
+    hash indexes and per-output support counts over the fixpoint itself**,
+    so deletion maintenance walks the derivation cone by index probes and
+    rederives by remaining-support counts instead of re-running the step
+    body (see ``MaterializedView._ijoin_dred``).  Returns
+    ``(lvar, rvar, lkey, rkey, out)`` or ``None``; a miss is not an error --
+    the generic frontier-term DRed still applies.
+    """
+    body = step.body
+    if not isinstance(body, ast.Union):
+        return None
+    for ident, joined in ((body.left, body.right), (body.right, body.left)):
+        if not (isinstance(ident, ast.Var) and ident.name == step.var):
+            continue
+        if not (
+            isinstance(joined, ast.Apply)
+            and isinstance(joined.func, ast.Ext)
+            and isinstance(joined.func.func, ast.Lambda)
+            and isinstance(joined.arg, ast.Var)
+            and joined.arg.name == step.var
+        ):
+            continue
+        f = joined.func.func
+        m = match_join(f.var, f.body)
+        if m is None:
+            continue
+        rvar, lkey, rkey, out, inner_src = m
+        if not (isinstance(inner_src, ast.Var) and inner_src.name == step.var):
+            continue
+        if step.var in (
+            free_variables(lkey) | free_variables(rkey) | free_variables(out)
+        ):
+            continue  # a key reading the accumulator defeats the indexes
+        return f.var, rvar, lkey, rkey, out
+    return None
+
+
 # ---------------------------------------------------------------------------
 # Explain rendering
 # ---------------------------------------------------------------------------
@@ -227,6 +298,7 @@ def _derive_fixpoint(e: ast.Apply, bases: frozenset[str]) -> Optional[DeltaOp]:
 def _plan_of(op: DeltaOp) -> PlanNode:
     detail = ""
     annotations: tuple[str, ...] = ()
+    children = [_plan_of(c) for c in op.children]
     if op.kind == "base":
         detail = op.source
     elif op.kind in ("map", "select", "ext"):
@@ -239,11 +311,32 @@ def _plan_of(op: DeltaOp) -> PlanNode:
         annotations = ("counted",)
     elif op.kind == "fixpoint":
         detail = f"{len(op.terms)} frontier terms"
-        annotations = ("semi-naive continuation", "recompute-on-delete")
+        annotations = ("semi-naive continuation", "delete-rederive")
+        # The deletion strategy, rendered as explicit sub-steps.  The
+        # bilinear self-join step (fix()'s repeated squaring) keeps counted
+        # two-sided indexes over the fixpoint itself: the over-deletion
+        # sweep walks the derivation cone by index probes and rederivation
+        # reads the remaining support counts.  Other accepted steps reuse
+        # the continuation's frontier terms for the sweep and re-prove
+        # survivors' one-step consequences with the step body.
+        if op.lkey is not None:
+            annotations += ("bilinear-indexed",)
+            children.append(node("ivm-dred-overdelete",
+                                 "indexed derivation cone, counts decremented",
+                                 annotations=("derivation-cone", "indexed")))
+            children.append(node("ivm-dred-rederive",
+                                 "surviving support counts + seed, then continuation",
+                                 annotations=("semi-naive continuation",)))
+        else:
+            children.append(node("ivm-dred-overdelete",
+                                 f"{len(op.terms)} frontier terms over old fixpoint",
+                                 annotations=("derivation-cone",)))
+            children.append(node("ivm-dred-rederive",
+                                 "seed + one-step support, then continuation",
+                                 annotations=("semi-naive continuation",)))
     elif op.kind == "recompute":
         annotations = ("fallback",)
-    return node(f"ivm-{op.kind}", detail, *[_plan_of(c) for c in op.children],
-                annotations=annotations)
+    return node(f"ivm-{op.kind}", detail, *children, annotations=annotations)
 
 
 def maintenance_plan(e: Expr, bases: Optional[frozenset[str]] = None) -> PlanNode:

@@ -17,8 +17,12 @@ Runtime state, per :class:`~repro.engine.incremental.delta.DeltaOp` node:
 * ``fixpoint`` nodes hold the current fixpoint set; insertions re-enter the
   engine's semi-naive frontier iteration *from the new frontier* (the old
   result is the accumulator, so converged work is never re-derived), and
-  deletions recompute the fixpoint from the maintained base -- the
-  conservative classical fallback;
+  deletions run **delete/rederive** (DRed): an over-deletion pass propagates
+  the deleted elements through the loop's frontier terms to drop everything
+  with a derivation through a deleted element, and a rederivation pass
+  re-proves the over-deleted elements still supported by the survivors, then
+  continues semi-naively -- work scales with the affected derivation cone,
+  not the result (see :meth:`MaterializedView._dred_fixpoint`);
 * ``recompute`` nodes hold only their output set and re-evaluate their
   subtree through the engine's vectorized compiler, diffing old against new.
 
@@ -64,7 +68,10 @@ class ViewStats:
     fallback_recomputes: int = 0  # node-level recomputes (incl. whole-view mode)
     rows_inserted: int = 0        # result rows added across all applies
     rows_deleted: int = 0         # result rows removed across all applies
-    seminaive_rounds: int = 0     # fixpoint continuation rounds run
+    seminaive_rounds: int = 0     # fixpoint continuation + over-deletion rounds
+    dred_applies: int = 0         # fixpoint deletions absorbed by delete/rederive
+    dred_overdeletes: int = 0     # elements over-deleted across all DRed passes
+    dred_rederives: int = 0       # over-deleted elements re-proved by rederivation
 
     def rows_touched(self) -> int:
         return self.rows_inserted + self.rows_deleted
@@ -72,10 +79,18 @@ class ViewStats:
 
 @dataclass
 class ViewDelta:
-    """What one ``apply`` did to the view's result."""
+    """What one ``apply`` did to the view's result.
+
+    The ``dred_*`` fields carry the delete/rederive work of *this* apply
+    (the view's :class:`ViewStats` hold the lifetime totals) so the
+    ``on_apply`` observer -- the session stats aggregation -- sees per-commit
+    deltas without diffing counters itself.
+    """
 
     inserted: tuple[Value, ...] = ()
     deleted: tuple[Value, ...] = ()
+    dred_overdeleted: int = 0
+    dred_rederived: int = 0
 
     def __bool__(self) -> bool:
         return bool(self.inserted or self.deleted)
@@ -121,6 +136,10 @@ class MaterializedView:
         self.closed = False
         self._on_apply = on_apply
         self._registry = None
+        # Compiled (lkey, rkey, out) closures per indexed-fixpoint op, keyed
+        # by op identity: probed once per cone element, so the per-call
+        # compile-cache lookups are worth hoisting.
+        self._ijoin_fns: dict = {}
         with engine.lock:
             # The view maintains the *optimized* template: it is what a cold
             # run evaluates, and its compiled closures are already (or will
@@ -171,6 +190,8 @@ class MaterializedView:
         with self.engine.lock:
             self._refresh_env(changeset)
             fallbacks_before = self.stats.fallback_recomputes
+            overdeletes_before = self.stats.dred_overdeletes
+            rederives_before = self.stats.dred_rederives
             if self.recompute_only:
                 delta = self._recompute_value()
                 self.stats.fallback_recomputes += 1
@@ -178,6 +199,8 @@ class MaterializedView:
                 root_delta = self._apply_node(self.plan_ops, self._root, changeset)
                 delta = self._commit_root(root_delta)
             fallback = self.stats.fallback_recomputes > fallbacks_before
+            delta.dred_overdeleted = self.stats.dred_overdeletes - overdeletes_before
+            delta.dred_rederived = self.stats.dred_rederives - rederives_before
             self.stats.delta_applies += 1
             self.stats.rows_inserted += len(delta.inserted)
             self.stats.rows_deleted += len(delta.deleted)
@@ -275,15 +298,12 @@ class MaterializedView:
         return ViewDelta(tuple(ins.elements), tuple(dels.elements))
 
     def _commit_root(self, root_delta: SetDelta) -> ViewDelta:
+        # Every maintainable node keeps its output set current, so the root
+        # node's output *is* the new value: serve it instead of replaying
+        # the delta against the old value with set algebra.
         ins = [v for v, dc in root_delta.items() if dc > 0]
         dels = [v for v, dc in root_delta.items() if dc < 0]
-        it = self._it
-        out = self._value
-        if dels:
-            out = it.difference(out, it.mkset(dels))
-        if ins:
-            out = it.union(out, it.mkset(ins))
-        self._value = out
+        self._value = self._root.out
         return ViewDelta(tuple(ins), tuple(dels))
 
     # -- compiled-closure plumbing --------------------------------------------
@@ -337,6 +357,8 @@ class MaterializedView:
         if kind == "fixpoint":
             base = st.children[0].out
             st.out = self._fixpoint_from(op, base, base)
+            if op.lkey is not None:
+                self._ijoin_build(op, st)
             return st
         raise AssertionError(f"unknown delta op kind {kind!r}")
 
@@ -562,19 +584,271 @@ class MaterializedView:
         old = st.out
         if not d:
             return {}
-        if any(dc < 0 for dc in d.values()):
-            # Deletions may strand derived elements: recompute from the
-            # (already maintained) base.
-            base = st.children[0].out
-            st.out = self._fixpoint_from(op, base, base)
-            self.stats.fallback_recomputes += 1
+        ins = [v for v, dc in d.items() if dc > 0]
+        dels = [v for v, dc in d.items() if dc < 0]
+        if op.lkey is not None:
+            # The indexed paths know their exact deltas (what fell for good,
+            # what is genuinely new): no full-set diff against ``old``.
+            if dels:
+                return self._ijoin_dred(op, st, ins, dels)
+            st.out, added = self._ijoin_continue(op, st, ins)
+            return {v: 1 for v in added}
+        if dels:
+            st.out = self._dred_fixpoint(op, st, ins, dels)
         else:
-            ins = it.mkset(v for v, dc in d.items() if dc > 0)
-            frontier = it.difference(ins, old)
+            insset = it.mkset(ins)
+            frontier = it.difference(insset, old)
             st.out = self._fixpoint_from(op, it.union(old, frontier), frontier)
         delta: SetDelta = {}
         for v in it.difference(st.out, old).elements:
             delta[v] = 1
         for v in it.difference(old, st.out).elements:
             delta[v] = -1
+        return delta
+
+    def _dred_fixpoint(self, op: DeltaOp, st: _NodeState, ins, dels) -> SetVal:
+        """Delete/rederive (DRed): deletion-sound maintenance of a fixpoint.
+
+        **Over-deletion.**  Starting from the deleted seed elements, apply
+        the loop's frontier terms with the *old* fixpoint as the accumulator
+        and the freshly over-deleted elements as the frontier, until nothing
+        new falls: because the step is union-distributive, the terms cover
+        exactly the derivations touching the frontier, so the pass collects
+        every element with *some* derivation through a deleted element (an
+        over-approximation -- alternative support is ignored on purpose,
+        which is what breaks cyclic self-support).  The terms are monotone
+        in both slots, so the survivors ``R = old \\ over`` provably all lie
+        in the new least fixpoint.
+
+        **Rederivation.**  An over-deleted element is still derivable iff it
+        is in the maintained seed or one step of the loop body away from
+        ``R``; those plus the batch's insertions re-enter the ordinary
+        semi-naive continuation, which re-proves everything they transitively
+        support.  Work scales with the affected derivation cone, not the
+        result; when the cone *is* the result (a hub deletion) DRed
+        degenerates to roughly one recompute plus the over-deletion sweep --
+        see DESIGN.md, "when maintenance loses".
+        """
+        it = self._it
+        env = self._env
+        old = st.out
+        old_ids = set(map(id, old.elements))
+        # -- over-deletion pass ------------------------------------------------
+        over: dict = dict.fromkeys(v for v in dels if id(v) in old_ids)
+        frontier = it.mkset(over)
+        over_ids = set(map(id, over))
+        term_fns = [self._fn(t) for t in op.terms]
+        var, dv = op.step.var, op.delta_var
+        vtok, dtok = bind(env, var), bind(env, dv)
+        try:
+            env[var] = old
+            while frontier.elements:
+                self.stats.seminaive_rounds += 1
+                env[dv] = frontier
+                fell: list[Value] = []
+                for fn in term_fns:
+                    for y in _expect_set(fn(env), "dred over-deletion term").elements:
+                        if id(y) in old_ids and id(y) not in over_ids:
+                            over[y] = None
+                            over_ids.add(id(y))
+                            fell.append(y)
+                frontier = it.mkset(fell)
+        finally:
+            unbind(env, dv, dtok)
+            unbind(env, var, vtok)
+        surviving = it.difference(old, it.mkset(over))
+        # -- rederivation pass -------------------------------------------------
+        seed = st.children[0].out  # already maintained: this batch applied
+        seed_ids = set(map(id, seed.elements))
+        vtok = bind(env, var)
+        try:
+            env[var] = surviving
+            one_step = _expect_set(self._fn(op.step.body)(env), "dred rederivation step")
+        finally:
+            unbind(env, var, vtok)
+        one_step_ids = set(map(id, one_step.elements))
+        rederived = [v for v in over
+                     if id(v) in seed_ids or id(v) in one_step_ids]
+        frontier = it.difference(it.mkset(rederived + list(ins)), surviving)
+        out = self._fixpoint_from(op, it.union(surviving, frontier), frontier)
+        out_ids = set(map(id, out.elements))
+        self.stats.dred_applies += 1
+        self.stats.dred_overdeletes += len(over)
+        self.stats.dred_rederives += sum(1 for v in over if id(v) in out_ids)
+        return out
+
+    # -- bilinear-indexed fixpoint (the self-join step of ``fix()``) -----------
+    #
+    # When the step is ``\v. v U (v >< v)`` the fixpoint node keeps, over its
+    # *own* output: hash indexes on both join sides and, per output element,
+    # the count of join derivations currently producing it (seed membership
+    # is tracked by the child node, so the standing invariant is
+    # ``out = seed U support(counts)``).  Every maintenance pass then costs
+    # the derivation cone of the change -- index probes per touched element
+    # -- never a re-join or per-round index rebuild over the whole fixpoint.
+
+    def _ijoin_count(self, op: DeltaOp, st: _NodeState, x, sign: int, touched: list) -> None:
+        """Count the join derivations pairing ``x`` with the indexed fixpoint.
+
+        ``sign=+1`` indexes ``x`` *before* probing, so the self-derivation
+        ``(x, x)`` is found exactly once (by the left-role probe);
+        ``sign=-1`` probes first and unindexes ``x`` last -- the exact
+        mirror -- so walking a set of removals decrements every derivation
+        exactly once.  Each derivation's output is appended to ``touched``
+        (with multiplicity); callers use it as the next frontier.
+        """
+        env = self._env
+        fns = self._ijoin_fns.get(id(op))
+        if fns is None:
+            fns = (self._fn(op.lkey), self._fn(op.rkey), self._fn(op.out))
+            self._ijoin_fns[id(op)] = fns
+        lkey_fn, rkey_fn, out_fn = fns
+        counts, lindex, rindex = st.counts, st.lindex, st.rindex
+        ltok, rtok = bind(env, op.var), bind(env, op.rvar)
+        try:
+            env[op.var] = x
+            lk = lkey_fn(env)
+            env[op.rvar] = x
+            rk = rkey_fn(env)
+            if sign > 0:
+                lindex.setdefault(lk, {})[x] = None
+                rindex.setdefault(rk, {})[x] = None
+            env[op.var] = x
+            matches = rindex.get(lk)
+            if matches:
+                for y in list(matches):
+                    env[op.rvar] = y
+                    z = out_fn(env)
+                    c = counts.get(z, 0) + sign
+                    if c > 0:
+                        counts[z] = c
+                    elif c == 0:
+                        counts.pop(z, None)
+                    else:
+                        raise AssertionError(
+                            "negative fixpoint support count: a derivation "
+                            "was dropped twice"
+                        )
+                    touched.append(z)
+            env[op.rvar] = x
+            matches = lindex.get(rk)
+            if matches:
+                for y in list(matches):
+                    if y is x:
+                        continue  # the (x, x) self-pair was counted above
+                    env[op.var] = y
+                    z = out_fn(env)
+                    c = counts.get(z, 0) + sign
+                    if c > 0:
+                        counts[z] = c
+                    elif c == 0:
+                        counts.pop(z, None)
+                    else:
+                        raise AssertionError(
+                            "negative fixpoint support count: a derivation "
+                            "was dropped twice"
+                        )
+                    touched.append(z)
+            if sign < 0:
+                bucket = lindex.get(lk)
+                if bucket is not None:
+                    bucket.pop(x, None)
+                    if not bucket:
+                        del lindex[lk]
+                bucket = rindex.get(rk)
+                if bucket is not None:
+                    bucket.pop(x, None)
+                    if not bucket:
+                        del rindex[rk]
+        finally:
+            unbind(env, op.rvar, rtok)
+            unbind(env, op.var, ltok)
+
+    def _ijoin_build(self, op: DeltaOp, st: _NodeState) -> None:
+        """Index the built fixpoint and count every join derivation once."""
+        st.counts = {}
+        st.lindex = {}
+        st.rindex = {}
+        sink: list = []
+        for x in st.out.elements:
+            self._ijoin_count(op, st, x, +1, sink)
+
+    def _ijoin_continue(self, op: DeltaOp, st: _NodeState, ins) -> tuple[SetVal, list]:
+        """Insert-side continuation by index probes from the new frontier.
+
+        Each genuinely new element is indexed and probed once; a derivation
+        output becomes part of the fixpoint the moment its support count
+        leaves zero (or it arrives as seed), and only *then* joins the next
+        frontier -- the counted mirror of semi-naive iteration, with work
+        proportional to the new derivation cone instead of a per-round
+        re-index of the accumulator.  Returns the new fixpoint and the list
+        of elements that joined it.
+        """
+        it = self._it
+        present = set(map(id, st.out.elements))
+        added: list = []
+        frontier = [v for v in ins if id(v) not in present]
+        while frontier:
+            self.stats.seminaive_rounds += 1
+            touched: list = []
+            for x in frontier:
+                if id(x) in present:
+                    continue
+                present.add(id(x))
+                added.append(x)
+                self._ijoin_count(op, st, x, +1, touched)
+            frontier = [z for z in touched if id(z) not in present]
+        if not added:
+            return st.out, added
+        return it.union(st.out, it.mkset(added)), added
+
+    def _ijoin_dred(self, op: DeltaOp, st: _NodeState, ins, dels) -> SetDelta:
+        """Delete/rederive over the counted indexes (see ``_dred_fixpoint``).
+
+        Same two passes as the generic DRed, at cone cost.  **Over-delete**:
+        walk every derivation through a deleted element by index probes,
+        unindexing each fallen element and decrementing the counts of the
+        derivations it carried -- when the walk ends, a fallen element's
+        remaining count is exactly its support among the survivors.
+        **Rederive**: the fallen elements still in the (already-maintained)
+        seed or with surviving support re-enter the indexed continuation,
+        together with the batch's insertions, which re-proves everything
+        they transitively support and re-counts each restored derivation
+        exactly once.  Updates ``st.out`` and returns the node's set delta.
+        """
+        it = self._it
+        old = st.out
+        old_ids = set(map(id, old.elements))
+        over: dict = {}
+        over_ids: set = set()
+        frontier = [v for v in dels if id(v) in old_ids]
+        while frontier:
+            self.stats.seminaive_rounds += 1
+            touched: list = []
+            for x in frontier:
+                if id(x) in over_ids:
+                    continue
+                over[x] = None
+                over_ids.add(id(x))
+                self._ijoin_count(op, st, x, -1, touched)
+            frontier = [z for z in touched if id(z) not in over_ids]
+        surviving = it.difference(old, it.mkset(over))
+        seed = st.children[0].out  # already maintained: this batch applied
+        seed_ids = set(map(id, seed.elements))
+        counts = st.counts
+        rederived = [v for v in over
+                     if id(v) in seed_ids or counts.get(v, 0) > 0]
+        st.out = surviving
+        st.out, added = self._ijoin_continue(op, st, rederived + list(ins))
+        out_ids = set(map(id, st.out.elements))
+        self.stats.dred_applies += 1
+        self.stats.dred_overdeletes += len(over)
+        self.stats.dred_rederives += sum(1 for v in over if id(v) in out_ids)
+        delta: SetDelta = {}
+        for v in over:
+            if id(v) not in out_ids:
+                delta[v] = -1
+        for v in added:
+            if id(v) not in old_ids:
+                delta[v] = 1
         return delta

@@ -76,7 +76,23 @@ class InternTable:
 
     def _store(self, key: tuple, v: Value) -> Value:
         self._table[key] = v
-        self._keys[id(v)] = sort_key(v)
+        # The parts of a stored pair/set are interned already (every
+        # constructor's contract), so their keys are cached: assemble the
+        # new key from them instead of recomputing recursively -- set
+        # construction is the hot path of delta maintenance.
+        keys = self._keys
+        if isinstance(v, SetVal):
+            keys[id(v)] = (
+                4,
+                len(v.elements),
+                tuple(keys.get(id(e)) or sort_key(e) for e in v.elements),
+            )
+        elif isinstance(v, PairVal):
+            fk = keys.get(id(v.fst)) or sort_key(v.fst)
+            sk = keys.get(id(v.snd)) or sort_key(v.snd)
+            keys[id(v)] = (3, fk, sk)
+        else:
+            keys[id(v)] = sort_key(v)
         return v
 
     def _canon(self, key: tuple, build) -> Value:

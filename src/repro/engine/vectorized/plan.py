@@ -31,6 +31,9 @@ OPS = frozenset(
         # Engine.explain_plan(backend="incremental").
         "ivm-static", "ivm-base", "ivm-map", "ivm-select", "ivm-ext",
         "ivm-join", "ivm-union", "ivm-fixpoint", "ivm-recompute",
+        # The fixpoint node's deletion strategy (delete/rederive), rendered
+        # as explicit sub-steps under ivm-fixpoint.
+        "ivm-dred-overdelete", "ivm-dred-rederive",
     }
 )
 

@@ -25,6 +25,21 @@ Two ready-made stream shapes cover the repo's two graph representations:
   successor sets, which at the collection level is exactly *delete the old
   record, insert the new one* -- the shape record-typed deltas take.
 
+Three churn profiles package the regimes the maintenance benchmarks and the
+deletion oracle replay (all are just seeded parameterizations of the two
+stream shapes above):
+
+* :func:`deletion_update_stream` -- deletion-only batches, the DRed
+  (delete/rederive) stress: every batch strands derived rows of recursive
+  views and the maintenance path must over-delete and re-prove instead of
+  recomputing;
+* :func:`mixed_update_stream` -- inserts and deletes interleaved within each
+  batch, the steady-state serving regime (continuation and DRed in the same
+  commit);
+* :class:`AlternatingUpdateStream` -- whole batches alternate insert-only /
+  delete-only, so grow-then-shrink cycles exercise the
+  insert-then-delete-is-a-no-op invariant at stream granularity.
+
 ``stream_graph_database`` / ``stream_nested_database`` package the mutable
 databases these streams mutate, and :func:`repro.workloads.databases.workload_catalog`
 registers one of each so examples and smoke tests can open sessions on them.
@@ -161,6 +176,30 @@ class NestedUpdateStream(UpdateStream):
         return Changeset.of(**{self.collection: (inserts, deletes)})
 
 
+class AlternatingUpdateStream(GraphUpdateStream):
+    """Whole batches alternate insert-only and delete-only (starting with inserts).
+
+    ``insert_ratio`` is reinterpreted batch-wise: each batch is generated
+    with ratio 1.0 or 0.0, flipping every step, so the stream drives
+    grow-then-shrink cycles -- the fixpoint continuation on even steps, the
+    delete/rederive pass on odd ones -- while staying a pure function of the
+    seed and the live contents like every other stream.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._grow_next = True
+
+    def next_changeset(self) -> Changeset:
+        ratio, self.insert_ratio = self.insert_ratio, (1.0 if self._grow_next else 0.0)
+        try:
+            cs = super().next_changeset()
+        finally:
+            self.insert_ratio = ratio
+        self._grow_next = not self._grow_next
+        return cs
+
+
 # ---------------------------------------------------------------------------
 # Ready-made mutable databases + streams
 # ---------------------------------------------------------------------------
@@ -202,3 +241,47 @@ def nested_update_stream(
 ) -> NestedUpdateStream:
     """A record-level stream over a mutable database's ``"adj"`` collection."""
     return NestedUpdateStream(db, "adj", churn=churn, insert_ratio=insert_ratio, seed=seed)
+
+
+def deletion_update_stream(
+    db: Database,
+    churn: float = 0.01,
+    seed: int = 0,
+) -> GraphUpdateStream:
+    """A deletion-only edge stream: the delete/rederive (DRed) stress profile.
+
+    Every batch removes ``max(1, round(churn * |edges|))`` live edges and
+    inserts nothing, so recursive views lose derivations on every commit --
+    the regime the gated ``ivm-deletion-delta`` benchmark row measures.
+    """
+    return GraphUpdateStream(db, "edges", churn=churn, insert_ratio=0.0, seed=seed)
+
+
+def mixed_update_stream(
+    db: Database,
+    churn: float = 0.01,
+    insert_ratio: float = 0.5,
+    seed: int = 0,
+    domain: Optional[int] = None,
+) -> GraphUpdateStream:
+    """A mixed-churn edge stream: inserts and deletes in every batch.
+
+    The steady-state serving profile -- each commit drives both the
+    semi-naive continuation (for the inserts) and the DRed pass (for the
+    deletes) of recursive views, in one changeset.
+    """
+    return GraphUpdateStream(
+        db, "edges", churn=churn, insert_ratio=insert_ratio, seed=seed, domain=domain
+    )
+
+
+def alternating_update_stream(
+    db: Database,
+    churn: float = 0.01,
+    seed: int = 0,
+    domain: Optional[int] = None,
+) -> AlternatingUpdateStream:
+    """Batch-alternating insert-only / delete-only stream (grow-then-shrink)."""
+    return AlternatingUpdateStream(
+        db, "edges", churn=churn, insert_ratio=0.5, seed=seed, domain=domain
+    )

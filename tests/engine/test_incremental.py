@@ -1,12 +1,17 @@
-"""Unit suite for the incremental view-maintenance subsystem (PR 5).
+"""Unit suite for the incremental view-maintenance subsystem (PRs 5-6).
 
 Covers the delta rules per operator shape (map / select / join / union /
-general ext / fixpoint), support counting under deletions, the conservative
-recompute fallbacks, mutable-database changeset normalization, view
-invalidation ordering and staleness, the session/stats wiring, and the
-``ivm-*`` maintenance-plan trees.  The cross-backend *oracle* (maintained ==
-recomputed over random update sequences) lives in
-``tests/property/test_backend_differential.py``.
+general ext / fixpoint), support counting under deletions, delete/rederive
+(DRed) over counted fixpoints -- alternative-derivation rederivation, cyclic
+self-support, mixed batches, the honesty boundary where unhandleable loop
+shapes still degrade to whole-view recompute -- the conservative recompute
+fallbacks, mutable-database changeset normalization, view invalidation
+ordering and staleness, the session/stats wiring, and the ``ivm-*``
+maintenance-plan trees (including the ``ivm-dred-*`` sub-steps).  The
+cross-backend *oracle* (maintained == recomputed over random update
+sequences, incl. deletion-heavy streams) lives in
+``tests/property/test_backend_differential.py``; a seeded in-file deletion
+oracle rides in the fast matrix here.
 """
 
 import pytest
@@ -16,7 +21,7 @@ from repro.engine import Engine
 from repro.engine.incremental.delta import derive
 from repro.nra import ast
 from repro.nra.ast import Lambda, Singleton, Var
-from repro.nra.derived import compose, select
+from repro.nra.derived import compose, ext_apply, select
 from repro.nra.errors import NRAEvalError
 from repro.nra.externals import ExternalFunction, Signature
 from repro.objects.types import BASE, ProdType, SetType
@@ -25,7 +30,10 @@ from repro.relational.queries import REL_T
 from repro.workloads.databases import graph_database, nested_graph_database
 from repro.workloads.graphs import path_graph, random_graph
 from repro.workloads.streams import (
+    alternating_update_stream,
+    deletion_update_stream,
     graph_update_stream,
+    mixed_update_stream,
     nested_update_stream,
     stream_graph_database,
     stream_nested_database,
@@ -174,7 +182,9 @@ class TestDeltaRules:
         session = connect(db)
         query = Q.coll("edges").fix()
         view = session.materialize(query)
-        assert view.maintenance_plan().ops() == {"ivm-fixpoint", "ivm-base"}
+        assert view.maintenance_plan().ops() == {
+            "ivm-fixpoint", "ivm-base", "ivm-dred-overdelete", "ivm-dred-rederive"
+        }
         db.insert("edges", [(9, 0)])  # closes the cycle: closure becomes total
         assert_matches_cold(session, view, query)
         assert len(view.value.elements) == 100
@@ -202,14 +212,20 @@ class TestDeltaRules:
         db.insert("edges", [(2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (7, 8)])
         assert_matches_cold(session, view, expr)
 
-    def test_fixpoint_deletion_falls_back_to_recompute(self):
+    def test_fixpoint_deletion_maintains_by_delete_rederive(self):
+        # PR 5 fell back to whole-view recompute here; the DRed pass now
+        # over-deletes the derivation cone of the lost edge and re-proves
+        # survivors -- no fallback, and on a path graph nothing rederives.
         db = fresh_graph_db(10)
         session = connect(db)
         query = Q.coll("edges").fix()
         view = session.materialize(query)
         db.delete("edges", [(4, 5)])
         assert_matches_cold(session, view, query)
-        assert view.stats.fallback_recomputes == 1
+        assert view.stats.fallback_recomputes == 0
+        assert view.stats.dred_applies == 1
+        assert view.stats.dred_overdeletes == 25  # pairs (i, j), i <= 4 < 5 <= j
+        assert view.stats.dred_rederives == 0  # a path has no alternative proofs
 
     def test_fixpoint_over_a_maintained_join_base(self):
         # fix() over two-hop edges: the fixpoint child is itself a join node.
@@ -218,7 +234,8 @@ class TestDeltaRules:
         query = Q.coll("edges").compose(Q.coll("edges")).fix()
         view = session.materialize(query)
         assert view.maintenance_plan().ops() == {
-            "ivm-fixpoint", "ivm-join", "ivm-base"
+            "ivm-fixpoint", "ivm-join", "ivm-base",
+            "ivm-dred-overdelete", "ivm-dred-rederive",
         }
         db.insert("edges", [(3, 11), (11, 6)])
         assert_matches_cold(session, view, query)
@@ -255,6 +272,222 @@ class TestSupportCounting:
         db.delete("edges", [(2, 1)])
         assert (1, 1) in view.rows()
         assert_matches_cold(session, view, q)
+
+
+# ---------------------------------------------------------------------------
+# Delete/rederive over counted fixpoints (the PR 6 tentpole)
+# ---------------------------------------------------------------------------
+
+class TestDRed:
+    pytestmark = pytest.mark.dred
+
+    def test_alternative_derivation_is_rederived(self):
+        # Diamond 0->1->3, 0->2->3: deleting (1, 3) strands (0, 3)'s
+        # through-1 derivation, but rederivation re-proves it via 2.
+        db = Database("g", mutable=True).register(
+            "edges", from_python({(0, 1), (1, 3), (0, 2), (2, 3)}), type=REL_T
+        )
+        session = connect(db)
+        q = Q.coll("edges").fix()
+        view = session.materialize(q)
+        db.delete("edges", [(1, 3)])
+        assert (0, 3) in view.rows()
+        assert_matches_cold(session, view, q)
+        assert view.stats.dred_applies == 1
+        assert view.stats.dred_overdeletes == 2  # (1, 3) and (0, 3)
+        assert view.stats.dred_rederives == 1  # (0, 3), via the other path
+        assert view.stats.fallback_recomputes == 0
+
+    def test_cyclic_self_support_does_not_keep_tuples_alive(self):
+        # On a cycle every closure pair "supports itself" around the loop;
+        # counted maintenance alone would never drop them.  Over-deletion
+        # deliberately breaks cyclic support, rederivation restores exactly
+        # the pairs the broken graph still proves.
+        db = fresh_graph_db(8, "cycle")
+        session = connect(db)
+        q = Q.coll("edges").fix()
+        view = session.materialize(q)
+        assert len(view.value.elements) == 64  # total closure on the cycle
+        db.delete("edges", [(3, 4)])
+        assert_matches_cold(session, view, q)
+        assert len(view.value.elements) == 28  # the surviving 7-path's pairs
+        assert view.stats.fallback_recomputes == 0
+        assert view.stats.dred_applies == 1
+
+    def test_mixed_insert_delete_batch_is_one_dred_pass(self):
+        db = fresh_graph_db(10)
+        session = connect(db)
+        q = Q.coll("edges").fix()
+        view = session.materialize(q)
+        db.apply(Changeset.of(edges=([(9, 0), (4, 6)], [(4, 5)])))
+        assert_matches_cold(session, view, q)
+        assert view.stats.fallback_recomputes == 0
+        assert view.stats.dred_applies == 1
+
+    def test_deletion_through_a_maintained_join_base(self):
+        # fix() over two-hop edges: base deletes reach the fixpoint as the
+        # join node's bilinear output deltas, and DRed consumes them.
+        db = fresh_graph_db(12, "cycle")
+        session = connect(db)
+        q = Q.coll("edges").compose(Q.coll("edges")).fix()
+        view = session.materialize(q)
+        db.delete("edges", [(2, 3)])
+        assert_matches_cold(session, view, q)
+        db.apply(Changeset.of(edges=([(2, 3)], [(7, 8), (8, 9)])))
+        assert_matches_cold(session, view, q)
+        assert view.stats.fallback_recomputes == 0
+        assert view.stats.dred_applies == 2
+
+    def test_non_join_step_takes_the_generic_frontier_path(self):
+        # Symmetric closure: the step maps over the accumulator instead of
+        # joining it against itself, so the bilinear self-indexes don't
+        # apply and deletions run the generic frontier-term DRed.
+        swap = Lambda(
+            "p", EDGE_T,
+            Singleton(ast.Pair(ast.Proj2(Var("p")), ast.Proj1(Var("p")))),
+        )
+        step = Lambda("rr", REL_T,
+                      ast.Union(Var("rr"), ext_apply(swap, Var("rr"))))
+        expr = ast.Apply(ast.Loop(step, BASE), ast.Pair(Var("edges"), Var("edges")))
+        db = Database("g", mutable=True).register(
+            "edges", from_python({(0, 1), (1, 2), (2, 3)}), type=REL_T
+        )
+        session = connect(db)
+        view = session.materialize(expr)
+        fix = next(n for n in view.maintenance_plan().walk()
+                   if n.op == "ivm-fixpoint")
+        assert "bilinear-indexed" not in fix.annotations
+        db.delete("edges", [(1, 2)])
+        assert_matches_cold(session, view, expr)
+        assert view.rows() == {(0, 1), (1, 0), (2, 3), (3, 2)}
+        assert view.stats.dred_applies == 1
+        assert view.stats.dred_overdeletes == 2  # (1, 2) and its mirror
+        assert view.stats.fallback_recomputes == 0
+
+    def test_repeated_deletions_converge_to_the_empty_closure(self):
+        db = fresh_graph_db(6)
+        session = connect(db)
+        q = Q.coll("edges").fix()
+        view = session.materialize(q)
+        for edge in [(2, 3), (0, 1), (4, 5), (1, 2), (3, 4)]:
+            db.delete("edges", [edge])
+            assert_matches_cold(session, view, q)
+        assert view.rows() == frozenset()
+        assert view.stats.fallback_recomputes == 0
+        assert view.stats.dred_applies == 5
+
+
+class TestDRedHonestyBoundary:
+    """Loop shapes the delta compiler rejects still recompute on deletion.
+
+    DRed is gated by the same grammar as the semi-naive continuation: a view
+    that compiles to ``ivm-fixpoint`` is deletion-maintainable, and one that
+    does not must keep taking the whole-view recompute path -- visibly, via
+    ``fallback_recomputes`` -- rather than an unsound delta.
+    """
+
+    pytestmark = pytest.mark.dred
+
+    def _materialize(self, expr, edges):
+        db = Database("g", mutable=True).register(
+            "edges", from_python(edges), type=REL_T
+        )
+        session = connect(db)
+        return db, session, session.materialize(expr)
+
+    def test_constant_budget_loop_recomputes_on_delete(self):
+        step = Lambda("rr", REL_T,
+                      ast.Union(Var("rr"), compose(Var("rr"), Var("rr"), BASE)))
+        budget = ast.Const(from_python({0, 1}), SetType(BASE))
+        expr = ast.Apply(ast.Loop(step, BASE), ast.Pair(budget, Var("edges")))
+        db, session, view = self._materialize(
+            expr, {(0, 1), (1, 2), (2, 3), (3, 4)}
+        )
+        assert "ivm-recompute" in view.maintenance_plan().ops()
+        db.delete("edges", [(1, 2)])
+        assert_matches_cold(session, view, expr)
+        assert view.stats.fallback_recomputes == 1
+        assert view.stats.dred_applies == 0
+
+    def test_step_reading_a_mutable_collection_recomputes_on_delete(self):
+        # The step body reads "edges" beyond the accumulator: a commit
+        # changes the step function itself, so no frontier algebra applies.
+        step = Lambda("rr", REL_T,
+                      ast.Union(Var("rr"), compose(Var("rr"), Var("edges"), BASE)))
+        expr = ast.Apply(ast.Loop(step, BASE), ast.Pair(Var("edges"), Var("edges")))
+        db, session, view = self._materialize(
+            expr, {(0, 1), (1, 2), (2, 3), (3, 4)}
+        )
+        assert "ivm-recompute" in view.maintenance_plan().ops()
+        db.delete("edges", [(2, 3)])
+        assert_matches_cold(session, view, expr)
+        db.apply(Changeset.of(edges=([(2, 3)], [(0, 1)])))
+        assert_matches_cold(session, view, expr)
+        assert view.stats.fallback_recomputes == 2
+        assert view.stats.dred_applies == 0
+
+    def test_difference_over_a_fixpoint_recomputes_on_delete(self):
+        # Difference is outside the counted grammar even when one operand
+        # is a maintainable fixpoint: the whole view degrades, honestly.
+        q = Q.coll("edges").fix() - Q.coll("edges")
+        db = fresh_graph_db(8)
+        session = connect(db)
+        view = session.materialize(q)
+        assert view.recompute_only
+        db.delete("edges", [(3, 4)])
+        assert_matches_cold(session, view, q)
+        assert view.stats.fallback_recomputes == 1
+        assert view.stats.dred_applies == 0
+
+
+class TestDeletionStreamOracle:
+    """Seeded deletion-heavy / mixed-churn replay riding in the fast matrix.
+
+    Each case replays a seeded stream against a recursive view and compares
+    with a cold recompute after every commit; the stats counters prove the
+    DRed path (not the recompute fallback) served every deletion.  The wide
+    100-seed oracle lives in ``tests/property/test_backend_differential.py``.
+    """
+
+    pytestmark = pytest.mark.dred
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_deletion_stream_on_transitive_closure(self, seed):
+        db = stream_graph_database(24, "random", seed=seed, p=0.12)
+        session = connect(db)
+        q = Q.coll("edges").fix()
+        view = session.materialize(q)
+        deleted = 0
+        for cs in deletion_update_stream(db, churn=0.05, seed=seed + 100).run(6):
+            d = cs.get("edges")
+            deleted += len(d.deletes) if d else 0
+            assert_matches_cold(session, view, q)
+        assert deleted > 0
+        assert view.stats.fallback_recomputes == 0
+        assert view.stats.dred_applies > 0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_mixed_stream_on_two_hop_closure(self, seed):
+        db = stream_graph_database(16, "random", seed=seed, p=0.15)
+        session = connect(db)
+        q = Q.coll("edges").compose(Q.coll("edges")).fix()
+        view = session.materialize(q)
+        stream = mixed_update_stream(db, churn=0.08, seed=seed + 7, domain=16)
+        for _ in stream.run(5):
+            assert_matches_cold(session, view, q)
+        assert view.stats.fallback_recomputes == 0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_alternating_stream_grow_then_shrink(self, seed):
+        db = stream_graph_database(20, "random", seed=seed, p=0.1)
+        session = connect(db)
+        q = Q.coll("edges").fix()
+        view = session.materialize(q)
+        stream = alternating_update_stream(db, churn=0.06, seed=seed + 3, domain=20)
+        for _ in stream.run(6):
+            assert_matches_cold(session, view, q)
+        assert view.stats.fallback_recomputes == 0
+        assert view.stats.dred_applies > 0
 
 
 # ---------------------------------------------------------------------------
@@ -425,7 +658,11 @@ class TestStatsAndExplain:
         assert session.stats.view_rows_touched > 0
         db.delete("edges", [(3, 4)])
         assert session.stats.delta_applies == 4
-        assert session.stats.fallback_recomputes == 1  # the fixpoint fallback
+        assert session.stats.fallback_recomputes == 0  # DRed, not fallback
+        # Deleting one edge of the 8-cycle strands every closure pair's
+        # through-(3,4) derivations; the surviving 7-path's pairs re-prove.
+        assert session.stats.dred_overdeletes == 64
+        assert session.stats.dred_rederives == 28
 
     def test_engine_explain_plan_incremental_backend(self):
         eng = Engine()
@@ -438,6 +675,19 @@ class TestStatsAndExplain:
         session = connect(fresh_graph_db(4))
         plan = session.explain_plan(Q.coll("edges").fix(), backend="incremental")
         assert "ivm-fixpoint" in plan.ops()
+
+    def test_explain_plan_renders_dred_substeps_under_the_fixpoint(self):
+        session = connect(fresh_graph_db(4))
+        plan = session.explain_plan(Q.coll("edges").fix(), backend="incremental")
+        fix = next(n for n in plan.walk() if n.op == "ivm-fixpoint")
+        assert "delete-rederive" in fix.annotations
+        assert {"ivm-dred-overdelete", "ivm-dred-rederive"} <= {
+            c.op for c in fix.children
+        }
+        # Non-recursive plans carry no DRed sub-steps.
+        flat = session.explain_plan(Q.coll("edges").map(lambda e: e.fst),
+                                    backend="incremental")
+        assert not {"ivm-dred-overdelete", "ivm-dred-rederive"} & flat.ops()
 
     def test_maintenance_plan_marks_static_subtrees(self):
         eng = Engine()
@@ -531,3 +781,23 @@ class TestStreams:
             graph_update_stream(db, churn=0.0)
         with pytest.raises(ValueError):
             graph_update_stream(db, insert_ratio=1.5)
+
+    def test_deletion_stream_never_inserts(self):
+        db = stream_graph_database(16, "random", seed=5, p=0.2)
+        for cs in deletion_update_stream(db, churn=0.1, seed=5).run(3):
+            d = cs["edges"]
+            assert not d.inserts and d.deletes
+
+    def test_mixed_stream_interleaves_within_each_batch(self):
+        db = stream_graph_database(20, "random", seed=7, p=0.25)
+        cs = mixed_update_stream(db, churn=0.2, seed=7).step()
+        d = cs["edges"]
+        assert d.inserts and d.deletes
+
+    def test_alternating_stream_flips_batch_polarity(self):
+        db = stream_graph_database(20, "random", seed=2, p=0.2)
+        stream = alternating_update_stream(db, churn=0.1, seed=2, domain=20)
+        grow, shrink = stream.step(), stream.step()
+        assert grow["edges"].inserts and not grow["edges"].deletes
+        assert shrink["edges"].deletes and not shrink["edges"].inserts
+        assert stream.insert_ratio == 0.5  # restored between batches

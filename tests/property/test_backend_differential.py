@@ -26,15 +26,19 @@ Case families:
 * error cases: raising externals (empty and non-empty inputs), projections
   of non-pairs, non-boolean conditions, unbound variables, applying a
   non-function;
-* the **maintenance oracle** (PR-5): seed-pinned random update sequences
-  against mutable databases with a panel of registered views covering every
-  delta rule (selection, map, bilinear join, counted union, unnest,
-  recursive fixpoint) plus a deliberate fallback shape -- after *every*
-  changeset, each maintained view must equal a cold recompute of its query
-  value-for-value, and maintenance-time errors must match recompute's error
-  class.
+* the **maintenance oracle** (PR-5, extended by PR-6): seed-pinned random
+  update sequences against mutable databases with a panel of registered
+  views covering every delta rule (selection, map, bilinear join, counted
+  union, unnest, recursive fixpoint) plus a deliberate fallback shape --
+  after *every* changeset, each maintained view must equal a cold recompute
+  of its query value-for-value, and maintenance-time errors must match
+  recompute's error class.  PR-6 adds deletion-heavy and mixed-churn
+  streams, and the stats counters *prove* the recursive views were served
+  by the delete/rederive (DRed) path -- ``dred_applies > 0`` with
+  ``fallback_recomputes == 0`` -- not by a silent whole-view recompute that
+  would trivially satisfy the value check.
 
-Roughly 300 cases in all; the whole suite carries the ``differential``
+Roughly 350 cases in all; the whole suite carries the ``differential``
 marker (CI runs it on the main job, ``make test-fast`` skips it).
 """
 
@@ -273,7 +277,9 @@ class TestErrorAgreement:
 
 from repro.api import Q, connect  # noqa: E402
 from repro.workloads.streams import (  # noqa: E402
+    deletion_update_stream,
     graph_update_stream,
+    mixed_update_stream,
     nested_update_stream,
     stream_graph_database,
     stream_nested_database,
@@ -318,13 +324,74 @@ def test_maintained_views_equal_recompute_on_flat_streams(seed):
         db, churn=rng.uniform(0.05, 0.4), insert_ratio=insert_ratio,
         seed=seed + 1, domain=n + 2,
     )
-    for step, _ in enumerate(stream.run(4)):
+    saw_deletes = False
+    for step, cs in enumerate(stream.run(4)):
+        d = cs.get("edges")
+        saw_deletes = saw_deletes or bool(d and d.deletes)
         _assert_views_match_recompute(
             session, views, f"flat seed {seed} step {step}"
         )
-    if insert_ratio == 1.0:
-        # Insert-only streams must never fall back on the fixpoint view.
-        assert views["tc-fixpoint"][0].stats.fallback_recomputes == 0
+    # The fixpoint view must never fall back: insertions continue
+    # semi-naively, deletions take the delete/rederive path.
+    tc = views["tc-fixpoint"][0].stats
+    assert tc.fallback_recomputes == 0
+    if saw_deletes:
+        assert tc.dred_applies > 0
+
+
+# ---------------------------------------------------------------------------
+# 7b. The deletion-heavy maintenance oracle (PR-6): DRed path, proven by stats
+# ---------------------------------------------------------------------------
+
+@pytest.mark.ivm
+@pytest.mark.dred
+@pytest.mark.parametrize("seed", range(12))
+def test_maintained_views_equal_recompute_on_deletion_streams(seed):
+    rng = random.Random(60_000 + seed)
+    n = rng.randrange(10, 18)
+    db = stream_graph_database(n, "random", seed=seed, p=rng.uniform(0.12, 0.3))
+    session = connect(db)
+    views = {name: (session.materialize(q, name=name), q)
+             for name, q in _view_panel().items()}
+    stream = deletion_update_stream(db, churn=rng.uniform(0.03, 0.15),
+                                    seed=seed + 11)
+    deleted = 0
+    for step, cs in enumerate(stream.run(5)):
+        d = cs.get("edges")
+        deleted += len(d.deletes) if d else 0
+        _assert_views_match_recompute(
+            session, views, f"deletion seed {seed} step {step}"
+        )
+    assert deleted > 0
+    tc = views["tc-fixpoint"][0].stats
+    assert tc.fallback_recomputes == 0, "deletion took the recompute fallback"
+    assert tc.dred_applies > 0, "no delete/rederive pass ran"
+    assert tc.dred_rederives <= tc.dred_overdeletes
+
+
+@pytest.mark.ivm
+@pytest.mark.dred
+@pytest.mark.parametrize("seed", range(8))
+def test_maintained_views_equal_recompute_on_mixed_churn_streams(seed):
+    rng = random.Random(65_000 + seed)
+    n = rng.randrange(10, 16)
+    db = stream_graph_database(n, "random", seed=seed, p=rng.uniform(0.15, 0.3))
+    session = connect(db)
+    views = {name: (session.materialize(q, name=name), q)
+             for name, q in _view_panel().items()}
+    stream = mixed_update_stream(db, churn=rng.uniform(0.1, 0.3),
+                                 insert_ratio=0.5, seed=seed + 13, domain=n + 2)
+    saw_deletes = False
+    for step, cs in enumerate(stream.run(5)):
+        d = cs.get("edges")
+        saw_deletes = saw_deletes or bool(d and d.deletes)
+        _assert_views_match_recompute(
+            session, views, f"mixed seed {seed} step {step}"
+        )
+    tc = views["tc-fixpoint"][0].stats
+    assert tc.fallback_recomputes == 0
+    if saw_deletes:
+        assert tc.dred_applies > 0
 
 
 @pytest.mark.ivm
@@ -349,3 +416,24 @@ def test_maintained_views_equal_recompute_on_nested_streams(seed):
         _assert_views_match_recompute(
             session, views, f"nested seed {seed} step {step}"
         )
+
+
+@pytest.mark.ivm
+@pytest.mark.dred
+@pytest.mark.parametrize("seed", range(8))
+def test_nested_tc_takes_the_dred_path_under_record_shrinks(seed):
+    # Shrink-biased record rewrites: deleting a successor from an adjacency
+    # record reaches the fixpoint as an edge delete through the unnest node,
+    # so the recursive view must be served by DRed, never by fallback.
+    rng = random.Random(55_000 + seed)
+    db = stream_nested_database(rng.randrange(9, 14), rng.uniform(0.25, 0.4),
+                                seed=seed)
+    session = connect(db)
+    q = Q.coll("adj").unnest().fix()
+    view = session.materialize(q, name="nested-tc")
+    stream = nested_update_stream(db, churn=0.3, insert_ratio=0.0, seed=seed + 17)
+    for step, _ in enumerate(stream.run(4)):
+        got, want = view.value, session.execute(q).value
+        assert got == want, f"nested-dred seed {seed} step {step} diverged"
+    assert view.stats.fallback_recomputes == 0
+    assert view.stats.dred_applies > 0

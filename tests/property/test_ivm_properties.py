@@ -1,0 +1,194 @@
+"""Seeded state-invariant properties of view maintenance (PR-6 satellite).
+
+The differential oracle (``test_backend_differential.py``) checks maintained
+*values* against cold recomputes; this suite checks the maintenance *state*
+itself, under the same seed-pinned streams:
+
+* **support counts stay consistent** -- no counted node ever holds a
+  non-positive count, every counted node's output set is exactly the support
+  of its counts (for the bilinear-indexed fixpoint: seed union join
+  support), and every hash index -- a join's two child-side indexes, a
+  fixpoint's two self-indexes -- mirrors the indexed set element-for-element;
+* **deletions restore the least fixpoint** -- after every batch of a
+  deletion-only stream, a recursive view's value equals the least fixpoint
+  over the surviving base (cold semi-naive recompute), reached through the
+  delete/rederive path and never through the whole-view fallback;
+* **a changeset followed by its inverse is a no-op** -- not just on the
+  served value but on the entire internal state fingerprint: counts, join
+  indexes, and fixpoint sets all return to identity.
+
+All values are interned (hash-consed) per engine, so state fingerprints can
+compare elements by ``id`` -- the same identity discipline the maintenance
+code itself uses.
+"""
+
+import random
+
+import pytest
+
+from repro.api import Changeset, Q, connect
+from repro.workloads.streams import (
+    deletion_update_stream,
+    mixed_update_stream,
+    stream_graph_database,
+)
+
+pytestmark = [pytest.mark.ivm, pytest.mark.dred]
+
+
+def _panel():
+    """One query per stateful delta rule (counts, indexes, fixpoint sets)."""
+    return {
+        "map": Q.coll("edges").map(lambda e: e.snd),
+        "two-hop-join": Q.coll("edges").compose(Q.coll("edges")),
+        "union-overlap": (Q.coll("edges").where(lambda e: e.fst == 1)
+                          | Q.coll("edges").where(lambda e: e.snd == 2)),
+        "tc-fixpoint": Q.coll("edges").fix(),
+    }
+
+
+def _walk_states(op, st):
+    yield op, st
+    for child, child_st in zip(op.children, st.children):
+        yield from _walk_states(child, child_st)
+
+
+def _ids(elements):
+    return set(map(id, elements))
+
+
+def _assert_state_consistent(view, label):
+    assert not view.recompute_only, f"{label}: panel view degraded unexpectedly"
+    for op, st in _walk_states(view.plan_ops, view._root):
+        if st.counts is not None:
+            bad = [c for c in st.counts.values() if c <= 0]
+            assert not bad, f"{label}: {op.kind} node holds non-positive counts"
+            if op.kind == "fixpoint":
+                # The bilinear-indexed fixpoint counts its *join* support;
+                # seed membership is the other derivation, so the standing
+                # invariant is out = seed U support(counts), with both
+                # indexes mirroring the fixpoint itself.
+                seed_ids = _ids(st.children[0].out.elements)
+                assert _ids(st.counts) <= _ids(st.out.elements), (
+                    f"{label}: fixpoint counts support absent elements"
+                )
+                assert _ids(st.out.elements) == seed_ids | _ids(st.counts), (
+                    f"{label}: fixpoint output diverged from seed + support"
+                )
+                for side, index in (("left", st.lindex), ("right", st.rindex)):
+                    indexed = {id(x) for bucket in index.values() for x in bucket}
+                    assert indexed == _ids(st.out.elements), (
+                        f"{label}: {side} fixpoint index diverged from the output"
+                    )
+                    assert all(index.values()), (
+                        f"{label}: empty {side} fixpoint buckets were not pruned"
+                    )
+            else:
+                assert _ids(st.counts) == _ids(st.out.elements), (
+                    f"{label}: {op.kind} output diverged from its support counts"
+                )
+        if op.kind == "join":
+            left, right = st.children
+            in_lindex = {id(x) for bucket in st.lindex.values() for x in bucket}
+            in_rindex = {id(y) for bucket in st.rindex.values() for y in bucket}
+            assert in_lindex == _ids(left.out.elements), (
+                f"{label}: left join index diverged from the left child"
+            )
+            assert in_rindex == _ids(right.out.elements), (
+                f"{label}: right join index diverged from the right child"
+            )
+            assert all(st.lindex.values()) and all(st.rindex.values()), (
+                f"{label}: empty index buckets were not pruned"
+            )
+
+
+def _index_fp(index):
+    if index is None:
+        return None
+    return frozenset(
+        (id(k), frozenset(map(id, bucket))) for k, bucket in index.items()
+    )
+
+
+def _fingerprint(view):
+    """The complete maintenance state, as an id-based comparable value."""
+    parts = []
+    for op, st in _walk_states(view.plan_ops, view._root):
+        parts.append((
+            op.kind,
+            None if st.out is None else frozenset(map(id, st.out.elements)),
+            None if st.counts is None
+            else frozenset((id(v), c) for v, c in st.counts.items()),
+            _index_fp(st.lindex),
+            _index_fp(st.rindex),
+        ))
+    return tuple(parts)
+
+
+# ---------------------------------------------------------------------------
+# 1. Count/index consistency under mixed churn
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(16))
+def test_support_counts_and_indexes_stay_consistent_under_churn(seed):
+    rng = random.Random(80_000 + seed)
+    db = stream_graph_database(14, "random", seed=seed, p=0.18)
+    session = connect(db)
+    views = {name: session.materialize(q, name=name)
+             for name, q in _panel().items()}
+    stream = mixed_update_stream(
+        db, churn=0.15, insert_ratio=rng.choice((0.3, 0.5, 0.7)),
+        seed=seed + 1, domain=14,
+    )
+    for step, _ in enumerate(stream.run(5)):
+        for name, view in views.items():
+            _assert_state_consistent(view, f"seed {seed} step {step} view {name}")
+
+
+# ---------------------------------------------------------------------------
+# 2. Deletion streams restore the least fixpoint, through DRed
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(16))
+def test_deletion_stream_restores_the_least_fixpoint(seed):
+    db = stream_graph_database(18, "random", seed=seed, p=0.15)
+    session = connect(db)
+    q = Q.coll("edges").fix()
+    view = session.materialize(q, name="tc")
+    for step, _ in enumerate(deletion_update_stream(db, churn=0.08, seed=seed + 5).run(5)):
+        got, want = view.value, session.execute(q).value
+        assert got == want, (
+            f"seed {seed} step {step}: maintained closure is not the least "
+            f"fixpoint ({len(got.elements)} vs {len(want.elements)} rows)"
+        )
+        _assert_state_consistent(view, f"seed {seed} step {step}")
+    assert view.stats.fallback_recomputes == 0
+    assert view.stats.dred_applies > 0
+    assert view.stats.dred_rederives <= view.stats.dred_overdeletes
+
+
+# ---------------------------------------------------------------------------
+# 3. A changeset followed by its inverse is a no-op on the whole state
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(12))
+def test_changeset_then_inverse_is_a_noop_on_state(seed):
+    db = stream_graph_database(12, "random", seed=seed, p=0.2)
+    session = connect(db)
+    views = {name: session.materialize(q, name=name)
+             for name, q in _panel().items()}
+    before_values = {name: v.value for name, v in views.items()}
+    before_state = {name: _fingerprint(v) for name, v in views.items()}
+    stream = mixed_update_stream(db, churn=0.2, seed=seed + 9, domain=12)
+    applied = db.apply(stream.next_changeset())
+    d = applied.get("edges")
+    assert d is not None and (d.inserts or d.deletes)
+    db.apply(Changeset.of(edges=(list(d.deletes), list(d.inserts))))
+    for name, view in views.items():
+        assert view.value == before_values[name], (
+            f"seed {seed}: view {name!r} value changed after inverse"
+        )
+        assert _fingerprint(view) == before_state[name], (
+            f"seed {seed}: view {name!r} internal state changed after inverse"
+        )
+        _assert_state_consistent(view, f"seed {seed} view {name}")
