@@ -12,14 +12,16 @@
 # BENCH_engine.json); `test-ivm` selects the ivm-marked suites (unit
 # tests + maintenance oracle); `test-dred` narrows to the dred-marked
 # deletion suites (delete/rederive units, honesty boundary, deletion
-# oracles, state-invariant properties); `docs-check` runs the
-# documentation consistency tests (no dangling *.md references from
-# docstrings).
+# oracles, state-invariant properties); `test-columnar` selects the
+# columnar-marked suites (flat-column dense-id kernels, intern round
+# trips, flat-vs-object differential cases, shm shipping); `docs-check`
+# runs the documentation consistency tests (no dangling *.md references
+# from docstrings).
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-ivm test-dred bench bench-engine bench-all bench-all-quick bench-check bench-ivm docs-check
+.PHONY: test test-fast test-ivm test-dred test-columnar bench bench-engine bench-all bench-all-quick bench-check bench-ivm docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -32,6 +34,9 @@ test-ivm:
 
 test-dred:
 	$(PYTHON) -m pytest -q -m dred
+
+test-columnar:
+	$(PYTHON) -m pytest -q -m columnar
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ -s --benchmark-only

@@ -21,6 +21,13 @@ Usage::
     python benchmarks/check_regression.py --fresh F   # check an existing file
     python benchmarks/check_regression.py --bar 4.0   # raise the bar
 
+Beyond the vectorized/memo families the chain also holds the parallel
+backend to its overlap (1.5x) and flat-fixpoint (2x) bars, the PR-7 flat
+dense-id kernels to their 3x object-kernel bar, and incremental view
+maintenance to its 5x recompute bars -- every guard refuses to pass when its
+row is missing from the fresh run, so a silently dropped workload cannot
+masquerade as a green check.
+
 Wired into ``make bench-check`` and the GitHub Actions workflow.
 """
 
@@ -41,12 +48,29 @@ BASELINE = REPO_ROOT / "BENCH_engine.json"
 ACCEPTANCE_FAMILIES = ("transitive-closure", "nested-graph")
 DEFAULT_BAR = 3.0
 
-#: The parallel-backend acceptance row (PR 4): the sharded backend with >= 4
-#: workers must beat single-threaded vectorized on the oracle-call overlap
-#: workload.  The bar holds on single-core runners too -- the win is latency
-#: overlap, not CPU parallelism -- so the guard enforces it unconditionally.
+#: The parallel-backend acceptance rows.  PR 4: the sharded backend with
+#: >= 4 workers must beat single-threaded vectorized on the oracle-call
+#: overlap workload (the bar holds on single-core runners too -- the win is
+#: latency overlap, not CPU parallelism).  PR 7: the flat sharded fixpoint
+#: must beat the *object-kernel* vectorized engine (``flat=False``) on the
+#: CPU-bound TC closure -- a regression here means the flat lowering stopped
+#: firing (the driver silently fell back to object rounds) or the dense-id
+#: kernels lost their edge.
 PARALLEL_ACCEPTANCE_NAME = "parallel-ext-overlap"
 PARALLEL_BAR = 1.5
+PARALLEL_FIXPOINT_NAME = "parallel-tc-fixpoint"
+PARALLEL_FIXPOINT_BAR = 2.0
+PARALLEL_BARS = {
+    PARALLEL_ACCEPTANCE_NAME: PARALLEL_BAR,
+    PARALLEL_FIXPOINT_NAME: PARALLEL_FIXPOINT_BAR,
+}
+
+#: The PR-7 flat-column acceptance row: the dense-id array kernels must stay
+#: >= 3x faster than the object kernels on the TC family (quick ratio ~4-5x).
+#: A regression means the flat fixpoint stopped engaging (every round pays a
+#: ``flat_fallbacks`` bail-out) or a kernel regressed to per-element work.
+COLUMNAR_ACCEPTANCE_NAME = "columnar-tc-kernels"
+COLUMNAR_BAR = 3.0
 
 #: The incremental view-maintenance acceptance rows.  PR 5: absorbing a 1%
 #: insert-churn stream by delta propagation must beat recomputing both views
@@ -122,12 +146,15 @@ def check(fresh_rows: list[dict], baseline_rows: list[dict], bar: float) -> int:
 
 
 def check_parallel(fresh_rows: list[dict], baseline_rows: list[dict]) -> int:
-    """Hold the parallel backend to its overlap acceptance bar."""
-    rows = [r for r in fresh_rows if r["name"] == PARALLEL_ACCEPTANCE_NAME]
-    print(f"== parallel-backend guard (bar: parallel >= {PARALLEL_BAR}x vectorized "
-          f"on {PARALLEL_ACCEPTANCE_NAME})")
-    if not rows:
-        print("no parallel acceptance row found in the fresh run -- refusing to pass")
+    """Hold the parallel backend to its per-row acceptance bars."""
+    rows = [r for r in fresh_rows if r["name"] in PARALLEL_BARS]
+    print(f"== parallel-backend guard (bars: >= {PARALLEL_BAR}x on "
+          f"{PARALLEL_ACCEPTANCE_NAME}, >= {PARALLEL_FIXPOINT_BAR}x on "
+          f"{PARALLEL_FIXPOINT_NAME})")
+    if len(rows) < len(PARALLEL_BARS):
+        missing = sorted(set(PARALLEL_BARS) - {r["name"] for r in rows})
+        print(f"parallel acceptance rows missing from the fresh run ({missing}) "
+              "-- refusing to pass")
         return 1
     committed = {
         r["name"]: r["speedups"].get("parallel_vs_vectorized")
@@ -136,6 +163,7 @@ def check_parallel(fresh_rows: list[dict], baseline_rows: list[dict]) -> int:
     }
     failures = []
     for row in rows:
+        bar = PARALLEL_BARS[row["name"]]
         speedup = row["speedups"].get("parallel_vs_vectorized", 0.0)
         committed_speedup = committed.get(row["name"])
         drift = (
@@ -143,15 +171,51 @@ def check_parallel(fresh_rows: list[dict], baseline_rows: list[dict]) -> int:
             if committed_speedup
             else ""
         )
-        verdict = "ok" if speedup >= PARALLEL_BAR else "FAIL"
+        verdict = "ok" if speedup >= bar else "FAIL"
         print(f"  {row['name']:>22} n={row['n']:<4} workers={row.get('workers', '?')} "
-              f"{speedup:7.2f}x  {verdict}{drift}")
-        if speedup < PARALLEL_BAR:
+              f"{speedup:7.2f}x  {verdict} (bar {bar}x){drift}")
+        if speedup < bar:
             failures.append(row)
     if failures:
-        print(f"REGRESSION: parallel speedup below {PARALLEL_BAR}x")
+        names = [f"{r['name']} ({r['speedups']['parallel_vs_vectorized']:.2f}x "
+                 f"< {PARALLEL_BARS[r['name']]}x)" for r in failures]
+        print(f"REGRESSION: parallel speedup below the bar on {names}")
         return 1
-    print(f"the parallel backend clears the {PARALLEL_BAR}x overlap bar")
+    print("the parallel backend clears the overlap and flat-fixpoint bars")
+    return check_columnar(fresh_rows, baseline_rows)
+
+
+def check_columnar(fresh_rows: list[dict], baseline_rows: list[dict]) -> int:
+    """Hold the flat dense-id kernels to their object-kernel acceptance bar."""
+    rows = [r for r in fresh_rows if r["name"] == COLUMNAR_ACCEPTANCE_NAME]
+    print(f"== flat-column guard (bar: flat kernels >= {COLUMNAR_BAR}x object "
+          f"kernels on {COLUMNAR_ACCEPTANCE_NAME})")
+    if not rows:
+        print("no columnar acceptance row found in the fresh run -- refusing to pass")
+        return 1
+    committed = {
+        r["name"]: r["speedups"].get("flat_vs_object")
+        for r in baseline_rows
+        if r.get("family") == "columnar" and r.get("speedups")
+    }
+    failures = []
+    for row in rows:
+        speedup = row["speedups"].get("flat_vs_object", 0.0)
+        committed_speedup = committed.get(row["name"])
+        drift = (
+            f"  (committed full-suite: {committed_speedup:.1f}x)"
+            if committed_speedup
+            else ""
+        )
+        verdict = "ok" if speedup >= COLUMNAR_BAR else "FAIL"
+        print(f"  {row['name']:>22} n={row['n']:<4} {speedup:7.2f}x  "
+              f"{verdict}{drift}")
+        if speedup < COLUMNAR_BAR:
+            failures.append(row)
+    if failures:
+        print(f"REGRESSION: flat-kernel speedup below {COLUMNAR_BAR}x")
+        return 1
+    print(f"the flat kernels clear the {COLUMNAR_BAR}x representation bar")
     return check_ivm(fresh_rows, baseline_rows)
 
 

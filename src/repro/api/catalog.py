@@ -38,13 +38,22 @@ views *stale* rather than silently recomputing them against a new schema.
 from __future__ import annotations
 
 import threading
+from bisect import insort
 from typing import Iterator, Optional
 
 from ..engine.incremental.changeset import Changeset, CollectionDelta
 from ..nra.ast import Const
 from ..nra.typecheck import infer
 from ..objects.types import SetType, Type
-from ..objects.values import SetVal, Value, check_type, from_python, infer_type
+from ..objects.values import (
+    SetVal,
+    Value,
+    canonical_set,
+    check_type,
+    from_python,
+    infer_type,
+    sort_key,
+)
 from ..relational.database import OrderedDatabase
 from ..relational.relation import Relation
 from .query import PARAM_PREFIX, Schema
@@ -201,9 +210,18 @@ class Database:
                 # the pair would break the changeset's disjointness invariant.
                 ins = [v for v in ins if v not in both]
                 dels = [v for v in dels if v not in both]
+                dels_set -= both
             if ins or dels:
                 deltas[name] = CollectionDelta(ins, dels)
-                updates[name] = SetVal(present)
+                # The live contents tuple is canonical, a filtered subsequence
+                # of it stays canonical, and each (netted, so genuinely new)
+                # insert lands at its sort position -- no O(n) re-sort of the
+                # whole collection per commit.
+                kept = [e for e in current.elements if e not in dels_set]
+                if ins:
+                    for v in sorted(ins, key=sort_key):
+                        insort(kept, v, key=sort_key)
+                updates[name] = canonical_set(tuple(kept))
         return Changeset(deltas), updates
 
     # -- materialized views ---------------------------------------------------

@@ -63,6 +63,15 @@ class SessionStats:
     view_rows_touched: int = 0    # view result rows inserted + deleted
     dred_overdeletes: int = 0     # elements over-deleted by delete/rederive
     dred_rederives: int = 0       # over-deleted elements rederivation re-proved
+    # Flat-column attribution (see repro.engine.vectorized.flat): which of
+    # this session's work ran on dense-id arrays rather than objects, and --
+    # for parallel engines with an "shm" pool -- how much crossed process
+    # boundaries as raw id arrays.  Read from the engine's per-call stats,
+    # so a shared engine attributes each run to exactly one session.
+    flat_joins: int = 0           # hash joins executed on id columns
+    flat_dedups: int = 0          # array-level dedup/materialization passes
+    shm_ships: int = 0            # id-array payloads shipped to shm workers
+    array_bytes_shipped: int = 0  # bytes of dense-id arrays shipped
 
     def snapshot(self) -> "SessionStats":
         return SessionStats(**{f: getattr(self, f) for f in self.__dataclass_fields__})
@@ -418,11 +427,13 @@ class Session:
             # Counter delta, not last_stats: uniform over backends (the
             # parallel backend compiles through the same driver evaluator).
             compiles = self.engine.vectorized_compiles() - before_compiles
+            last = self.engine.last_stats
         with self._lock:
             self.stats.executes += 1
             self.stats.rewrites += misses
             self.stats.plan_hits += hits
             self.stats.vec_compiles += compiles
+            self._absorb_flat(last)
         return result
 
     def _run_many(self, closed, values, env, backend) -> list[Value]:
@@ -434,12 +445,24 @@ class Session:
             misses = self.engine.plan_misses - before_misses
             hits = self.engine.plan_hits - before_hits
             compiles = self.engine.vectorized_compiles() - before_compiles
+            last = self.engine.last_stats
         with self._lock:
             self.stats.executes += len(values)
             self.stats.rewrites += misses
             self.stats.plan_hits += hits
             self.stats.vec_compiles += compiles
+            self._absorb_flat(last)
         return results
+
+    def _absorb_flat(self, last) -> None:
+        """Fold a per-call backend stats view into the session counters.
+
+        ``last_stats`` is already the delta of the one run this session just
+        made (taken under the engine lock), so addition is exact whatever
+        backend produced it; counters a backend does not track read as 0.
+        """
+        for f in ("flat_joins", "flat_dedups", "shm_ships", "array_bytes_shipped"):
+            setattr(self.stats, f, getattr(self.stats, f) + getattr(last, f, 0))
 
     def _cursor(self, value: Value) -> Cursor:
         def count_rows(n: int) -> None:

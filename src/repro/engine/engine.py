@@ -144,8 +144,13 @@ class Engine:
     workers / shards / pool:
         Parallel-backend knobs (ignored by the other backends): pool size
         (default :func:`default_workers`), target shards per wave (default
-        ``2 * workers``), and pool flavour (``"thread"`` default,
-        ``"process"`` for CPU-bound shards on multi-core machines).
+        ``2 * workers``), and pool flavour -- ``"thread"`` (default),
+        ``"process"`` for CPU-bound shards on multi-core machines, or
+        ``"shm"`` for the shared-memory process pool: fixpoint shards ship
+        as packed dense-id code arrays (inline when small, one
+        ``SharedMemory`` segment when large) after a one-time
+        intern-dictionary sync, the GIL-free route whose transport the
+        ``shm_ships`` / ``array_bytes_shipped`` counters account.
 
     The intern table is engine-scoped (values are shared across runs and
     backends of the same engine).  The memo backend's closure caches are
@@ -184,6 +189,7 @@ class Engine:
         workers: Optional[int] = None,
         shards: Optional[int] = None,
         pool: str = "thread",
+        flat: bool = True,
     ) -> None:
         self.sigma = sigma
         self.backend = _validate_backend(backend)
@@ -192,6 +198,10 @@ class Engine:
         self.workers = workers if workers is not None else default_workers()
         self.shards = shards
         self.pool = pool
+        #: Whether the vectorized/parallel backends may use the flat
+        #: (dense-id array) kernels.  ``False`` pins the object kernels --
+        #: the representation benchmarks' baseline and an escape hatch.
+        self.flat = flat
         self.last_stats: Optional[Union[MemoStats, VecStats, ParStats]] = None
         # Keyed on the expression itself (AST nodes are frozen, hashable
         # dataclasses), so structurally equal queries share one plan.
@@ -414,7 +424,9 @@ class Engine:
     def _vec(self) -> VectorizedEvaluator:
         with self._lock:
             if self._vectorized is None:
-                self._vectorized = VectorizedEvaluator(self.sigma, self.interner)
+                self._vectorized = VectorizedEvaluator(
+                    self.sigma, self.interner, flat=self.flat
+                )
             return self._vectorized
 
     def _par(self) -> ParallelEvaluator:

@@ -49,10 +49,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from ...nra import ast
 from ...nra.ast import Expr
 from ...nra.errors import NRAEvalError
 from ...objects.values import SetVal, Value
 from ..vectorized.batch import bind, unbind
+from ..vectorized.flat import CODE_BITS, CODE_MASK, accessor_path
 from .changeset import Changeset
 from .delta import DeltaOp, derive, maintenance_plan
 
@@ -72,6 +74,7 @@ class ViewStats:
     dred_applies: int = 0         # fixpoint deletions absorbed by delete/rederive
     dred_overdeletes: int = 0     # elements over-deleted across all DRed passes
     dred_rederives: int = 0       # over-deleted elements re-proved by rederivation
+    flat_index_applies: int = 0   # indexed-fixpoint passes served by dense-id codes
 
     def rows_touched(self) -> int:
         return self.rows_inserted + self.rows_deleted
@@ -99,7 +102,7 @@ class ViewDelta:
 class _NodeState:
     """Mutable runtime state of one DeltaOp node."""
 
-    __slots__ = ("out", "counts", "lindex", "rindex", "children")
+    __slots__ = ("out", "counts", "lindex", "rindex", "children", "flat")
 
     def __init__(self) -> None:
         self.out: Optional[SetVal] = None
@@ -107,6 +110,117 @@ class _NodeState:
         self.lindex: Optional[dict] = None
         self.rindex: Optional[dict] = None
         self.children: tuple["_NodeState", ...] = ()
+        #: Dense-id mirror of the counted indexes (indexed fixpoints only);
+        #: ``None`` runs the object-path probes.
+        self.flat: Optional["_FlatIJoinState"] = None
+
+
+class _FlatIJoinState:
+    """The counted two-sided indexes of an indexed fixpoint, on dense ids.
+
+    The PR-7 flat representation applied to maintenance state: every element
+    of the fixpoint is a pair of interned values, carried as the packed code
+    ``(fst_dense_id << 32) | snd_dense_id``; join keys and derivation
+    outputs are projection chains, so a cone probe is dict lookups and
+    integer packing -- no environment binds, no compiled-closure calls, no
+    per-derivation pair interning.  Values are materialized only at the
+    boundaries (the elements that actually enter or leave the result, and
+    one set union/difference per apply).
+
+    Built opportunistically by ``MaterializedView._flat_ijoin_build``; any
+    element or key outside the flat pair domain demotes the node to the
+    object-path indexes (``_ijoin_demote``), which are always sound.
+    """
+
+    __slots__ = ("parts", "lpath", "rpath", "a_left", "apath", "b_left",
+                 "bpath", "counts", "lindex", "rindex", "present", "seeds")
+
+    def __init__(self, parts: dict, lpath, rpath, a_left, apath, b_left, bpath):
+        self.parts = parts          # live pair-part view of the intern table
+        self.lpath = lpath          # left key as a projection path
+        self.rpath = rpath          # right key as a projection path
+        self.a_left = a_left        # output fst: path over left (else right)
+        self.apath = apath
+        self.b_left = b_left        # output snd: path over left (else right)
+        self.bpath = bpath
+        self.counts: dict[int, int] = {}       # out code -> derivation count
+        self.lindex: dict[int, dict] = {}      # key id -> {element code}
+        self.rindex: dict[int, dict] = {}
+        self.present: set[int] = set()         # codes of the current fixpoint
+        self.seeds: set[int] = set()           # codes of the child (seed) set,
+                                               # maintained from batch deltas
+
+    def follow(self, code: int, path) -> int:
+        """Walk a projection path from an element code (KeyError on non-pair)."""
+        d = (code >> CODE_BITS) if path[0] == "f" else (code & CODE_MASK)
+        parts = self.parts
+        for step in path[1:]:
+            pr = parts[d]
+            d = pr[0] if step == "f" else pr[1]
+        return d
+
+    def derive_code(self, left: int, right: int) -> int:
+        a = self.follow(left if self.a_left else right, self.apath)
+        b = self.follow(left if self.b_left else right, self.bpath)
+        return (a << CODE_BITS) | b
+
+    def count(self, code: int, sign: int, touched: list) -> None:
+        """The dense-id mirror of ``MaterializedView._ijoin_count``.
+
+        Same probe discipline (index before probing on ``+1`` so the
+        self-derivation is found exactly once by the left-role probe, probe
+        before unindexing on ``-1``), same support-count invariants, with
+        element identity as code equality instead of object identity.
+        """
+        lk = self.follow(code, self.lpath)
+        rk = self.follow(code, self.rpath)
+        counts, lindex, rindex = self.counts, self.lindex, self.rindex
+        if sign > 0:
+            lindex.setdefault(lk, {})[code] = None
+            rindex.setdefault(rk, {})[code] = None
+        matches = rindex.get(lk)
+        if matches:
+            for y in list(matches):
+                z = self.derive_code(code, y)
+                c = counts.get(z, 0) + sign
+                if c > 0:
+                    counts[z] = c
+                elif c == 0:
+                    counts.pop(z, None)
+                else:
+                    raise AssertionError(
+                        "negative fixpoint support count: a derivation "
+                        "was dropped twice"
+                    )
+                touched.append(z)
+        matches = lindex.get(rk)
+        if matches:
+            for y in list(matches):
+                if y == code:
+                    continue  # the self-pair was counted above
+                z = self.derive_code(y, code)
+                c = counts.get(z, 0) + sign
+                if c > 0:
+                    counts[z] = c
+                elif c == 0:
+                    counts.pop(z, None)
+                else:
+                    raise AssertionError(
+                        "negative fixpoint support count: a derivation "
+                        "was dropped twice"
+                    )
+                touched.append(z)
+        if sign < 0:
+            bucket = lindex.get(lk)
+            if bucket is not None:
+                bucket.pop(code, None)
+                if not bucket:
+                    del lindex[lk]
+            bucket = rindex.get(rk)
+            if bucket is not None:
+                bucket.pop(code, None)
+                if not bucket:
+                    del rindex[rk]
 
 
 def _expect_set(v, what: str) -> SetVal:
@@ -765,13 +879,201 @@ class MaterializedView:
             unbind(env, op.var, ltok)
 
     def _ijoin_build(self, op: DeltaOp, st: _NodeState) -> None:
-        """Index the built fixpoint and count every join derivation once."""
+        """Index the built fixpoint and count every join derivation once.
+
+        Prefers the dense-id mirror (:class:`_FlatIJoinState`) when the
+        node's keys and output are projection chains and every element is a
+        flat pair; otherwise (or on demotion) the object-path indexes.
+        """
+        if self.engine.flat:
+            st.flat = self._flat_ijoin_build(op, st)
+            if st.flat is not None:
+                return
+        self._ijoin_build_object(op, st)
+
+    def _ijoin_build_object(self, op: DeltaOp, st: _NodeState) -> None:
+        st.flat = None
         st.counts = {}
         st.lindex = {}
         st.rindex = {}
         sink: list = []
         for x in st.out.elements:
             self._ijoin_count(op, st, x, +1, sink)
+
+    # -- dense-id (flat) indexed fixpoint --------------------------------------
+
+    def _flat_ijoin_spec(self, op: DeltaOp):
+        """Key/output projection paths for the flat mirror, or ``None``."""
+        lpath = accessor_path(op.lkey, op.var)
+        rpath = accessor_path(op.rkey, op.rvar)
+        if not lpath or not rpath or not isinstance(op.out, ast.Pair):
+            # Empty paths would key on the element itself, whose dense id a
+            # packed code does not carry; keep those on the object path.
+            return None
+
+        def comp(e: Expr):
+            pa = accessor_path(e, op.var)
+            if pa:
+                return True, pa
+            pb = accessor_path(e, op.rvar)
+            if pb:
+                return False, pb
+            return None
+
+        a, b = comp(op.out.fst), comp(op.out.snd)
+        if a is None or b is None:
+            return None
+        return lpath, rpath, a[0], a[1], b[0], b[1]
+
+    def _flat_codes(self, flat: _FlatIJoinState, values) -> Optional[list]:
+        """Packed pair codes of interned values; ``None`` outside the domain."""
+        it = self._it
+        parts = flat.parts
+        codes: list = []
+        for v in values:
+            try:
+                pr = parts.get(it.dense_id(v))
+            except KeyError:
+                return None
+            if pr is None:
+                return None
+            codes.append((pr[0] << CODE_BITS) | pr[1])
+        return codes
+
+    def _flat_ijoin_build(self, op: DeltaOp, st: _NodeState) -> Optional[_FlatIJoinState]:
+        spec = self._flat_ijoin_spec(op)
+        if spec is None:
+            return None
+        flat = _FlatIJoinState(self._it.pair_parts(), *spec)
+        codes = self._flat_codes(flat, st.out.elements)
+        seed_codes = self._flat_codes(flat, st.children[0].out.elements)
+        if codes is None or seed_codes is None:
+            return None
+        sink: list = []
+        try:
+            for c in codes:
+                flat.count(c, +1, sink)
+        except KeyError:
+            return None  # a key path hit a non-pair: object domain
+        flat.present.update(codes)
+        flat.seeds.update(seed_codes)
+        return flat
+
+    def _ijoin_demote(self, op: DeltaOp, st: _NodeState) -> None:
+        """Leave the flat domain for good: rebuild the object-path indexes.
+
+        Sound because every flat pass mutates only the mirror until it
+        succeeds -- ``st.out`` (and the object state rebuilt from it here)
+        is still the pre-pass fixpoint, so the caller just re-runs the same
+        maintenance step on the object path.
+        """
+        self._ijoin_build_object(op, st)
+
+    def _flat_walk(self, flat: _FlatIJoinState, codes: list) -> list:
+        """Indexed insert-side continuation over codes; returns what joined.
+
+        The counted mirror of semi-naive iteration exactly as in
+        ``_ijoin_continue``.  A mid-walk ``KeyError`` (a key path hitting a
+        non-pair) propagates to demote the node; that is sound because only
+        the discarded mirror has been touched -- ``st.out`` and the stats
+        move after the walk returns.
+        """
+        present = flat.present
+        added: list = []
+        frontier = [c for c in codes if c not in present]
+        rounds = 0
+        while frontier:
+            rounds += 1
+            touched: list = []
+            for c in frontier:
+                if c in present:
+                    continue
+                present.add(c)
+                added.append(c)
+                flat.count(c, +1, touched)
+            frontier = [z for z in touched if z not in present]
+        self.stats.seminaive_rounds += rounds
+        return added
+
+    def _flat_ijoin_continue(self, op: DeltaOp, st: _NodeState, ins):
+        """Flat ``_ijoin_continue``; ``None`` demotes to the object path."""
+        flat = st.flat
+        codes = self._flat_codes(flat, ins)
+        if codes is None:
+            return None
+        flat.seeds.update(codes)  # ins is the child's (seed) insert delta
+        it = self._it
+        try:
+            added = self._flat_walk(flat, codes)
+        except KeyError:
+            return None
+        self.stats.flat_index_applies += 1
+        if not added:
+            return st.out, []
+        vals = [it.pair_from_ids(c >> CODE_BITS, c & CODE_MASK) for c in added]
+        return it.union(st.out, it.mkset(vals)), vals
+
+    def _flat_ijoin_dred(self, op: DeltaOp, st: _NodeState, ins, dels):
+        """Flat ``_ijoin_dred``; ``None`` demotes to the object path.
+
+        Identical passes over codes: the over-deletion walk decrements by
+        integer probes, survival is a remaining count or (already-
+        maintained) seed membership, and the rederivation walk re-counts
+        restored derivations.  ``st.out`` moves by one difference and one
+        union of the boundary elements -- the only values materialized.
+        """
+        it = self._it
+        flat = st.flat
+        del_codes = self._flat_codes(flat, dels)
+        ins_codes = self._flat_codes(flat, ins)
+        if del_codes is None or ins_codes is None:
+            return None
+        # The seed-code cache replays the child's (already applied) delta --
+        # the membership tests below must not pay O(|seed|) per batch.
+        flat.seeds.difference_update(del_codes)
+        flat.seeds.update(ins_codes)
+        present, counts = flat.present, flat.counts
+        over: dict = {}
+        rounds = 0
+        try:
+            frontier = [c for c in del_codes if c in present]
+            while frontier:
+                rounds += 1
+                touched: list = []
+                for c in frontier:
+                    if c in over:
+                        continue
+                    over[c] = None
+                    flat.count(c, -1, touched)
+                frontier = [z for z in touched if z not in over]
+            seed_set = flat.seeds
+            rederived = [c for c in over
+                         if c in seed_set or counts.get(c, 0) > 0]
+            present.difference_update(over)
+            added = self._flat_walk(flat, rederived + ins_codes)
+        except KeyError:
+            return None
+        self.stats.seminaive_rounds += rounds
+        self.stats.flat_index_applies += 1
+        over_vals = [it.pair_from_ids(c >> CODE_BITS, c & CODE_MASK)
+                     for c in over]
+        out = it.difference(st.out, it.mkset(over_vals))
+        added_vals = [it.pair_from_ids(c >> CODE_BITS, c & CODE_MASK)
+                      for c in added]
+        if added_vals:
+            out = it.union(out, it.mkset(added_vals))
+        st.out = out
+        self.stats.dred_applies += 1
+        self.stats.dred_overdeletes += len(over)
+        self.stats.dred_rederives += sum(1 for c in over if c in present)
+        delta: SetDelta = {}
+        for c, v in zip(over, over_vals):
+            if c not in present:
+                delta[v] = -1
+        for c, v in zip(added, added_vals):
+            if c not in over:
+                delta[v] = 1
+        return delta
 
     def _ijoin_continue(self, op: DeltaOp, st: _NodeState, ins) -> tuple[SetVal, list]:
         """Insert-side continuation by index probes from the new frontier.
@@ -784,6 +1086,11 @@ class MaterializedView:
         re-index of the accumulator.  Returns the new fixpoint and the list
         of elements that joined it.
         """
+        if st.flat is not None:
+            res = self._flat_ijoin_continue(op, st, ins)
+            if res is not None:
+                return res
+            self._ijoin_demote(op, st)
         it = self._it
         present = set(map(id, st.out.elements))
         added: list = []
@@ -816,6 +1123,11 @@ class MaterializedView:
         they transitively support and re-counts each restored derivation
         exactly once.  Updates ``st.out`` and returns the node's set delta.
         """
+        if st.flat is not None:
+            res = self._flat_ijoin_dred(op, st, ins, dels)
+            if res is not None:
+                return res
+            self._ijoin_demote(op, st)
         it = self._it
         old = st.out
         old_ids = set(map(id, old.elements))

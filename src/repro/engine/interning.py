@@ -24,7 +24,8 @@ when the engine is dropped.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from array import array
+from typing import Iterable, Optional, Sequence
 
 from ..objects.values import (
     BaseVal,
@@ -33,21 +34,21 @@ from ..objects.values import (
     SetVal,
     UnitVal,
     Value,
+    canonical_set,
     sort_key,
 )
 
 
-def _raw_set(elements: tuple[Value, ...]) -> SetVal:
-    """Build a SetVal from an already-canonical element tuple, skipping re-sorting.
+#: Pair codes pack two dense ids into one ``int``: ``(fst << 32) | snd``.
+#: 2**32 distinct values per engine is far beyond anything the benchmarks
+#: reach; a table that somehow exceeds it simply stops registering codes and
+#: the flat kernels fall back to the object path.
+_CODE_BITS = 32
+_DENSE_LIMIT = 1 << _CODE_BITS
 
-    Only sound when ``elements`` is deduplicated and sorted by
-    :func:`repro.objects.values.sort_key`; the intern table maintains that
-    invariant for everything it stores.
-    """
-    s = SetVal.__new__(SetVal)
-    object.__setattr__(s, "elements", elements)
-    object.__setattr__(s, "_hash", None)
-    return s
+
+#: Canonical-tuple SetVal constructor (skips the sort; see values.canonical_set).
+_raw_set = canonical_set
 
 
 class InternTable:
@@ -65,6 +66,25 @@ class InternTable:
         # Cached sort_key per interned value, keyed by id (sound because the
         # table keeps every canonical value alive).
         self._keys: dict[int, tuple] = {}
+        # -- dense-id assignment (the flat-column backbone) -------------------
+        # Every canonical value gets a small integer id in interning order.
+        # The assignment is append-only and survives ``Engine.clear_plans``
+        # (which never touches the intern table), so ``dense_id -> value ->
+        # dense_id`` round-trips for the lifetime of the engine.  Flat kernels
+        # ship these ids in ``array('q')`` columns instead of object tuples.
+        self._by_dense: list[Value] = []
+        self._dense: dict[int, int] = {}  # id(value) -> dense id
+        #: pair dense id -> (fst dense id, snd dense id); the column
+        #: decomposition flat kernels walk instead of attribute access.
+        self._pair_parts: dict[int, tuple[int, int]] = {}
+        #: packed ``(fst << 32) | snd`` code -> pair, so a flat join can
+        #: materialize its output pairs without re-probing ``("p", ...)`` keys.
+        self._pair_codes: dict[int, Value] = {}
+        #: id(SetVal) -> element dense-id column (canonical element order).
+        self._set_cols: dict[int, array] = {}
+        #: sorted-unique dense-id bytes -> SetVal: recognises a set that was
+        #: already materialized from ids without re-sorting by object keys.
+        self._sets_by_ids: dict[bytes, Value] = {}
         self.hits = 0
         self.misses = 0
         self.unit = self._store(("u",), UnitVal())
@@ -82,17 +102,34 @@ class InternTable:
         # construction is the hot path of delta maintenance.
         keys = self._keys
         if isinstance(v, SetVal):
-            keys[id(v)] = (
-                4,
-                len(v.elements),
-                tuple(keys.get(id(e)) or sort_key(e) for e in v.elements),
-            )
+            try:
+                # All-cached is the norm; C-level map beats a python-level
+                # genexpr by ~4x on the wide sets delta maintenance stores.
+                elem_keys = tuple(map(keys.__getitem__, map(id, v.elements)))
+            except KeyError:
+                elem_keys = tuple(keys.get(id(e)) or sort_key(e)
+                                  for e in v.elements)
+            keys[id(v)] = (4, len(v.elements), elem_keys)
         elif isinstance(v, PairVal):
             fk = keys.get(id(v.fst)) or sort_key(v.fst)
             sk = keys.get(id(v.snd)) or sort_key(v.snd)
             keys[id(v)] = (3, fk, sk)
         else:
             keys[id(v)] = sort_key(v)
+        dense = len(self._by_dense)
+        self._by_dense.append(v)
+        self._dense[id(v)] = dense
+        if isinstance(v, PairVal):
+            # Constructor contract: the parts of a stored pair are interned,
+            # so they already carry dense ids.  (``.get`` is defensive: a
+            # part that somehow is not registered just leaves this pair
+            # opaque to the flat kernels, which then fall back.)
+            fi = self._dense.get(id(v.fst))
+            si = self._dense.get(id(v.snd))
+            if fi is not None and si is not None:
+                self._pair_parts[dense] = (fi, si)
+                if fi < _DENSE_LIMIT and si < _DENSE_LIMIT:
+                    self._pair_codes[(fi << _CODE_BITS) | si] = v
         return v
 
     def _canon(self, key: tuple, build) -> Value:
@@ -115,6 +152,83 @@ class InternTable:
     def size(self) -> int:
         """Number of distinct values interned so far."""
         return len(self._table)
+
+    # -- dense ids / flat columns -------------------------------------------------
+
+    def dense_id(self, v: Value) -> int:
+        """The stable dense id of an *interned* value (interning order)."""
+        return self._dense[id(v)]
+
+    def value_of(self, dense: int) -> Value:
+        """The canonical value carrying dense id ``dense``."""
+        return self._by_dense[dense]
+
+    @property
+    def dense_size(self) -> int:
+        """Number of dense ids assigned (== :attr:`size`)."""
+        return len(self._by_dense)
+
+    def pair_parts(self) -> dict[int, tuple[int, int]]:
+        """Read-only view: pair dense id -> (fst dense id, snd dense id)."""
+        return self._pair_parts
+
+    def pair_from_ids(self, fid: int, sid: int) -> Value:
+        """Interned pair from two dense part ids (code-cache fast path)."""
+        if fid < _DENSE_LIMIT and sid < _DENSE_LIMIT:
+            found = self._pair_codes.get((fid << _CODE_BITS) | sid)
+            if found is not None:
+                self.hits += 1
+                return found
+        return self.pair(self._by_dense[fid], self._by_dense[sid])
+
+    def set_ids(self, s: SetVal) -> array:
+        """The element dense-id column of an *interned* set (canonical order).
+
+        Cached per set; sound because the table keeps the set (and its id)
+        alive, and elements of an interned set are interned.
+        """
+        col = self._set_cols.get(id(s))
+        if col is None:
+            dense = self._dense
+            col = array("q", (dense[id(e)] for e in s.elements))
+            self._set_cols[id(s)] = col
+        return col
+
+    def set_from_ids(self, ids: Sequence[int]) -> Value:
+        """Interned set from element dense ids (dedupes; any order).
+
+        This is the flat kernels' plan-boundary materialization: integer
+        sort-unique replaces the object-key sort, and a bytes-keyed cache
+        recognises a set of ids seen before (frontier rounds and repeated
+        probes hit it constantly) without touching the elements at all.
+        """
+        uniq = sorted(set(ids))
+        key = array("q", uniq).tobytes()
+        found = self._sets_by_ids.get(key)
+        if found is not None:
+            self.hits += 1
+            return found
+        by_dense, keys = self._by_dense, self._keys
+        elems = [by_dense[i] for i in uniq]
+        elems.sort(key=lambda v: keys[id(v)])
+        s = self._set_from_canonical(tuple(elems))
+        self._sets_by_ids[key] = s
+        return s
+
+    def set_from_pair_codes(self, codes: Iterable[int]) -> Value:
+        """Interned set of pairs from packed ``(fst << 32) | snd`` codes."""
+        pair_codes = self._pair_codes
+        dense = self._dense
+        out = []
+        for c in codes:
+            p = pair_codes.get(c)
+            if p is None:
+                p = self.pair(
+                    self._by_dense[c >> _CODE_BITS],
+                    self._by_dense[c & (_DENSE_LIMIT - 1)],
+                )
+            out.append(dense[id(p)])
+        return self.set_from_ids(out)
 
     # -- interning ----------------------------------------------------------------
 
@@ -217,13 +331,20 @@ class InternTable:
 
         A subsequence of a canonical sequence is canonical, so the result is
         built without re-sorting.  This is the frontier computation of the
-        vectorized engine's semi-naive iteration (``delta = new - old``).
+        vectorized engine's semi-naive iteration (``delta = new - old``) and
+        the boundary materialization of view maintenance (``out - removed``).
+
+        (A bisect-and-splice fast path for small ``b`` was measured slower
+        here: locating ~100 removals among ~10k elements saves the scan but
+        pays for ~100 tuple-slice copies plus a python-level key callable
+        per probe -- the single C-speed scan wins at every realistic size.)
         """
-        if not a.elements or not b.elements:
+        xs = a.elements
+        if not xs or not b.elements:
             return a
         drop = set(map(id, b.elements))
-        kept = tuple(x for x in a.elements if id(x) not in drop)
-        if len(kept) == len(a.elements):
+        kept = tuple([x for x in xs if id(x) not in drop])
+        if len(kept) == len(xs):
             return a
         return self._set_from_canonical(kept)
 

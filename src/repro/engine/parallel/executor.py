@@ -41,10 +41,13 @@ from ...objects.values import PairVal, SetVal, Value
 from ...recursion.iterators import log_iterations
 from ..interning import intern_env
 from ..vectorized import VectorizedEvaluator
+from ..vectorized.compiler import match_join
+from ..vectorized.flat import FlatLoop, FlatUnavailable, analyze_flat_terms
 from ..vectorized.plan import PlanNode, leaf, node
 from .partition import hash_partition, hash_partition_aligned
 from .scheduler import ShardTask, WorkerPool
 from .sharder import FixpointSpec, ShardSpec, analyze
+from .shm import ShmFixpoint
 
 
 @dataclass
@@ -61,6 +64,9 @@ class ParStats:
     shards: int = 0            # shards produced (incl. re-sharded frontiers)
     fixpoint_rounds: int = 0   # parallel semi-naive rounds executed
     frontier_reshards: int = 0 # frontier partitions (one per parallel round)
+    flat_fixpoint_runs: int = 0  # fixpoints run on the flat-column path
+    shm_ships: int = 0         # id-array payloads delivered to shm workers
+    array_bytes_shipped: int = 0  # bytes of dense-id arrays across processes
 
     def copy(self) -> "ParStats":
         return ParStats(**{f: getattr(self, f) for f in self.__dataclass_fields__})
@@ -93,7 +99,9 @@ class ParallelEvaluator:
         Target shard count per wave (defaults to ``2 * workers`` so slightly
         skewed shards still keep every worker busy).
     pool:
-        ``"thread"`` (default) or ``"process"`` -- see the scheduler module.
+        ``"thread"`` (default), ``"process"``, or ``"shm"`` (isolated
+        processes fed dense-id arrays instead of pickled sets) -- see the
+        scheduler module.
     """
 
     def __init__(
@@ -110,7 +118,10 @@ class ParallelEvaluator:
         self.shard_count = shards if shards is not None else 2 * workers
         if self.shard_count < 1:
             raise ValueError("shard count must be >= 1")
-        self.pool = WorkerPool(sigma=sigma, workers=workers, kind=pool)
+        self.pool = WorkerPool(
+            sigma=sigma, workers=workers, kind=pool,
+            interner=self.driver.interner,
+        )
         self.stats = ParStats()
         self._specs: dict[Expr, Optional[ShardSpec]] = {}
 
@@ -140,6 +151,11 @@ class ParallelEvaluator:
             shape = "log_loop" if fx.logarithmic else (
                 "loop" if fx.loop_style else "sri-as-loop"
             )
+            annotations: tuple[str, ...] = ("semi-naive", "reshard-per-round")
+            if self.driver.ctx.use_flat and analyze_flat_terms(
+                list(fx.delta_terms), fx.step_var, fx.delta_var, match_join
+            ) is not None:
+                annotations += ("flat-columns",)
             return node(
                 "parallel-fixpoint",
                 f"{shape}: frontier into <={k} shards, workers={w}",
@@ -149,7 +165,7 @@ class ParallelEvaluator:
                     self.driver.plan(fx.delta_union),
                 ),
                 leaf("combine-union", "derived = union of shard results"),
-                annotations=("semi-naive", "reshard-per-round"),
+                annotations=annotations,
             )
         if spec.kind == "join":
             js = spec.join
@@ -220,6 +236,20 @@ class ParallelEvaluator:
         arg: Optional[Value] = None,
         env: Optional[dict] = None,
     ) -> Value:
+        try:
+            return self._run(e, arg, env)
+        finally:
+            # Shipping counters accrue on the pool (shm encoders live
+            # there); mirror them so ``stats.since`` sees them per call.
+            self.stats.shm_ships = self.pool.shm_ships
+            self.stats.array_bytes_shipped = self.pool.array_bytes_shipped
+
+    def _run(
+        self,
+        e: Expr,
+        arg: Optional[Value] = None,
+        env: Optional[dict] = None,
+    ) -> Value:
         env = intern_env(self.interner, env)
         spec = self._spec(e)
         if spec is None:
@@ -271,6 +301,18 @@ class ParallelEvaluator:
         batches: re-running an input on the worker it hashes to pays only
         re-application.
         """
+        try:
+            return self._run_many(e, args, env)
+        finally:
+            self.stats.shm_ships = self.pool.shm_ships
+            self.stats.array_bytes_shipped = self.pool.array_bytes_shipped
+
+    def _run_many(
+        self,
+        e: Expr,
+        args: list,
+        env: Optional[dict] = None,
+    ) -> list[Value]:
         env = intern_env(self.interner, env)
         values = [self.interner.intern(a) for a in args]
         if not values:
@@ -397,6 +439,10 @@ class ParallelEvaluator:
             raise NRAEvalError(f"iterator step: expected a set, got {acc!r}")
         delta = it.difference(acc, start)
         done = 1
+        if done < rounds and delta.elements:
+            flat = self._try_flat_fixpoint(fix, env, acc, delta, rounds, done)
+            if flat is not None:
+                return flat
         while done < rounds and len(delta.elements):
             shards = hash_partition(
                 delta, min(self.shard_count, len(delta.elements))
@@ -424,3 +470,92 @@ class ParallelEvaluator:
             acc = nxt
             done += 1
         return acc
+
+    def _try_flat_fixpoint(
+        self,
+        fix: FixpointSpec,
+        env: dict,
+        acc: SetVal,
+        delta: SetVal,
+        rounds: int,
+        done: int,
+    ) -> Optional[Value]:
+        """Run the remaining rounds on dense-id arrays, or ``None`` to decline.
+
+        The frontier terms are lowered exactly as the vectorized backend's
+        semi-naive loop lowers them; what changes is who executes a round's
+        probe chunks.  Thread pools fan the chunk *callables* across the pool
+        (the indexes are frozen during a round, so the readers don't race and
+        -- because the hot loops are integer probes, not object protocol
+        calls -- they block each other far less than the ``SetVal`` path
+        did).  Shared-memory pools mirror the loop's code state into the
+        worker processes once, then exchange only raw frontier/derived
+        arrays per round.  Process pools (and one-worker pools) keep the loop
+        driver-local: that already beats shipping per-round pickles.  Any
+        ineligible shape declines *before* state is touched, so the caller's
+        object rounds proceed unchanged.
+        """
+        driver = self.driver
+        if not (driver.ctx.use_flat and fix.delta_terms):
+            return None
+        specs = analyze_flat_terms(
+            list(fix.delta_terms), fix.step_var, fix.delta_var, match_join
+        )
+        if specs is None:
+            return None
+        it = self.interner
+        try:
+            inv_vals: list = []
+            for spec in specs:
+                if spec == "copy":
+                    inv_vals.append((None, None))
+                    continue
+                lval = rval = None
+                if spec.left == "inv":
+                    lval = self._driver_eval(spec.left_src, env)
+                    if not isinstance(lval, SetVal):
+                        raise FlatUnavailable("invariant source is not a set")
+                    if not lval.elements:
+                        # The object join never evaluates its right side
+                        # under an empty left; preserve that order.
+                        inv_vals.append((lval, None))
+                        continue
+                if spec.right == "inv":
+                    rval = self._driver_eval(spec.right_src, env)
+                    if not isinstance(rval, SetVal):
+                        raise FlatUnavailable("invariant source is not a set")
+                inv_vals.append((lval, rval))
+            loop = FlatLoop(it, driver.stats, specs, chunks=self.workers)
+            loop.setup(acc, delta, inv_vals)
+        except FlatUnavailable:
+            driver.stats.flat_fallbacks += 1
+            return None
+        self.stats.flat_fixpoint_runs += 1
+        driver.stats.flat_fixpoints += 1
+        shm: Optional[ShmFixpoint] = None
+        if self.pool.kind == "shm":
+            shm = ShmFixpoint(self.pool, loop)
+            if not shm.setup():
+                shm = None  # deep accessor paths: stay driver-local
+        use_threads = self.pool.kind == "thread" and self.workers > 1
+        try:
+            while done < rounds and loop.frontier:
+                if shm is not None:
+                    shm.run_round()
+                    self.stats.tasks += self.workers
+                    self.stats.shards += self.workers
+                elif use_threads:
+                    tasks = loop.round_tasks()
+                    loop.commit(self.pool.run_callables(tasks))
+                    self.stats.tasks += len(tasks)
+                    self.stats.shards += len(tasks)
+                else:
+                    loop.run_round()
+                self.stats.fixpoint_rounds += 1
+                if shm is not None or use_threads:
+                    self.stats.frontier_reshards += 1
+                done += 1
+        finally:
+            if shm is not None:
+                shm.close()
+        return loop.materialize()

@@ -108,6 +108,10 @@ class FixpointSpec:
     #: accumulator and ``delta_var`` to a frontier shard is one worker task.
     delta_var: str
     delta_union: Expr
+    #: The same delta terms before union-folding, in evaluation order: the
+    #: flat-column fixpoint lowers these term-by-term
+    #: (:func:`repro.engine.vectorized.flat.analyze_flat_terms`).
+    delta_terms: tuple[Expr, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -192,6 +196,7 @@ def _match_fixpoint(e: Expr, arg_var: Optional[str]) -> Optional[ShardSpec]:
             step_body=step.body,
             delta_var=dv,
             delta_union=delta_union,
+            delta_terms=tuple(terms),
         ),
     )
 

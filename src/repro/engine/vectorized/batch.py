@@ -35,6 +35,13 @@ from ...nra.errors import NRAEvalError
 from ...nra.externals import EMPTY_SIGMA, Signature
 from ...objects.values import SetVal, Value
 from ..interning import InternTable
+from .flat import (
+    CODE_BITS,
+    ID_LIMIT,
+    FlatUnavailable,
+    equal_mask,
+    set_column,
+)
 
 #: Sentinel distinguishing "variable was unbound" from "bound to None".
 _MISSING = object()
@@ -60,6 +67,17 @@ class VecStats:
     dcr_trees: int = 0
     sri_elementwise: int = 0
     compiled_exprs: int = 0
+    # Flat-column representation counters.  The strategy counters above keep
+    # counting (a flat join is still a hash join); these record which
+    # *representation* the kernel ran on, so ``flat_joins / hash_joins`` is
+    # the flat coverage of a run and ``flat_fallbacks`` its holes.
+    flat_maps: int = 0
+    flat_selects: int = 0
+    flat_joins: int = 0
+    flat_dedups: int = 0
+    flat_fixpoints: int = 0
+    flat_rounds: int = 0
+    flat_fallbacks: int = 0
 
     def copy(self) -> "VecStats":
         return VecStats(**{f: getattr(self, f) for f in self.__dataclass_fields__})
@@ -91,11 +109,16 @@ class BatchContext:
     interner: InternTable
     sigma: Signature = EMPTY_SIGMA
     stats: VecStats = field(default_factory=VecStats)
+    #: Whether the flat (dense-id array) kernels may run.  Fixed at evaluator
+    #: construction; the object kernels remain the fallback either way.
+    use_flat: bool = True
     _indexes: dict[tuple, dict] = field(default_factory=dict)
+    _columns: dict[tuple, object] = field(default_factory=dict)
 
     def clear_indexes(self) -> None:
-        """Drop every cached join index (correctness is unaffected)."""
+        """Drop every cached join index and flat column (correctness is unaffected)."""
         self._indexes.clear()
+        self._columns.clear()
 
     # -- index plumbing -----------------------------------------------------------
 
@@ -129,6 +152,56 @@ class BatchContext:
             indexes[(id(source), cache_tag)] = index
             if len(indexes) > self.MAX_CACHED_INDEXES:
                 indexes.pop(next(iter(indexes)))  # evict least recently used
+        return index
+
+    # -- flat columns and indexes -------------------------------------------------
+
+    def flat_column(self, source: SetVal, path: tuple[str, ...]):
+        """The dense-id column of ``path`` over ``source`` (LRU-cached).
+
+        Sound for the same reason the join-index cache is: interned sets are
+        immutable and kept alive by the intern table, and a path column is a
+        pure function of the set.  Raises :class:`FlatUnavailable` when an
+        element lacks the required pair shape.
+        """
+        if not path:
+            return self.interner.set_ids(source)
+        columns = self._columns
+        key = (id(source), path)
+        cached = columns.pop(key, None)
+        if cached is not None:
+            columns[key] = cached
+            return cached
+        col = set_column(self.interner, source, path)
+        columns[key] = col
+        if len(columns) > self.MAX_CACHED_INDEXES:
+            columns.pop(next(iter(columns)))
+        return col
+
+    def flat_probe_index(
+        self, source: SetVal, key_path: tuple[str, ...]
+    ) -> dict[int, list[int]]:
+        """A hash index ``key_id -> [row, ...]`` over a flat key column.
+
+        The path is always a pure function of the element, so the index is
+        cached per ``(set, path)`` like :meth:`probe_index` caches the object
+        indexes (and shares its LRU bound and counters).
+        """
+        indexes = self._indexes
+        key = (id(source), ("flat", key_path))
+        cached = indexes.pop(key, None)
+        if cached is not None:
+            indexes[key] = cached
+            self.stats.index_hits += 1
+            return cached
+        index: dict[int, list[int]] = {}
+        setdefault = index.setdefault
+        for row, k in enumerate(self.flat_column(source, key_path)):
+            setdefault(k, []).append(row)
+        self.stats.index_builds += 1
+        indexes[key] = index
+        if len(indexes) > self.MAX_CACHED_INDEXES:
+            indexes.pop(next(iter(indexes)))
         return index
 
 
@@ -289,3 +362,148 @@ def union_all(ctx: BatchContext, parts: Iterable[SetVal]) -> SetVal:
     for p in parts:
         elements.extend(p.elements)
     return ctx.interner.mkset(elements)
+
+
+# ---------------------------------------------------------------------------
+# Flat (dense-id array) kernels
+# ---------------------------------------------------------------------------
+#
+# These are the array counterparts of the object kernels above, used when the
+# compiler could reduce a shape's keys and outputs to accessor paths
+# (:func:`repro.engine.vectorized.flat.accessor_path`).  Inputs are the same
+# canonical sets; the difference is that per-element work is integer loads
+# and compares over ``array('q')`` columns, and outputs are materialized from
+# ids in one batch at the end.  Each kernel raises
+# :class:`~repro.engine.vectorized.flat.FlatUnavailable` before any
+# observable effect when an element lacks the shape its paths require; the
+# compiled closures then fall back to the object kernel, which reproduces the
+# canonical behaviour (including its exact errors).
+
+#: Output of a flat map/select/join: ``("one", owner, path)`` emits a single
+#: id column, ``("pair", (owner_a, path_a), (owner_b, path_b))`` emits packed
+#: pair codes, ``("elems",)`` (select only) keeps the input element.  The
+#: owner is ``"l"``/``"r"`` for joins and ignored for single-source kernels.
+
+def _guard_pack(ctx: BatchContext, out_spec: tuple) -> None:
+    """Refuse a pair-code output once ids outgrow the 32-bit pack width."""
+    if out_spec[0] == "pair" and ctx.interner.dense_size >= ID_LIMIT:
+        raise FlatUnavailable("dense-id space exceeds the 32-bit pack limit")
+
+
+def flat_map(ctx: BatchContext, source: SetVal, out_spec: tuple) -> SetVal:
+    """``ext(\\x. {out})(source)`` where ``out`` is made of accessor paths."""
+    it = ctx.interner
+    _guard_pack(ctx, out_spec)
+    if out_spec[0] == "one":
+        col = ctx.flat_column(source, out_spec[2])
+        result = it.set_from_ids(col)
+    else:
+        ca = ctx.flat_column(source, out_spec[1][1])
+        cb = ctx.flat_column(source, out_spec[2][1])
+        result = it.set_from_pair_codes(
+            (a << CODE_BITS) | b for a, b in zip(ca, cb)
+        )
+    ctx.stats.bulk_maps += 1
+    ctx.stats.flat_maps += 1
+    ctx.stats.flat_dedups += 1
+    return result
+
+
+def flat_select(
+    ctx: BatchContext,
+    source: SetVal,
+    lpath: tuple[str, ...],
+    rhs: tuple,
+    out_spec: tuple,
+    negate: bool,
+) -> SetVal:
+    """``ext(\\x. if a = b then {out} else {})(source)`` on id columns.
+
+    ``rhs`` is ``("path", path)`` for a column-column compare or
+    ``("id", dense_id)`` for a column-constant compare (identity equality of
+    interned values *is* dense-id equality).
+    """
+    it = ctx.interner
+    _guard_pack(ctx, out_spec)
+    la = ctx.flat_column(source, lpath)
+    mask = equal_mask(la, ctx.flat_column(source, rhs[1]) if rhs[0] == "path" else rhs[1])
+    if negate:
+        mask = [not m for m in mask]
+    if out_spec[0] == "elems":
+        # Identity output: a kept subsequence of a canonical set is
+        # canonical, so no re-sort (and no dedup) is needed.
+        kept = tuple(
+            x for x, m in zip(source.elements, mask) if m
+        )
+        result = source if len(kept) == len(source.elements) else it.canonical_set(kept)
+    elif out_spec[0] == "one":
+        col = ctx.flat_column(source, out_spec[2])
+        result = it.set_from_ids([v for v, m in zip(col, mask) if m])
+        ctx.stats.flat_dedups += 1
+    else:
+        ca = ctx.flat_column(source, out_spec[1][1])
+        cb = ctx.flat_column(source, out_spec[2][1])
+        result = it.set_from_pair_codes(
+            (a << CODE_BITS) | b
+            for a, b, m in zip(ca, cb, mask)
+            if m
+        )
+        ctx.stats.flat_dedups += 1
+    ctx.stats.bulk_selects += 1
+    ctx.stats.flat_selects += 1
+    return result
+
+
+def flat_join(
+    ctx: BatchContext,
+    left: SetVal,
+    right: SetVal,
+    lkey_path: tuple[str, ...],
+    rkey_path: tuple[str, ...],
+    out_spec: tuple,
+) -> SetVal:
+    """Hash equi-join on dense-id key columns with id/code outputs.
+
+    Same plan as :func:`hash_join` -- index the right key column, stream the
+    left one -- but probes are int hashes and the output rows are ids packed
+    into codes, deduplicated as integers and materialized once.
+    """
+    it = ctx.interner
+    _guard_pack(ctx, out_spec)
+    index = ctx.flat_probe_index(right, rkey_path)
+    lk = ctx.flat_column(left, lkey_path)
+    if out_spec[0] == "one":
+        owner, path = out_spec[1], out_spec[2]
+        col = ctx.flat_column(left if owner == "l" else right, path)
+        ids = []
+        extend = ids.extend
+        append = ids.append
+        get = index.get
+        for row, k in enumerate(lk):
+            rows = get(k)
+            if rows:
+                if owner == "l":
+                    append(col[row])
+                else:
+                    extend(col[r] for r in rows)
+        result = it.set_from_ids(ids)
+    else:
+        (oa_own, oa_path), (ob_own, ob_path) = out_spec[1], out_spec[2]
+        ca = ctx.flat_column(left if oa_own == "l" else right, oa_path)
+        cb = ctx.flat_column(left if ob_own == "l" else right, ob_path)
+        codes = []
+        append = codes.append
+        get = index.get
+        for row, k in enumerate(lk):
+            rows = get(k)
+            if rows:
+                for r in rows:
+                    append(
+                        ((ca[row] if oa_own == "l" else ca[r]) << CODE_BITS)
+                        | (cb[row] if ob_own == "l" else cb[r])
+                    )
+        result = it.set_from_pair_codes(codes)
+    ctx.stats.hash_joins += 1
+    ctx.stats.flat_joins += 1
+    ctx.stats.flat_dedups += 1
+    return result

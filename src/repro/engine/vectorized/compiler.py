@@ -53,7 +53,7 @@ from ...nra.errors import NRAEvalError
 from ...objects.values import PairVal, SetVal, Value
 from ...recursion.bounded import ps_intersect_values
 from ...recursion.forms import dcr as dcr_combinator, sri as sri_combinator
-from ...recursion.iterators import iterate_stable, log_iterations, seminaive_iterate
+from ...recursion.iterators import iterate_stable, log_iterations
 from ..rewrite import insert_as_step, is_inflationary_step
 from .batch import (
     BatchContext,
@@ -62,9 +62,19 @@ from .batch import (
     bulk_select,
     elementwise_ext,
     expect_set,
+    flat_join,
+    flat_map,
+    flat_select,
     hash_join,
     unbind,
     union_all,
+)
+from .flat import (
+    FlatLoop,
+    FlatTermSpec,
+    FlatUnavailable,
+    accessor_path,
+    analyze_flat_terms,
 )
 from .plan import PlanNode, leaf, node
 
@@ -429,6 +439,90 @@ class PlanCompiler:
 
         return Compiled(node("apply", "", fc.plan, ac.plan), apply_fn)
 
+    # -- flat-shape analysis ------------------------------------------------------
+
+    def _const_id(self, e: Expr) -> Optional[int]:
+        """The dense id of a literal expression (flat compare constant)."""
+        it = self.it
+        if isinstance(e, ast.Const):
+            return it.dense_id(it.intern(e.value))
+        if isinstance(e, ast.BoolConst):
+            return it.dense_id(it.boolean(e.value))
+        if isinstance(e, ast.UnitConst):
+            return it.dense_id(it.unit)
+        if isinstance(e, ast.EmptySet):
+            return it.dense_id(it.empty_set)
+        return None
+
+    def _flat_out_spec(self, e: Expr, var: str) -> Optional[tuple]:
+        """Lower a single-source kernel output to id columns, or ``None``."""
+        p = accessor_path(e, var)
+        if p is not None:
+            return ("one", "l", p)
+        if isinstance(e, ast.Pair):
+            pa = accessor_path(e.fst, var)
+            pb = accessor_path(e.snd, var)
+            if pa is not None and pb is not None:
+                return ("pair", ("l", pa), ("l", pb))
+        return None
+
+    def _flat_select_spec(
+        self, cond: Expr, out_expr: Expr, var: str
+    ) -> Optional[tuple]:
+        """Lower a select to column compares: ``(lpath, rhs, out_spec)``."""
+        if not isinstance(cond, ast.Eq):
+            return None
+        pa = accessor_path(cond.left, var)
+        pb = accessor_path(cond.right, var)
+        if pa is not None and pb is not None:
+            lpath, rhs = pa, ("path", pb)
+        elif pa is not None:
+            cid = self._const_id(cond.right)
+            if cid is None:
+                return None
+            lpath, rhs = pa, ("id", cid)
+        elif pb is not None:
+            cid = self._const_id(cond.left)
+            if cid is None:
+                return None
+            lpath, rhs = pb, ("id", cid)
+        else:
+            return None
+        if isinstance(out_expr, ast.Var) and out_expr.name == var:
+            out: Optional[tuple] = ("elems",)
+        else:
+            out = self._flat_out_spec(out_expr, var)
+        if out is None:
+            return None
+        return lpath, rhs, out
+
+    def _flat_join_spec(
+        self, lvar: str, rvar: str, lkey: Expr, rkey: Expr, out: Expr
+    ) -> Optional[tuple]:
+        """Lower a join's keys/output to id columns: ``(lpath, rpath, out_spec)``."""
+        lp = accessor_path(lkey, lvar)
+        rp = accessor_path(rkey, rvar)
+        if lp is None or rp is None:
+            return None
+
+        def comp(e: Expr) -> Optional[tuple[str, tuple[str, ...]]]:
+            p = accessor_path(e, lvar)
+            if p is not None:
+                return ("l", p)
+            p = accessor_path(e, rvar)
+            if p is not None:
+                return ("r", p)
+            return None
+
+        c = comp(out)
+        if c is not None:
+            return lp, rp, ("one", c[0], c[1])
+        if isinstance(out, ast.Pair):
+            ca, cb = comp(out.fst), comp(out.snd)
+            if ca is not None and cb is not None:
+                return lp, rp, ("pair", ca, cb)
+        return None
+
     # -- ext shapes ---------------------------------------------------------------
 
     def _compile_ext_apply(self, ext_node: ast.Ext, src: Expr) -> Compiled:
@@ -451,6 +545,22 @@ class PlanCompiler:
             oc = self.compile(body.item)
             ofn = oc.fn
             out_fn = lambda env: _value(ofn(env), "singleton")
+            flat_spec = (
+                self._flat_out_spec(body.item, var) if ctx.use_flat else None
+            )
+            if flat_spec is not None:
+                def flat_map_fn(env, flat_spec=flat_spec):
+                    source = expect_set(sfn(env), "ext")
+                    try:
+                        return flat_map(ctx, source, flat_spec)
+                    except FlatUnavailable:
+                        ctx.stats.flat_fallbacks += 1
+                    return bulk_map(ctx, env, source, var, out_fn)
+
+                return Compiled(
+                    node("map", var, sc.plan, oc.plan, annotations=("flat-columns",)),
+                    flat_map_fn,
+                )
             return Compiled(
                 node("map", var, sc.plan, oc.plan),
                 lambda env: bulk_map(ctx, env, expect_set(sfn(env), "ext"), var, out_fn),
@@ -468,6 +578,30 @@ class PlanCompiler:
                 pc, oc = self.compile(body.cond), self.compile(out_expr)
                 pfn, ofn = pc.fn, oc.fn
                 out_fn = lambda env: _value(ofn(env), "singleton")
+                flat_spec = (
+                    self._flat_select_spec(body.cond, out_expr, var)
+                    if ctx.use_flat else None
+                )
+                if flat_spec is not None:
+                    lpath, rhs, flat_out = flat_spec
+
+                    def flat_select_fn(env, negate=negate):
+                        source = expect_set(sfn(env), "ext")
+                        try:
+                            return flat_select(ctx, source, lpath, rhs, flat_out, negate)
+                        except FlatUnavailable:
+                            ctx.stats.flat_fallbacks += 1
+                        return bulk_select(
+                            ctx, env, source, var, pfn, out_fn, negate
+                        )
+
+                    return Compiled(
+                        node(
+                            "select", var, sc.plan, pc.plan, oc.plan,
+                            annotations=("flat-columns",),
+                        ),
+                        flat_select_fn,
+                    )
                 return Compiled(
                     node("select", var, sc.plan, pc.plan, oc.plan),
                     lambda env: bulk_select(
@@ -487,6 +621,10 @@ class PlanCompiler:
             # function of the right element; the key expression itself is the
             # cache tag, so structurally equal keys share indexes.
             rkey_tag = rkey if free_variables(rkey) <= {rvar} else None
+            flat_spec = (
+                self._flat_join_spec(var, rvar, lkey, rkey, out_expr)
+                if ctx.use_flat else None
+            )
 
             def join_fn(env):
                 left = expect_set(sfn(env), "ext")
@@ -496,11 +634,17 @@ class PlanCompiler:
                     # set is empty; short-circuit to match it exactly (an
                     # external in the right source may raise).
                     return ctx.interner.empty_set
+                right = expect_set(rfn(env), "ext")
+                if flat_spec is not None:
+                    try:
+                        return flat_join(ctx, left, right, *flat_spec)
+                    except FlatUnavailable:
+                        ctx.stats.flat_fallbacks += 1
                 return hash_join(
                     ctx,
                     env,
                     left,
-                    expect_set(rfn(env), "ext"),
+                    right,
                     var,
                     rvar,
                     lkfn,
@@ -509,13 +653,16 @@ class PlanCompiler:
                     rkey_tag,
                 )
 
+            annotations = ("indexed",) if rkey_tag is not None else ()
+            if flat_spec is not None:
+                annotations += ("flat-columns",)
             return Compiled(
                 node(
                     "hash-join",
                     f"{var} x {rvar}",
                     sc.plan,
                     rc.plan,
-                    annotations=("indexed",) if rkey_tag is not None else (),
+                    annotations=annotations,
                 ),
                 join_fn,
             )
@@ -711,13 +858,62 @@ class PlanCompiler:
         if spec is not None:
             dv, term_cs = spec
             term_fns = [t.fn for t in term_cs]
+            # Flat lowering of the frontier terms: when every term is a
+            # path-keyed equi-join over delta/acc/invariant sources, the
+            # whole loop runs over packed pair codes (FlatLoop) and the
+            # object rounds below become the fallback.
+            flat_specs = None
+            flat_inv_cs: list = []
+            if ctx.use_flat:
+                flat_specs = analyze_flat_terms(terms, var, dv, match_join)
+                if flat_specs is not None:
+                    flat_inv_cs = [
+                        (
+                            self.compile(s.left_src) if isinstance(s, FlatTermSpec) and s.left_src is not None else None,
+                            self.compile(s.right_src) if isinstance(s, FlatTermSpec) and s.right_src is not None else None,
+                        )
+                        for s in flat_specs
+                    ]
+            annotations = ("semi-naive",)
+            if flat_specs is not None:
+                annotations += ("flat-columns",)
             plan = node(
                 "loop-seminaive",
                 f"{len(term_fns)} frontier terms",
                 body_c.plan,
                 *[t.plan for t in term_cs],
-                annotations=("semi-naive",),
+                annotations=annotations,
             )
+
+            def _try_flat_loop(captured, acc, delta):
+                """Build the flat loop, or ``None`` to fall back.
+
+                Invariant sources are evaluated here, in term order with the
+                object join's empty-left short-circuit, so errors surface at
+                the same point the object rounds would raise them.  Only
+                :class:`FlatUnavailable` falls back; canonical evaluation
+                errors propagate.
+                """
+                try:
+                    inv_vals = []
+                    for s, (lc, rc) in zip(flat_specs, flat_inv_cs):
+                        lval = rval = None
+                        if isinstance(s, FlatTermSpec):
+                            if lc is not None:
+                                lval = expect_set(lc.fn(captured), "ext")
+                                if not lval.elements:
+                                    inv_vals.append((lval, None))
+                                    continue
+                            if rc is not None:
+                                rval = expect_set(rc.fn(captured), "ext")
+                        inv_vals.append((lval, rval))
+                    loop = FlatLoop(it, ctx.stats, flat_specs)
+                    loop.setup(acc, delta, inv_vals)
+                    ctx.stats.flat_fixpoints += 1
+                    return loop
+                except FlatUnavailable:
+                    ctx.stats.flat_fallbacks += 1
+                    return None
 
             def make_seminaive(env):
                 captured = dict(env)
@@ -729,30 +925,44 @@ class PlanCompiler:
                         # exact full-iteration path.
                         return _full_run(captured, start, rounds)
                     ctx.stats.seminaive_loops += 1
+                    if rounds <= 0:
+                        return start
                     vtok = bind(captured, var)
                     dtok = bind(captured, dv)
                     try:
-                        def full_round(acc):
-                            captured[var] = acc
-                            return expect_set(body_fn(captured), "iterator step")
-
-                        def delta_round(delta, acc):
+                        # The round structure below is seminaive_iterate's,
+                        # inlined so the flat loop can take over after round
+                        # one: full round, frontier = acc - start, then
+                        # frontier rounds until exhaustion or the budget.
+                        captured[var] = start
+                        acc = expect_set(body_fn(captured), "iterator step")
+                        delta = it.difference(acc, start)
+                        done = 1
+                        if (
+                            flat_specs is not None
+                            and done < rounds
+                            and delta.elements
+                        ):
+                            loop = _try_flat_loop(captured, acc, delta)
+                            if loop is not None:
+                                while done < rounds and loop.frontier:
+                                    ctx.stats.seminaive_rounds += 1
+                                    loop.run_round()
+                                    done += 1
+                                return loop.materialize()
+                        while done < rounds and delta.elements:
                             ctx.stats.seminaive_rounds += 1
                             captured[var] = acc
                             captured[dv] = delta
-                            return union_all(
+                            derived = union_all(
                                 ctx,
                                 [expect_set(f(captured), "iterator step") for f in term_fns],
                             )
-
-                        return seminaive_iterate(
-                            full_round,
-                            delta_round,
-                            start,
-                            rounds,
-                            union=it.union,
-                            difference=it.difference,
-                        )
+                            nxt = it.union(acc, derived)
+                            delta = it.difference(nxt, acc)
+                            acc = nxt
+                            done += 1
+                        return acc
                     finally:
                         unbind(captured, dv, dtok)
                         unbind(captured, var, vtok)

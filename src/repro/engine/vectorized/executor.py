@@ -30,9 +30,13 @@ class VectorizedEvaluator:
         self,
         sigma: Signature = EMPTY_SIGMA,
         interner: Optional[InternTable] = None,
+        flat: bool = True,
     ) -> None:
         self.interner = interner if interner is not None else InternTable()
-        self.ctx = BatchContext(self.interner, sigma)
+        # ``flat`` selects the dense-id array kernels where shapes allow
+        # (see :mod:`.flat`); ``False`` pins every kernel to the object
+        # path -- the benchmark baseline and an escape hatch.
+        self.ctx = BatchContext(self.interner, sigma, use_flat=flat)
         self.compiler = PlanCompiler(self.ctx)
 
     @property

@@ -7,6 +7,14 @@ semi-naively, which recursions share by cardinality, and where the compiler
 fell back to faithful element-wise evaluation.  The plan is what
 ``Engine.explain_plan`` prints and what the strategy-selection tests assert
 on; it carries no runtime state.
+
+Annotations are free-form strings refining an op.  The ones the compiler
+emits today: ``indexed`` (a reusable join index), ``semi-naive`` /
+``early-exit`` (loop round structure), and ``flat-columns`` -- the node was
+compiled against the dense-id array kernels of
+:mod:`repro.engine.vectorized.flat` (the object kernels remain its runtime
+fallback, so the annotation records eligibility; ``Engine.last_stats``'s
+``flat_*`` counters record what actually ran).
 """
 
 from __future__ import annotations

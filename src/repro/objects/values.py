@@ -87,16 +87,45 @@ class UnitVal(Value):
         return "()"
 
 
-@dataclass(frozen=True, slots=True)
 class PairVal(Value):
-    """A pair ``(fst, snd)`` of complex object values."""
+    """A pair ``(fst, snd)`` of complex object values.
+
+    A plain frozen class rather than a dataclass so the structural hash can
+    be cached: pairs key memo tables, intern lookups, and the catalog's
+    per-commit membership filters, and the recursive re-hash was a measurable
+    slice of delta maintenance.
+    """
+
+    __slots__ = ("fst", "snd", "_hash")
 
     fst: Value
     snd: Value
 
-    def __post_init__(self) -> None:
-        if not isinstance(self.fst, Value) or not isinstance(self.snd, Value):
+    def __init__(self, fst: Value, snd: Value) -> None:
+        if not isinstance(fst, Value) or not isinstance(snd, Value):
             raise TypeError("pair components must be complex object values")
+        object.__setattr__(self, "fst", fst)
+        object.__setattr__(self, "snd", snd)
+        object.__setattr__(self, "_hash", None)
+
+    def __setattr__(self, name: str, value: Any) -> None:  # pragma: no cover
+        raise AttributeError("PairVal is immutable")
+
+    def __reduce__(self) -> tuple:
+        # Mirror SetVal: the immutability guard breaks pickle's default slot
+        # restoration, so rebuild through the constructor.
+        return (PairVal, (self.fst, self.snd))
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, PairVal)
+                and self.fst == other.fst and self.snd == other.snd)
+
+    def __hash__(self) -> int:
+        h = self._hash
+        if h is None:
+            h = hash(("PairVal", self.fst, self.snd))
+            object.__setattr__(self, "_hash", h)
+        return h
 
     def __repr__(self) -> str:
         return f"({self.fst!r}, {self.snd!r})"
@@ -176,6 +205,21 @@ class SetVal(Value):
     def is_subset(self, other: "SetVal") -> bool:
         other_keys = {sort_key(e) for e in other.elements}
         return all(sort_key(e) in other_keys for e in self.elements)
+
+
+def canonical_set(elements: tuple["Value", ...]) -> "SetVal":
+    """Build a SetVal from an already-canonical element tuple, skipping the sort.
+
+    Only sound when ``elements`` is deduplicated and sorted by
+    :func:`sort_key` -- a subsequence of a canonical tuple qualifies, as does
+    a sorted merge of two of them.  The intern table and the catalog's
+    incremental commit path maintain that invariant; everything else should
+    go through the constructor.
+    """
+    s = SetVal.__new__(SetVal)
+    object.__setattr__(s, "elements", elements)
+    object.__setattr__(s, "_hash", None)
+    return s
 
 
 #: The empty set value (usable at any set type).

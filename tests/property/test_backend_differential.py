@@ -437,3 +437,46 @@ def test_nested_tc_takes_the_dred_path_under_record_shrinks(seed):
         assert got == want, f"nested-dred seed {seed} step {step} diverged"
     assert view.stats.fallback_recomputes == 0
     assert view.stats.dred_applies > 0
+
+
+# ---------------------------------------------------------------------------
+# 8. Flat vs object kernels (PR-7): the dense-id representation is a pure
+#    optimization -- same outcome as the object kernels and the reference
+#    on every generated case, including error cases.
+# ---------------------------------------------------------------------------
+
+def _flat_outcomes_agree(expr, arg=None, env=None, label=""):
+    want = _outcome(lambda: reference_run(expr, arg, env=env))
+    for variant, kwargs in (("flat", {}), ("object", {"flat": False})):
+        eng = Engine(backend="vectorized", **kwargs)
+        try:
+            got = _outcome(lambda: eng.run(expr, arg, env=env))
+            assert got == want, (
+                f"{label or 'case'}: {variant} kernels produced {got!r}, "
+                f"reference produced {want!r}"
+            )
+        finally:
+            eng.close()
+
+
+@pytest.mark.columnar
+@pytest.mark.parametrize("seed", range(40))
+def test_flat_and_object_kernels_agree_on_closed_expressions(seed):
+    _flat_outcomes_agree(_random_expr(seed), label=f"flat closed expr seed {seed}")
+
+
+@pytest.mark.columnar
+@pytest.mark.parametrize("seed", range(16))
+def test_flat_and_object_kernels_agree_on_monotone_loops(seed):
+    rng = random.Random(70_000 + seed)
+    expr = _loop_expr(rng, _random_monotone_step(rng))
+    _flat_outcomes_agree(expr, label=f"flat monotone loop seed {seed}")
+
+
+@pytest.mark.columnar
+@pytest.mark.parametrize("style", ["dcr", "logloop", "sri"])
+@pytest.mark.parametrize("seed", [21, 22])
+def test_flat_and_object_kernels_agree_on_tc(style, seed):
+    graph = random_graph(11, 0.3, seed=seed).value()
+    _flat_outcomes_agree(reachable_pairs_query(style), graph,
+                         label=f"flat tc-{style} seed {seed}")
