@@ -14,14 +14,23 @@
 # deletion suites (delete/rederive units, honesty boundary, deletion
 # oracles, state-invariant properties); `test-columnar` selects the
 # columnar-marked suites (flat-column dense-id kernels, intern round
-# trips, flat-vs-object differential cases, shm shipping); `docs-check`
+# trips, flat-vs-object differential cases, shm shipping);
+# `test-service` selects the service-marked suites (wire protocol,
+# live-server integration, client SDK, CLI — all unmarked-slow, so
+# `test-fast` runs them too); `serve` starts a network query server on
+# a demo graph (override WORKLOAD/PORT, e.g.
+# `make serve WORKLOAD=random:128 PORT=7433`); `bench-service` runs
+# just the network-service throughput/latency rows; `docs-check`
 # runs the documentation consistency tests (no dangling *.md references
 # from docstrings).
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test test-fast test-ivm test-dred test-columnar bench bench-engine bench-all bench-all-quick bench-check bench-ivm docs-check
+WORKLOAD ?= path:64
+PORT ?= 7432
+
+.PHONY: test test-fast test-ivm test-dred test-columnar test-service serve bench bench-engine bench-all bench-all-quick bench-check bench-ivm bench-service docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -37,6 +46,12 @@ test-dred:
 
 test-columnar:
 	$(PYTHON) -m pytest -q -m columnar
+
+test-service:
+	$(PYTHON) -m pytest -q -m service
+
+serve:
+	$(PYTHON) -m repro.service.cli serve --workload $(WORKLOAD) --port $(PORT)
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ -s --benchmark-only
@@ -55,6 +70,9 @@ bench-check:
 
 bench-ivm:
 	$(PYTHON) benchmarks/bench_ivm.py
+
+bench-service:
+	$(PYTHON) benchmarks/bench_service.py
 
 docs-check:
 	$(PYTHON) -m pytest tests/test_docs.py -q

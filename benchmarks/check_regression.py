@@ -23,8 +23,9 @@ Usage::
 
 Beyond the vectorized/memo families the chain also holds the parallel
 backend to its overlap (1.5x) and flat-fixpoint (2x) bars, the PR-7 flat
-dense-id kernels to their 3x object-kernel bar, and incremental view
-maintenance to its 5x recompute bars -- every guard refuses to pass when its
+dense-id kernels to their 3x object-kernel bar, incremental view
+maintenance to its 5x recompute bars, and the PR-8 network query service to
+its 25 q/s wire-throughput floor -- every guard refuses to pass when its
 row is missing from the fresh run, so a silently dropped workload cannot
 masquerade as a green check.
 
@@ -85,6 +86,17 @@ COLUMNAR_BAR = 3.0
 #: deliberately NOT gated: its recompute path is expected to hover at ~1x.
 IVM_ACCEPTANCE_NAMES = ("ivm-small-delta", "ivm-deletion-delta")
 IVM_BAR = 5.0
+
+#: The PR-8 network-service bar: 8 concurrent wire clients executing
+#: prepared statements against a live asyncio server must sustain this many
+#: queries/sec.  An absolute floor rather than a ratio -- the in-process
+#: path IS the numerator's engine, so there is no slower leg to divide by.
+#: Expected throughput is in the hundreds even on shared runners; 25 only
+#: trips on a structural break (serialized executor, per-query reconnect,
+#: lost statement cache).  The latency-percentile row is deliberately NOT
+#: gated: tail latency on shared CI runners is noise.
+SERVICE_ACCEPTANCE_NAME = "service-queries-per-sec"
+SERVICE_QPS_FLOOR = 25.0
 
 
 def run_quick_suite(output: Path) -> None:
@@ -252,6 +264,41 @@ def check_ivm(fresh_rows: list[dict], baseline_rows: list[dict]) -> int:
         print(f"REGRESSION: delta maintenance speedup below {IVM_BAR}x")
         return 1
     print(f"delta view maintenance clears the {IVM_BAR}x recompute bar")
+    return check_service(fresh_rows, baseline_rows)
+
+
+def check_service(fresh_rows: list[dict], baseline_rows: list[dict]) -> int:
+    """Hold the network query service to its wire-throughput floor."""
+    rows = [r for r in fresh_rows if r["name"] == SERVICE_ACCEPTANCE_NAME]
+    print(f"== network-service guard (floor: sustained >= "
+          f"{SERVICE_QPS_FLOOR:.0f} q/s on {SERVICE_ACCEPTANCE_NAME})")
+    if not rows:
+        print(f"service acceptance row missing from the fresh run "
+              f"({SERVICE_ACCEPTANCE_NAME}) -- refusing to pass")
+        return 1
+    committed = {
+        r["name"]: r.get("qps")
+        for r in baseline_rows
+        if r.get("family") == "service"
+    }
+    failures = []
+    for row in rows:
+        qps = row.get("qps", 0.0)
+        committed_qps = committed.get(row["name"])
+        drift = (
+            f"  (committed full-suite: {committed_qps:.0f} q/s)"
+            if committed_qps
+            else ""
+        )
+        verdict = "ok" if qps >= SERVICE_QPS_FLOOR else "FAIL"
+        print(f"  {row['name']:>24} n={row['n']:<4} clients={row['clients']} "
+              f"{qps:8.0f} q/s  {verdict}{drift}")
+        if qps < SERVICE_QPS_FLOOR:
+            failures.append(row)
+    if failures:
+        print(f"REGRESSION: service throughput below {SERVICE_QPS_FLOOR:.0f} q/s")
+        return 1
+    print(f"the network service clears the {SERVICE_QPS_FLOOR:.0f} q/s floor")
     return 0
 
 

@@ -98,6 +98,24 @@ class Cursor:
         """Every remaining row as a python list (materializes; opt-in)."""
         return self.fetchmany(len(self._elements) - self._pos)
 
+    def fetch_values(self, size: int = 1000) -> list[Value]:
+        """Up to ``size`` further rows as raw :class:`Value` objects.
+
+        The serialization path of the network service: the wire format
+        encodes interned values directly (``repro.objects.encoding``), so
+        converting to python tuples/frozensets first would be wasted work.
+        Advances the cursor and feeds the session's ``rows_streamed`` counter
+        exactly like the python-data fetches.
+        """
+        if size < 0:
+            raise ValueError("fetch_values size must be >= 0")
+        stop = min(self._pos + size, len(self._elements))
+        values = list(self._elements[self._pos:stop])
+        if self._rows_hook is not None and values:
+            self._rows_hook(len(values))
+        self._pos = stop
+        return values
+
     def rows(self) -> frozenset:
         """All rows as a frozenset of python data (order-free comparison aid)."""
         return frozenset(to_python(e) for e in self._elements) if isinstance(

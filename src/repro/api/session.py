@@ -76,6 +76,10 @@ class SessionStats:
     def snapshot(self) -> "SessionStats":
         return SessionStats(**{f: getattr(self, f) for f in self.__dataclass_fields__})
 
+    def as_dict(self) -> dict:
+        """A plain-dict snapshot (JSON-ready; the wire service's stats frames)."""
+        return {f: getattr(self, f) for f in self.__dataclass_fields__}
+
 
 #: What ``execute``/``prepare`` accept: a fluent query, a prepared statement,
 #: or a raw NRA expression.
@@ -276,6 +280,27 @@ class Session:
             label = "prepared-expr"
         else:
             template, ptypes, defaults, label = self._template_of(query)
+        return self.prepare_template(template, ptypes, defaults, label, backend)
+
+    def prepare_template(
+        self,
+        template: Expr,
+        param_types: dict,
+        defaults: dict,
+        label: str = "prepared",
+        backend: Optional[str] = None,
+    ) -> PreparedStatement:
+        """Prepare an already-split template (the wire service's entry point).
+
+        ``prepare`` computes the template/slot split from a runnable and
+        delegates here; remote callers (:mod:`repro.service`) ship the split
+        explicitly -- template text, parameter types, default bindings -- and
+        this method gives them the same cache-and-warm behaviour without
+        re-deriving slots from a tree whose parameters are already free
+        variables.
+        """
+        self._check_open()
+        ptypes, defaults = dict(param_types), dict(defaults)
         cache_key = (template, tuple(sorted(defaults.items())), backend)
         with self._lock:
             found = self._prepared.get(cache_key)

@@ -249,6 +249,12 @@ class MaterializedView:
         self.stale = False
         self.closed = False
         self._on_apply = on_apply
+        # Extra per-apply observers (same signature as on_apply).  The wire
+        # service attaches one per remote subscription to turn view deltas
+        # into change-notification push frames; the session's stats observer
+        # stays the dedicated on_apply slot so its accounting cannot be
+        # unregistered by accident.
+        self._listeners: list = []
         self._registry = None
         # Compiled (lkey, rkey, out) closures per indexed-fixpoint op, keyed
         # by op identity: probed once per cone element, so the per-call
@@ -320,6 +326,8 @@ class MaterializedView:
             self.stats.rows_deleted += len(delta.deleted)
         if self._on_apply is not None:
             self._on_apply(self, delta, fallback)
+        for listener in list(self._listeners):
+            listener(self, delta, fallback)
         return delta
 
     def refresh(self) -> ViewDelta:
@@ -338,9 +346,28 @@ class MaterializedView:
             dels = self._it.difference(old, self._value)
             return ViewDelta(tuple(ins.elements), tuple(dels.elements))
 
+    def add_listener(
+        self, fn: Callable[["MaterializedView", ViewDelta, bool], None]
+    ) -> None:
+        """Subscribe an observer called after every successful ``apply``.
+
+        Called with ``(view, delta, fallback)`` outside the engine lock, in
+        commit order (the database commit lock serializes applies).  Raising
+        from a listener propagates to the committer; observers that relay
+        elsewhere (e.g. the service's push frames) should catch their own
+        transport errors.
+        """
+        self._listeners.append(fn)
+
+    def remove_listener(self, fn) -> None:
+        """Unsubscribe; missing observers are ignored (idempotent close paths)."""
+        if fn in self._listeners:
+            self._listeners.remove(fn)
+
     def close(self) -> None:
         """Stop serving and maintenance; unregisters from the database."""
         self.closed = True
+        self._listeners.clear()
         registry, self._registry = self._registry, None
         if registry is not None:
             registry.remove_view(self)

@@ -31,6 +31,11 @@ here matches the output of :func:`repro.nra.pretty.pretty`::
 Types inside ``[...]`` use the syntax of
 :func:`repro.objects.types.parse_type`.  ``NUMBER`` literals denote base-type
 constants.  Set literals ``{e1, ..., en}`` are sugar for unions of singletons.
+
+``IDENT`` admits a leading ``$``: parameter slots of prepared query templates
+(see :func:`repro.api.query.param_var`) are free variables in the reserved
+``$`` namespace, and the network service ships templates as this concrete
+syntax -- ``parse(pretty(template))`` must round-trip them.
 """
 
 from __future__ import annotations
@@ -50,7 +55,7 @@ _TOKEN_RE = re.compile(
     (?P<ws>\s+)
   | (?P<number>\d+)
   | (?P<unit>\(\))
-  | (?P<ident>[A-Za-z_][A-Za-z0-9_%']*)
+  | (?P<ident>[A-Za-z_$][A-Za-z0-9_%'$]*)
   | (?P<symbol>[\\:.;,(){}\[\]@])
     """,
     re.VERBOSE,

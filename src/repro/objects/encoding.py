@@ -21,7 +21,16 @@ relation* ``x ~ X``; the **minimal encoding** is the one without blanks and
 with the atoms of ``x`` renumbered ``0 .. m-1``.  Encodings are ultimately
 strings of bits, three bits per symbol.
 
-This module implements the encoding and decoding functions, the minimal
+Besides the paper's string alphabet, this module carries the **JSON value
+encoding** the network query service (:mod:`repro.service`) speaks on the
+wire: :func:`to_jsonable` / :func:`from_jsonable` map complex object values
+to plain JSON data and back, and :func:`dumps_value` / :func:`loads_value`
+produce the *canonical* JSON text -- because set values are stored in
+canonical form (deduplicated, sorted by the lifted order) and pairs encode
+positionally, two equal values always serialize to byte-identical JSON, so
+encodings can key caches and cross process boundaries deterministically.
+
+This module also implements the encoding and decoding functions, the minimal
 encoding, the bit-level view, and the string manipulations the circuit
 construction of Section 7.2 relies on:
 
@@ -43,8 +52,9 @@ functions.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
-from typing import Iterable
+from typing import Any, Iterable
 
 from .order import co_sorted
 from .types import BaseType, BoolType, ProdType, SetType, Type, UnitType
@@ -57,6 +67,8 @@ from .values import (
     UnitVal,
     Value,
     active_domain,
+    from_python,
+    to_python,
 )
 
 #: The blank symbol.  The paper writes "blank"; we use an underscore so that
@@ -440,3 +452,91 @@ def roundtrip(v: Value, t: Type) -> Value:
     codes = atom_codes_for(v)
     reverse = {code: atom for atom, code in codes.items()}
     return decode(encode(v, codes), t, reverse)
+
+
+# ---------------------------------------------------------------------------
+# JSON value encoding (the wire format of repro.service)
+# ---------------------------------------------------------------------------
+#
+# The mapping is chosen so every JSON shape decodes unambiguously:
+#
+# * integer atoms     -> JSON numbers
+# * string atoms      -> JSON strings
+# * booleans          -> JSON booleans
+# * the unit value    -> JSON null
+# * pairs             -> two-element JSON arrays ``[fst, snd]``
+# * sets              -> one-key JSON objects ``{"s": [e1, ..., en]}``
+#
+# Canonicity comes for free from the value representation: ``SetVal`` stores
+# its elements deduplicated and sorted by the lifted order (sort_key), the
+# encoder emits them in that order, and pairs are positional -- so equal
+# values produce byte-identical text under ``dumps_value``, with no
+# set/pair ordering left to the whims of construction order.
+
+#: The tag key of the set encoding (a one-key object keeps sets distinct
+#: from the two-element arrays that encode pairs).
+_JSON_SET_KEY = "s"
+
+
+def to_jsonable(v: Value) -> Any:
+    """Map a complex object value to plain JSON-serializable python data."""
+    if isinstance(v, BoolVal):
+        return v.value
+    if isinstance(v, BaseVal):
+        return v.value
+    if isinstance(v, UnitVal):
+        return None
+    if isinstance(v, PairVal):
+        return [to_jsonable(v.fst), to_jsonable(v.snd)]
+    if isinstance(v, SetVal):
+        return {_JSON_SET_KEY: [to_jsonable(e) for e in v.elements]}
+    raise TypeError(f"not a complex object value: {v!r}")
+
+
+def from_jsonable(obj: Any) -> Value:
+    """Inverse of :func:`to_jsonable`; raises :class:`EncodingError` on junk."""
+    if isinstance(obj, bool):
+        return BoolVal(obj)
+    if isinstance(obj, int):
+        return BaseVal(obj)
+    if isinstance(obj, str):
+        return BaseVal(obj)
+    if obj is None:
+        return UnitVal()
+    if isinstance(obj, list):
+        if len(obj) != 2:
+            raise EncodingError(
+                f"pair encodings are two-element arrays, got {len(obj)} elements"
+            )
+        return PairVal(from_jsonable(obj[0]), from_jsonable(obj[1]))
+    if isinstance(obj, dict):
+        if set(obj) != {_JSON_SET_KEY} or not isinstance(obj[_JSON_SET_KEY], list):
+            raise EncodingError(
+                f"set encodings are {{{_JSON_SET_KEY!r}: [...]}} objects, got {obj!r}"
+            )
+        return SetVal(from_jsonable(e) for e in obj[_JSON_SET_KEY])
+    raise EncodingError(f"not a JSON value encoding: {obj!r}")
+
+
+def dumps_value(v: Value) -> str:
+    """The canonical JSON text of a value (compact, deterministic)."""
+    return json.dumps(to_jsonable(v), separators=(",", ":"), sort_keys=True)
+
+
+def loads_value(text: str) -> Value:
+    """Parse canonical (or any :func:`to_jsonable`-shaped) JSON text."""
+    try:
+        obj = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise EncodingError(f"invalid JSON value encoding: {exc}") from exc
+    return from_jsonable(obj)
+
+
+def row_to_jsonable(row: Any) -> Any:
+    """JSON-encode one cursor row (plain python data, e.g. tuples/frozensets)."""
+    return to_jsonable(from_python(row))
+
+
+def row_from_jsonable(obj: Any) -> Any:
+    """Decode a JSON row back to the plain python shape cursors yield."""
+    return to_python(from_jsonable(obj))

@@ -1,0 +1,464 @@
+"""``repro-cli``: the terminal front end of the network query service.
+
+Subcommands::
+
+    serve      run a QueryServer over a demo workload database
+    query      execute one query (NRA text) and stream the rows
+    prepare    prepare a template, then execute it once per binding set
+    status     server health: sessions, queue depth, counters
+    sessions   per-session stats as the server attributes them
+    views      materialized views across all live sessions
+
+Every read-side command takes ``--json`` for machine consumption; tables
+otherwise.  The implementation is frontend-split on purpose: when `typer`
+and `rich` are importable the CLI gets completion, styled help and boxed
+tables; when they are not (this repo pins no CLI dependencies), the same
+command functions run behind plain :mod:`argparse` with plain aligned
+tables.  The *command* layer is identical either way -- the pretty frontend
+adds nothing but rendering, so tests of the argparse path cover the logic
+for both.
+
+``serve`` is the CI smoke entry point: it prints a parseable
+``listening on HOST:PORT`` line once bound, then runs until ``SIGTERM`` /
+``SIGINT`` and exits 0 after a clean shutdown -- which is exactly what the
+workflow asserts.
+
+Parameter syntax: ``--param name=VALUE`` where ``VALUE`` is wire JSON
+(``7``, ``"x"``, ``[1,2]`` for a pair, ``{"s":[...]}`` for a set); bare
+words that are not JSON are taken as string atoms.  Types default to ``D``
+(atoms); pass ``--param-type name=TYPE`` for anything structured.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import sys
+import threading
+from typing import Any, Optional
+
+from ..workloads.databases import GRAPH_KINDS, graph_database
+from .client import connect
+from .protocol import ServiceError
+from .server import QueryServer, ServerConfig
+
+try:  # pragma: no cover - exercised only where the pretty deps exist
+    import rich  # type: ignore
+    from rich.console import Console  # type: ignore
+    from rich.table import Table  # type: ignore
+except ImportError:  # the tested path in this repo
+    rich = None
+
+try:  # pragma: no cover - exercised only where the pretty deps exist
+    import typer  # type: ignore
+except ImportError:
+    typer = None
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 7432
+DEFAULT_WORKLOAD = "path:64"
+
+
+# -- rendering --------------------------------------------------------------------
+
+def _emit_json(payload: Any) -> None:
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def _emit_table(title: str, columns: list[str], rows: list[list], out=None) -> None:
+    out = out if out is not None else sys.stdout
+    if rich is not None and out is sys.stdout:  # pragma: no cover
+        table = Table(title=title)
+        for col in columns:
+            table.add_column(col)
+        for row in rows:
+            table.add_row(*[str(cell) for cell in row])
+        Console().print(table)
+        return
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max([len(col)] + [len(r[i]) for r in cells]) for i, col in enumerate(columns)
+    ]
+    print(title, file=out)
+    print("  ".join(col.ljust(w) for col, w in zip(columns, widths)), file=out)
+    print("  ".join("-" * w for w in widths), file=out)
+    for row in cells:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)), file=out)
+
+
+def _parse_bindings(pairs: list[str]) -> dict:
+    """``name=VALUE`` pairs -> wire-JSON parameter payload."""
+    from ..objects.encoding import from_jsonable
+
+    out = {}
+    for pair in pairs:
+        name, sep, text = pair.partition("=")
+        if not sep:
+            raise ValueError(f"--param needs name=VALUE, got {pair!r}")
+        try:
+            obj = json.loads(text)
+        except json.JSONDecodeError:
+            obj = text  # bare word: a string atom
+        out[name] = from_jsonable(obj)
+    return out
+
+
+def _parse_types(pairs: list[str], params: dict) -> dict:
+    types = {name: "D" for name in params}
+    for pair in pairs:
+        name, sep, text = pair.partition("=")
+        if not sep:
+            raise ValueError(f"--param-type needs name=TYPE, got {pair!r}")
+        types[name] = text
+    return types
+
+
+def _demo_database(spec: str):
+    """``kind:n`` -> a mutable demo graph database (see workloads.databases)."""
+    kind, _, size = spec.partition(":")
+    if kind not in GRAPH_KINDS:
+        raise ValueError(
+            f"unknown workload kind {kind!r}; pick one of {', '.join(GRAPH_KINDS)}"
+        )
+    n = int(size) if size else 64
+    return graph_database(n, kind=kind, mutable=True)
+
+
+# -- commands ---------------------------------------------------------------------
+
+def cmd_serve(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    workload: str = DEFAULT_WORKLOAD,
+    backend: str = "vectorized",
+    max_sessions: int = 32,
+    max_inflight: int = 4,
+    max_queue_depth: int = 64,
+) -> int:
+    db = _demo_database(workload)
+    server = QueryServer(
+        db=db,
+        backend=backend,
+        config=ServerConfig(
+            host=host,
+            port=port,
+            max_sessions=max_sessions,
+            max_inflight=max_inflight,
+            max_queue_depth=max_queue_depth,
+        ),
+    )
+    bound_host, bound_port = server.start_in_thread()
+    print(
+        f"repro-service listening on {bound_host}:{bound_port} "
+        f"(db={db.name}, backend={backend})",
+        flush=True,
+    )
+    stop = threading.Event()
+
+    def on_signal(signum, frame) -> None:
+        stop.set()
+
+    signal.signal(signal.SIGTERM, on_signal)
+    signal.signal(signal.SIGINT, on_signal)
+    while not stop.wait(0.5):
+        pass
+    server.stop()
+    print("repro-service stopped", flush=True)
+    return 0
+
+
+def cmd_query(
+    query: str,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    params: Optional[list[str]] = None,
+    param_types: Optional[list[str]] = None,
+    limit: int = 20,
+    chunk: int = 512,
+    as_json: bool = False,
+) -> int:
+    bindings = _parse_bindings(params or [])
+    with connect(host, port) as conn, conn.session() as s:
+        if bindings:
+            # Text templates carry their own $slots; ship the declared types.
+            types = _parse_types(param_types or [], bindings)
+            reply = conn.request(
+                "execute", session=s.sid, query=query,
+                param_types=types, defaults={},
+                params=s._params_payload(bindings, {}), chunk=chunk,
+            )
+            from .client import RemoteCursor
+
+            cur = RemoteCursor(s, reply, chunk)
+        else:
+            cur = s.execute(query, chunk=chunk)
+        rows = cur.fetchmany(limit) if limit >= 0 else cur.fetchall()
+        truncated = cur.total - len(rows)
+        cur.close()
+        if as_json:
+            _emit_json({"total": cur.total, "rows": [list(_norm(r)) for r in rows]})
+        else:
+            _emit_table(
+                f"{cur.total} row(s)",
+                ["row"],
+                [[r] for r in rows],
+            )
+            if truncated > 0:
+                print(f"... {truncated} more (raise --limit)")
+    return 0
+
+
+def _norm(row: Any) -> Any:
+    return row if isinstance(row, (list, tuple)) else (row,)
+
+
+def cmd_prepare(
+    query: str,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    params: Optional[list[str]] = None,
+    param_types: Optional[list[str]] = None,
+    bind: Optional[list[str]] = None,
+    limit: int = 20,
+    as_json: bool = False,
+) -> int:
+    """Prepare a text template, then execute once per ``--bind`` set.
+
+    ``--bind`` takes a comma-joined binding list (``src=0,dst=5``); repeat
+    the flag to execute the same statement with several binding sets --
+    the point of preparation.
+    """
+    first = _parse_bindings(params or [])
+    types = _parse_types(param_types or [], first)
+    with connect(host, port) as conn, conn.session() as s:
+        reply = conn.request(
+            "prepare", session=s.sid, query=query,
+            param_types=types, defaults={}, label="cli",
+        )
+        pid = reply["statement"]
+        results = []
+        binding_sets = [params or []] + [b.split(",") for b in (bind or [])]
+        for pairs in binding_sets:
+            bindings = _parse_bindings([p for p in pairs if p])
+            r = conn.request(
+                "execute_statement", session=s.sid, statement=pid,
+                params=s._params_payload(bindings, {}), chunk=max(limit, 1),
+            )
+            from .client import RemoteCursor
+
+            cur = RemoteCursor(s, r, max(limit, 1))
+            rows = cur.fetchmany(limit)
+            cur.close()
+            results.append({
+                "bindings": {k: v for k, v in (p.partition("=")[::2] for p in pairs if p)},
+                "total": cur.total,
+                "rows": [list(_norm(x)) for x in rows],
+            })
+        if as_json:
+            _emit_json({"statement": pid, "params": reply.get("params", {}),
+                        "executions": results})
+        else:
+            _emit_table(
+                f"prepared {pid} params={reply.get('params', {})}",
+                ["bindings", "total", "first rows"],
+                [[res["bindings"], res["total"], res["rows"][:5]] for res in results],
+            )
+    return 0
+
+
+def cmd_status(host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
+               as_json: bool = False) -> int:
+    with connect(host, port) as conn:
+        status = conn.status()
+    if as_json:
+        _emit_json(status)
+        return 0
+    stats = status.pop("stats", {})
+    _emit_table(
+        f"repro-service @ {host}:{port}",
+        ["field", "value"],
+        sorted([[k, v] for k, v in status.items()])
+        + sorted([[f"stats.{k}", v] for k, v in stats.items()]),
+    )
+    return 0
+
+
+def cmd_sessions(host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
+                 as_json: bool = False) -> int:
+    with connect(host, port) as conn:
+        rows = conn.sessions()
+    if as_json:
+        _emit_json(rows)
+        return 0
+    _emit_table(
+        "sessions",
+        ["session", "backend", "inflight", "cursors", "statements", "views",
+         "executes", "rows_streamed"],
+        [[r["session"], r["backend"], r["inflight"], r["cursors"],
+          r["statements"], r["views"], r["stats"]["executes"],
+          r["stats"]["rows_streamed"]] for r in rows],
+    )
+    return 0
+
+
+def cmd_views(host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
+              as_json: bool = False) -> int:
+    with connect(host, port) as conn:
+        rows = conn.views()
+    if as_json:
+        _emit_json(rows)
+        return 0
+    _emit_table(
+        "materialized views",
+        ["view", "session", "name", "rows", "subscribed"],
+        [[r["view"], r["session"], r["name"], r["rows"], r["subscribed"]]
+         for r in rows],
+    )
+    return 0
+
+
+# -- argparse frontend (always available) -----------------------------------------
+
+def _build_argparse():
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro-cli", description="Network query service CLI."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p) -> None:
+        p.add_argument("--host", default=DEFAULT_HOST)
+        p.add_argument("--port", type=int, default=DEFAULT_PORT)
+
+    p = sub.add_parser("serve", help="run a server over a demo workload")
+    common(p)
+    p.add_argument("--workload", default=DEFAULT_WORKLOAD,
+                   help="kind:n over the graph generators (e.g. path:64)")
+    p.add_argument("--backend", default="vectorized")
+    p.add_argument("--max-sessions", type=int, default=32)
+    p.add_argument("--max-inflight", type=int, default=4)
+    p.add_argument("--max-queue-depth", type=int, default=64)
+
+    p = sub.add_parser("query", help="execute one query and stream rows")
+    common(p)
+    p.add_argument("query", help="NRA concrete syntax, e.g. 'edges'")
+    p.add_argument("--param", action="append", default=[], metavar="NAME=JSON")
+    p.add_argument("--param-type", action="append", default=[], metavar="NAME=TYPE")
+    p.add_argument("--limit", type=int, default=20)
+    p.add_argument("--chunk", type=int, default=512)
+    p.add_argument("--json", action="store_true")
+
+    p = sub.add_parser("prepare", help="prepare a template, execute per binding")
+    common(p)
+    p.add_argument("query")
+    p.add_argument("--param", action="append", default=[], metavar="NAME=JSON")
+    p.add_argument("--param-type", action="append", default=[], metavar="NAME=TYPE")
+    p.add_argument("--bind", action="append", default=[],
+                   metavar="N1=V1,N2=V2", help="extra binding sets")
+    p.add_argument("--limit", type=int, default=20)
+    p.add_argument("--json", action="store_true")
+
+    for name, help_text in (
+        ("status", "server health and counters"),
+        ("sessions", "per-session stats"),
+        ("views", "materialized views"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        common(p)
+        p.add_argument("--json", action="store_true")
+
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = _build_argparse()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "serve":
+            return cmd_serve(
+                host=args.host, port=args.port, workload=args.workload,
+                backend=args.backend, max_sessions=args.max_sessions,
+                max_inflight=args.max_inflight,
+                max_queue_depth=args.max_queue_depth,
+            )
+        if args.command == "query":
+            return cmd_query(
+                args.query, host=args.host, port=args.port, params=args.param,
+                param_types=args.param_type, limit=args.limit,
+                chunk=args.chunk, as_json=args.json,
+            )
+        if args.command == "prepare":
+            return cmd_prepare(
+                args.query, host=args.host, port=args.port, params=args.param,
+                param_types=args.param_type, bind=args.bind,
+                limit=args.limit, as_json=args.json,
+            )
+        if args.command == "status":
+            return cmd_status(args.host, args.port, args.json)
+        if args.command == "sessions":
+            return cmd_sessions(args.host, args.port, args.json)
+        if args.command == "views":
+            return cmd_views(args.host, args.port, args.json)
+    except (ServiceError, ValueError, OSError) as exc:
+        print(f"repro-cli: error: {exc}", file=sys.stderr)
+        return 1
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+# -- typer frontend (optional; rendering-only sugar) ------------------------------
+
+if typer is not None:  # pragma: no cover - needs the optional dependency
+    app = typer.Typer(help="Network query service CLI.")
+
+    @app.command()
+    def serve(
+        host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
+        workload: str = DEFAULT_WORKLOAD, backend: str = "vectorized",
+        max_sessions: int = 32, max_inflight: int = 4,
+        max_queue_depth: int = 64,
+    ):
+        raise typer.Exit(cmd_serve(host, port, workload, backend,
+                                   max_sessions, max_inflight, max_queue_depth))
+
+    @app.command()
+    def query(
+        query: str, host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
+        param: list[str] = typer.Option([], "--param"),
+        param_type: list[str] = typer.Option([], "--param-type"),
+        limit: int = 20, chunk: int = 512,
+        json_out: bool = typer.Option(False, "--json"),
+    ):
+        raise typer.Exit(cmd_query(query, host, port, param, param_type,
+                                   limit, chunk, json_out))
+
+    @app.command()
+    def prepare(
+        query: str, host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
+        param: list[str] = typer.Option([], "--param"),
+        param_type: list[str] = typer.Option([], "--param-type"),
+        bind: list[str] = typer.Option([], "--bind"),
+        limit: int = 20, json_out: bool = typer.Option(False, "--json"),
+    ):
+        raise typer.Exit(cmd_prepare(query, host, port, param, param_type,
+                                     bind, limit, json_out))
+
+    @app.command()
+    def status(host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
+               json_out: bool = typer.Option(False, "--json")):
+        raise typer.Exit(cmd_status(host, port, json_out))
+
+    @app.command()
+    def sessions(host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
+                 json_out: bool = typer.Option(False, "--json")):
+        raise typer.Exit(cmd_sessions(host, port, json_out))
+
+    @app.command()
+    def views(host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
+              json_out: bool = typer.Option(False, "--json")):
+        raise typer.Exit(cmd_views(host, port, json_out))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

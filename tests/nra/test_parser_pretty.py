@@ -117,3 +117,32 @@ class TestPretty:
 
     def test_repr_uses_pretty(self):
         assert repr(ast.BoolConst(True)) == "true"
+
+
+class TestParamSlotIdents:
+    """``$``-namespace identifiers: prepared-template slots on the wire."""
+
+    def test_dollar_ident_parses_as_var(self):
+        e = parse("$src")
+        assert isinstance(e, ast.Var) and e.name == "$src"
+
+    def test_template_with_slot_round_trips(self):
+        source = (
+            r"(ext(\e:(D x D). if eq(pi1(e), $src) then {e}"
+            r" else empty[(D x D)]))(edges)"
+        )
+        e = parse(source)
+        assert pretty(parse(pretty(e))) == pretty(e)
+        assert "$src" in pretty(e)
+
+    def test_elaborated_query_template_round_trips(self):
+        from repro.api import Q
+        from repro.objects.types import ProdType
+
+        schema = {"edges": SetType(ProdType(BASE, BASE))}
+        el = (
+            Q.coll("edges").fix().where(lambda r: r.fst == Q.param("src"))
+        ).elaborate(schema)
+        text = pretty(el.expr)
+        assert "$src" in text
+        assert pretty(parse(text)) == text

@@ -22,6 +22,12 @@ from repro.objects.encoding import (
     strip_blanks,
     to_bits,
     top_level_elements,
+    dumps_value,
+    from_jsonable,
+    loads_value,
+    row_from_jsonable,
+    row_to_jsonable,
+    to_jsonable,
 )
 from repro.objects.types import parse_type
 from repro.objects.values import FALSE, TRUE, UnitVal, base, from_python, mkset, pair
@@ -189,3 +195,72 @@ class TestStringOps:
 
     def test_remove_duplicates_no_op_when_distinct(self):
         assert remove_duplicates("{0,1}") == "{0,1}"
+
+
+class TestJsonWireEncoding:
+    """The JSON value codec the network service frames rows with."""
+
+    CASES = [
+        TRUE,
+        FALSE,
+        UnitVal(),
+        base(0),
+        base(41),
+        base("atom"),
+        pair(base(1), base(2)),
+        pair(pair(base(1), TRUE), UnitVal()),
+        mkset(),
+        from_python({1, 2, 3}),
+        from_python({(1, 2), (3, 4)}),
+        from_python({frozenset({1}), frozenset({2, 3})}),
+        from_python((frozenset({("a", 1)}), "b")),
+    ]
+
+    def test_round_trip(self):
+        for v in self.CASES:
+            assert from_jsonable(to_jsonable(v)) == v
+            assert loads_value(dumps_value(v)) == v
+
+    def test_jsonable_is_pure_json(self):
+        import json as _json
+
+        for v in self.CASES:
+            _json.dumps(to_jsonable(v))  # must not raise
+
+    def test_bool_int_disambiguation(self):
+        # True/1 and False/0 are distinct values and must stay distinct on
+        # the wire even though python bools are ints.
+        assert to_jsonable(TRUE) is True
+        assert to_jsonable(base(1)) == 1 and to_jsonable(base(1)) is not True
+        assert from_jsonable(True) == TRUE != from_jsonable(1)
+        assert from_jsonable(False) == FALSE != from_jsonable(0)
+
+    def test_canonical_text_is_order_free(self):
+        a = from_python({(3, 4), (1, 2)})
+        b = from_python({(1, 2), (3, 4)})
+        assert dumps_value(a) == dumps_value(b)
+
+    def test_noncanonical_set_text_still_decodes(self):
+        assert loads_value('{"s":[3,1,2,2]}') == from_python({1, 2, 3})
+
+    def test_row_round_trip(self):
+        # () is unit's python shape (to_python(UnitVal()) == ()).
+        rows = [(1, 2), "x", True, (), frozenset({(1, 2)}), ((1, "a"), False)]
+        for row in rows:
+            assert row_from_jsonable(row_to_jsonable(row)) == row
+
+    def test_junk_rejected(self):
+        for junk in (
+            [1, 2, 3],          # not a pair
+            [1],                # not a pair either
+            {"t": []},          # wrong set key
+            {"s": [], "x": 1},  # extra key
+            {"s": 7},           # set body must be a list
+            1.5,                # no float atoms in the model
+        ):
+            with pytest.raises(EncodingError):
+                from_jsonable(junk)
+
+    def test_bad_json_text_rejected(self):
+        with pytest.raises(EncodingError):
+            loads_value("{not json")
