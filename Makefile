@@ -17,7 +17,10 @@
 # trips, flat-vs-object differential cases, shm shipping);
 # `test-service` selects the service-marked suites (wire protocol,
 # live-server integration, client SDK, CLI — all unmarked-slow, so
-# `test-fast` runs them too); `serve` starts a network query server on
+# `test-fast` runs them too); `test-router` selects the router-marked
+# suites (cost estimation, catalog statistics, routing policy, join
+# reordering, adaptation, auto-backend integration); `serve` starts a
+# network query server on
 # a demo graph (override WORKLOAD/PORT, e.g.
 # `make serve WORKLOAD=random:128 PORT=7433`); `bench-service` runs
 # just the network-service throughput/latency rows; `docs-check`
@@ -30,7 +33,7 @@ export PYTHONPATH := src
 WORKLOAD ?= path:64
 PORT ?= 7432
 
-.PHONY: test test-fast test-ivm test-dred test-columnar test-service serve bench bench-engine bench-all bench-all-quick bench-check bench-ivm bench-service docs-check
+.PHONY: test test-fast test-ivm test-dred test-columnar test-service test-router serve bench bench-engine bench-all bench-all-quick bench-check bench-ivm bench-service docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -49,6 +52,9 @@ test-columnar:
 
 test-service:
 	$(PYTHON) -m pytest -q -m service
+
+test-router:
+	$(PYTHON) -m pytest -q -m router
 
 serve:
 	$(PYTHON) -m repro.service.cli serve --workload $(WORKLOAD) --port $(PORT)

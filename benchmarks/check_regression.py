@@ -24,8 +24,9 @@ Usage::
 Beyond the vectorized/memo families the chain also holds the parallel
 backend to its overlap (1.5x) and flat-fixpoint (2x) bars, the PR-7 flat
 dense-id kernels to their 3x object-kernel bar, incremental view
-maintenance to its 5x recompute bars, and the PR-8 network query service to
-its 25 q/s wire-throughput floor -- every guard refuses to pass when its
+maintenance to its 5x recompute bars, the PR-8 network query service to
+its 25 q/s wire-throughput floor, and the PR-9 adaptive router to its
+hand-picked-backend regret bar -- every guard refuses to pass when its
 row is missing from the fresh run, so a silently dropped workload cannot
 masquerade as a green check.
 
@@ -97,6 +98,16 @@ IVM_BAR = 5.0
 #: gated: tail latency on shared CI runners is noise.
 SERVICE_ACCEPTANCE_NAME = "service-queries-per-sec"
 SERVICE_QPS_FLOOR = 25.0
+
+#: The PR-9 adaptive-router bar: ``backend="auto"`` held to an aggregate
+#: regret ratio against the best hand-picked backend per leg.  The full
+#: suite gates at 1.10; the quick legs run for single-digit milliseconds,
+#: where scheduler noise alone moves the ratio by ~0.1, so the quick guard
+#: allows 1.25 -- historically the quick regret sits *below* 1.0 (auto's
+#: computed shard count beats the hand-picked one on the enrichment leg),
+#: so 1.25 only trips on a real mis-route, not on jitter.
+ROUTER_ACCEPTANCE_NAME = "router-auto-regret"
+ROUTER_REGRET_BAR = 1.25
 
 
 def run_quick_suite(output: Path) -> None:
@@ -299,6 +310,45 @@ def check_service(fresh_rows: list[dict], baseline_rows: list[dict]) -> int:
         print(f"REGRESSION: service throughput below {SERVICE_QPS_FLOOR:.0f} q/s")
         return 1
     print(f"the network service clears the {SERVICE_QPS_FLOOR:.0f} q/s floor")
+    return check_router(fresh_rows, baseline_rows)
+
+
+def check_router(fresh_rows: list[dict], baseline_rows: list[dict]) -> int:
+    """Hold the adaptive router to its hand-picked-backend regret bar."""
+    rows = [r for r in fresh_rows if r["name"] == ROUTER_ACCEPTANCE_NAME]
+    print(f"== adaptive-router guard (bar: auto within {ROUTER_REGRET_BAR}x "
+          f"of the best hand-picked backend on {ROUTER_ACCEPTANCE_NAME})")
+    if not rows:
+        print(f"router acceptance row missing from the fresh run "
+              f"({ROUTER_ACCEPTANCE_NAME}) -- refusing to pass")
+        return 1
+    committed = {
+        r["name"]: r.get("regret")
+        for r in baseline_rows
+        if r.get("family") == "router"
+    }
+    failures = []
+    for row in rows:
+        regret = row.get("regret", float("inf"))
+        committed_regret = committed.get(row["name"])
+        drift = (
+            f"  (committed full-suite: {committed_regret:.2f}x)"
+            if committed_regret
+            else ""
+        )
+        verdict = "ok" if regret <= ROUTER_REGRET_BAR else "FAIL"
+        picks = ", ".join(
+            f"{name}->{leg['auto_backend']}"
+            for name, leg in row.get("legs", {}).items()
+        )
+        print(f"  {row['name']:>22} regret {regret:5.2f}x  {verdict}"
+              f"  [{picks}]{drift}")
+        if regret > ROUTER_REGRET_BAR:
+            failures.append(row)
+    if failures:
+        print(f"REGRESSION: auto-routing regret above {ROUTER_REGRET_BAR}x")
+        return 1
+    print(f"the adaptive router stays within the {ROUTER_REGRET_BAR}x regret bar")
     return 0
 
 

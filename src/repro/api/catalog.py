@@ -42,6 +42,7 @@ from bisect import insort
 from typing import Iterator, Optional
 
 from ..engine.incremental.changeset import Changeset, CollectionDelta
+from ..engine.router import CollectionStats, collection_stats
 from ..nra.ast import Const
 from ..nra.typecheck import infer
 from ..objects.types import SetType, Type
@@ -67,6 +68,10 @@ class Database:
         self.mutable = mutable
         self._collections: dict[str, Value] = {}
         self._schema: Schema = {}
+        # Router statistics, maintained incrementally with the contents:
+        # collection values are canonical sorted tuples, so count and sample
+        # are O(1) per commit (see repro.engine.router.collection_stats).
+        self._stats: dict[str, CollectionStats] = {}
         # Guards registration against concurrent sessions reading the schema.
         self._lock = threading.Lock()
         # Serializes commits *and* view registration, so every view observes
@@ -108,6 +113,7 @@ class Database:
                 raise ValueError(f"collection {name!r} already registered")
             self._collections[name] = value
             self._schema[name] = inferred
+            self._stats[name] = collection_stats(value)
             self.version += 1
         return self
 
@@ -117,6 +123,7 @@ class Database:
                 raise KeyError(f"no collection {name!r}")
             del self._collections[name]
             del self._schema[name]
+            self._stats.pop(name, None)
             self.version += 1
             views = list(self._views)
         # The collection's schema entry is gone: dependent views can no
@@ -166,6 +173,11 @@ class Database:
                 normalized, updates = self._normalize(changeset)
                 if updates:
                     self._collections.update(updates)
+                    for name, value in updates.items():
+                        old = self._stats.get(name)
+                        self._stats[name] = collection_stats(
+                            value, updates=(old.updates + 1) if old else 1
+                        )
                     self.version += 1
                 views = list(self._views)
             if normalized:
@@ -273,6 +285,16 @@ class Database:
         """Collection name -> value, as an NRA evaluation environment."""
         with self._lock:
             return dict(self._collections)
+
+    def stats(self) -> dict[str, CollectionStats]:
+        """Collection name -> incremental statistics (count, sample, updates).
+
+        What the adaptive router consumes: exact cardinalities plus small
+        canonical samples, current as of the latest commit (a copy; safe to
+        hold across commits, stale by design).
+        """
+        with self._lock:
+            return dict(self._stats)
 
     def __getitem__(self, name: str) -> Value:
         return self._collections[name]

@@ -36,6 +36,7 @@ from typing import Iterable, Optional, Union
 
 from ..engine.engine import Engine
 from ..engine.incremental.view import MaterializedView
+from ..engine.router import placeholder_value
 from ..nra.ast import Expr, Lambda, free_variables
 from ..nra.externals import EMPTY_SIGMA, Signature
 from ..objects.values import Value, from_python
@@ -72,6 +73,11 @@ class SessionStats:
     flat_dedups: int = 0          # array-level dedup/materialization passes
     shm_ships: int = 0            # id-array payloads shipped to shm workers
     array_bytes_shipped: int = 0  # bytes of dense-id arrays shipped
+    # Adaptive-router attribution (engines with backend="auto"): fresh
+    # routing decisions made for this session's templates, and adaptation
+    # flips after observed runtimes contradicted an estimate by >= 10x.
+    routes: int = 0
+    reroutes: int = 0
 
     def snapshot(self) -> "SessionStats":
         return SessionStats(**{f: getattr(self, f) for f in self.__dataclass_fields__})
@@ -315,14 +321,22 @@ class Session:
             before_misses = self.engine.plan_misses
             before_hits = self.engine.plan_hits
             before_compiles = self.engine.vectorized_compiles()
+            before_routes, before_reroutes = self.engine.router_counters()
             self.engine.optimize(template)
-            if chosen in ("vectorized", "parallel"):
+            if chosen == "auto":
+                # Route from catalog statistics (counts + samples) before any
+                # execution, then warm the *routed* backend's plan -- the
+                # explain trace compiles through the decision.
+                self._route_template(template, ptypes, defaults)
+                self.engine.explain_plan(template, backend="auto")
+            elif chosen in ("vectorized", "parallel"):
                 # Warming the parallel view also runs the shard analysis and
                 # compiles the shard-local template through the driver.
                 self.engine.explain_plan(template, backend=chosen)
             misses = self.engine.plan_misses - before_misses
             hits = self.engine.plan_hits - before_hits
             compiles = self.engine.vectorized_compiles() - before_compiles
+            after_routes, after_reroutes = self.engine.router_counters()
         ps = PreparedStatement(self, template, ptypes, defaults, label, backend)
         with self._lock:
             self.stats.prepares += 1
@@ -332,8 +346,37 @@ class Session:
             # invariant the concurrency stress suite asserts).
             self.stats.plan_hits += hits
             self.stats.vec_compiles += compiles
+            self.stats.routes += after_routes - before_routes
+            self.stats.reroutes += after_reroutes - before_reroutes
             self._prepared[cache_key] = ps
         return ps
+
+    def _route_template(self, template: Expr, ptypes: dict, defaults: dict):
+        """Feed catalog statistics through the engine's router (prepare path).
+
+        Collections referenced by the template contribute their catalog
+        *samples* as estimation inputs and their exact counts for
+        extrapolation; parameters contribute their default values, or typed
+        placeholders when unbound -- routing happens before any binding
+        exists.
+        """
+        names = free_variables(template)
+        env: dict[str, Value] = {}
+        counts: dict[str, int] = {}
+        if self.db is not None:
+            for name, st in self.db.stats().items():
+                if name in names:
+                    env[name] = st.sample
+                    counts[name] = st.count
+        for pname, ptype in ptypes.items():
+            var = param_var(pname)
+            if var not in names:
+                continue
+            if pname in defaults:
+                env[var] = defaults[pname]
+            else:
+                env[var] = placeholder_value(ptype)
+        return self.engine.route(template, env=env, counts=counts)
 
     # -- materialized views --------------------------------------------------------
 
@@ -444,6 +487,7 @@ class Session:
             before_misses = self.engine.plan_misses
             before_hits = self.engine.plan_hits
             before_compiles = self.engine.vectorized_compiles()
+            before_routes, before_reroutes = self.engine.router_counters()
             result = self.engine.run(
                 template, db=None, env=env, optimize=optimize, backend=backend
             )
@@ -452,12 +496,15 @@ class Session:
             # Counter delta, not last_stats: uniform over backends (the
             # parallel backend compiles through the same driver evaluator).
             compiles = self.engine.vectorized_compiles() - before_compiles
+            after_routes, after_reroutes = self.engine.router_counters()
             last = self.engine.last_stats
         with self._lock:
             self.stats.executes += 1
             self.stats.rewrites += misses
             self.stats.plan_hits += hits
             self.stats.vec_compiles += compiles
+            self.stats.routes += after_routes - before_routes
+            self.stats.reroutes += after_reroutes - before_reroutes
             self._absorb_flat(last)
         return result
 
@@ -466,16 +513,20 @@ class Session:
             before_misses = self.engine.plan_misses
             before_hits = self.engine.plan_hits
             before_compiles = self.engine.vectorized_compiles()
+            before_routes, before_reroutes = self.engine.router_counters()
             results = self.engine.run_many(closed, values, env=env, backend=backend)
             misses = self.engine.plan_misses - before_misses
             hits = self.engine.plan_hits - before_hits
             compiles = self.engine.vectorized_compiles() - before_compiles
+            after_routes, after_reroutes = self.engine.router_counters()
             last = self.engine.last_stats
         with self._lock:
             self.stats.executes += len(values)
             self.stats.rewrites += misses
             self.stats.plan_hits += hits
             self.stats.vec_compiles += compiles
+            self.stats.routes += after_routes - before_routes
+            self.stats.reroutes += after_reroutes - before_reroutes
             self._absorb_flat(last)
         return results
 

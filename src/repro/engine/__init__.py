@@ -53,6 +53,13 @@ from .incremental import Changeset, MaterializedView, ViewDelta, ViewStats
 from .interning import InternTable
 from .memo import MemoEvaluator, MemoFunction, MemoStats
 from .parallel import ParallelEvaluator, ParStats
+from .router import (
+    CollectionStats,
+    RouteDecision,
+    Router,
+    RouterStats,
+    collection_stats,
+)
 from .rewrite import (
     COST_DIRECTED_RULES,
     DEFAULT_RULES,
@@ -81,6 +88,11 @@ __all__ = [
     "MemoStats",
     "ParallelEvaluator",
     "ParStats",
+    "CollectionStats",
+    "RouteDecision",
+    "Router",
+    "RouterStats",
+    "collection_stats",
     "PlanNode",
     "Rewriter",
     "Rule",

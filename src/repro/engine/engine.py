@@ -19,6 +19,10 @@ optimization layers of this package --
                  shard-local vectorized sub-plans on a worker pool, union
                  combiners, frontier-resharded semi-naive fixpoint rounds
                  (:mod:`repro.engine.parallel`)
+   `auto`        the adaptive cost-based router: estimates cost at catalog
+                 scale, picks one of the backends above (plus shard count and
+                 join order) per query, records actual runtimes and re-routes
+                 on order-of-magnitude misses (:mod:`repro.engine.router`)
    ============  ==================================================================
 
 -- behind an API that mirrors :func:`repro.nra.eval.run`::
@@ -53,6 +57,7 @@ from __future__ import annotations
 import os
 import threading
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Iterable, Optional, Union
 
 from ..nra.ast import Expr
@@ -65,10 +70,18 @@ from .interning import InternTable
 from .memo import MemoEvaluator, MemoStats
 from .parallel import ParallelEvaluator, ParStats
 from .rewrite import DEFAULT_RULES, Rewriter, Rule, RuleFiring
+from .router import RouteDecision, Router
 from .vectorized import PlanNode, VecStats, VectorizedEvaluator
 
-#: The evaluation backends an :class:`Engine` can run.
-BACKENDS = ("reference", "memo", "vectorized", "parallel")
+#: The evaluation backends an :class:`Engine` can run (``run``/``run_many``
+#: and the constructor default).  ``auto`` is the adaptive cost-based router
+#: of :mod:`repro.engine.router`: it picks one of the others per query.
+BACKENDS = ("reference", "memo", "vectorized", "parallel", "auto")
+
+#: Explain-only views: valid for ``explain_plan(backend=...)`` but not for
+#: running (``incremental`` shows the maintenance plan the view-maintenance
+#: subsystem would use; it is not an evaluation strategy).
+EXPLAIN_ONLY_BACKENDS = ("incremental",)
 
 
 def default_workers() -> int:
@@ -81,10 +94,21 @@ def default_workers() -> int:
     return max(4, min(8, os.cpu_count() or 1))
 
 
-def _validate_backend(name: str) -> str:
-    """The single point of backend-name validation (constructor and per-call)."""
-    if name not in BACKENDS:
-        raise ValueError(f"unknown backend {name!r}; expected one of {BACKENDS}")
+def _validate_backend(name: str, explain: bool = False) -> str:
+    """The single point of backend-name validation, for every entry point.
+
+    The constructor, ``run``/``run_many`` overrides and ``explain_plan`` all
+    come through here and share one message: run entry points accept
+    :data:`BACKENDS`, ``explain_plan`` additionally accepts the explain-only
+    views in :data:`EXPLAIN_ONLY_BACKENDS`.
+    """
+    allowed = BACKENDS + EXPLAIN_ONLY_BACKENDS if explain else BACKENDS
+    if name not in allowed:
+        raise ValueError(
+            f"unknown backend {name!r}: run/run_many (and the Engine "
+            f"constructor) accept {BACKENDS}; explain_plan additionally "
+            f"accepts {EXPLAIN_ONLY_BACKENDS}"
+        )
     return name
 
 
@@ -140,7 +164,9 @@ class Engine:
         Default evaluation backend, one of :data:`BACKENDS`; ``run`` and
         ``run_many`` accept a per-call override.  ``memo`` is the default
         (the PR-1 behaviour); ``vectorized`` is the set-at-a-time compiler;
-        ``parallel`` is the sharded backend over a worker pool.
+        ``parallel`` is the sharded backend over a worker pool; ``auto``
+        routes each query to one of the others by estimated cost and adapts
+        from observed runtimes.
     workers / shards / pool:
         Parallel-backend knobs (ignored by the other backends): pool size
         (default :func:`default_workers`), target shards per wave (default
@@ -217,6 +243,9 @@ class Engine:
         # backends share one compile cache and one intern table.
         self._vectorized: Optional[VectorizedEvaluator] = None
         self._parallel: Optional[ParallelEvaluator] = None
+        # The adaptive router (lazy, engine-scoped, mutated under the lock);
+        # created on first use of backend="auto".
+        self._router: Optional[Router] = None
         # Serializes access to every engine-scoped cache; see the class
         # docstring's concurrency note.
         self._lock = threading.RLock()
@@ -274,6 +303,8 @@ class Engine:
                 self._vectorized.clear_caches()
             if self._parallel is not None:
                 self._parallel.clear_caches()
+            if self._router is not None:
+                self._router.clear()
 
     def explain(self, e: Expr) -> Plan:
         """The plan for ``e``: rewritten expression and the rules that fired."""
@@ -302,17 +333,37 @@ class Engine:
         ``ivm-*`` delta rule chosen per operator, with every free variable
         treated as a mutable base collection and conservative fallbacks
         labelled ``ivm-recompute`` (see :mod:`repro.engine.incremental`).
+
+        ``backend="auto"`` returns the router's "why this backend" trace: a
+        ``route`` node carrying the cost estimate, the decision (backend,
+        shard count, join-order swaps) and any re-route history, wrapped
+        around the routed backend's own plan.  When the template has already
+        been routed (a prepare or a run happened) the recorded decision is
+        shown; otherwise a fresh statistics-free decision is made.
         """
         with self._lock:
             expr = self.optimize(e).optimized if optimize else e
-            chosen = backend if backend is not None else self.backend
-            if chosen == "parallel":
-                return self._par().shard_plan(expr)
-            if chosen == "incremental":
+            chosen = _validate_backend(
+                backend if backend is not None else self.backend, explain=True
+            )
+            if chosen == "auto":
+                router = self.router()
+                decision = router.route(expr)
+                inner_backend = decision.backend
+                inner_expr = decision.expr
+            else:
+                inner_backend, inner_expr = chosen, expr
+            if inner_backend == "parallel":
+                inner = self._par().shard_plan(inner_expr)
+            elif inner_backend == "incremental":
                 from .incremental.delta import maintenance_plan
 
-                return maintenance_plan(expr)
-            return self._vec().plan(expr)
+                inner = maintenance_plan(inner_expr)
+            else:
+                inner = self._vec().plan(inner_expr)
+            if chosen == "auto":
+                return self.router().trace(expr, inner)
+            return inner
 
     def vectorized_compiles(self) -> int:
         """Lifetime count of vectorized subexpression compiles (0 if unused).
@@ -350,28 +401,50 @@ class Engine:
         with self._lock:
             expr = self.optimize(e).optimized if optimize else e
             arg = self._to_value(db)
-            if chosen == "reference":
-                self.last_stats = None
-                return reference_run(expr, arg, env=env, sigma=self.sigma)
-            if chosen == "vectorized":
-                ev = self._vec()
-                # The evaluator's counters run for its whole lifetime (they
-                # back the engine-scoped caches); report just this call's
-                # share.
-                before = ev.stats.copy()
-                result = ev.run(expr, arg=arg, env=env)
-                self.last_stats = ev.stats.since(before)
+            if chosen == "auto":
+                decision = self.router().route(expr, arg=arg, env=env)
+                t0 = perf_counter()
+                result = self._execute(
+                    decision.backend, decision.expr, arg, env,
+                    shards=decision.shards,
+                )
+                self.router().record_runtime(
+                    expr, decision.backend, perf_counter() - t0
+                )
                 return result
-            if chosen == "parallel":
-                pv = self._par()
-                before_par = pv.stats.copy()
-                result = pv.run(expr, arg=arg, env=env)
-                self.last_stats = pv.stats.since(before_par)
-                return result
-            evaluator = MemoEvaluator(self.sigma, self.interner)
-            result = evaluator.run(expr, arg=arg, env=env)
-            self.last_stats = evaluator.stats
+            return self._execute(chosen, expr, arg, env)
+
+    def _execute(
+        self,
+        chosen: str,
+        expr: Expr,
+        arg: Optional[Value],
+        env: Optional[dict],
+        shards: Optional[int] = None,
+    ) -> Value:
+        """Dispatch one evaluation to a concrete backend (lock already held)."""
+        if chosen == "reference":
+            self.last_stats = None
+            return reference_run(expr, arg, env=env, sigma=self.sigma)
+        if chosen == "vectorized":
+            ev = self._vec()
+            # The evaluator's counters run for its whole lifetime (they
+            # back the engine-scoped caches); report just this call's
+            # share.
+            before = ev.stats.copy()
+            result = ev.run(expr, arg=arg, env=env)
+            self.last_stats = ev.stats.since(before)
             return result
+        if chosen == "parallel":
+            pv = self._par()
+            before_par = pv.stats.copy()
+            result = pv.run(expr, arg=arg, env=env, shards=shards)
+            self.last_stats = pv.stats.since(before_par)
+            return result
+        evaluator = MemoEvaluator(self.sigma, self.interner)
+        result = evaluator.run(expr, arg=arg, env=env)
+        self.last_stats = evaluator.stats
+        return result
 
     def run_many(
         self,
@@ -396,25 +469,44 @@ class Engine:
         with self._lock:
             expr = self.optimize(e).optimized if optimize else e
             args = [self._to_value(db) for db in inputs]
-            if chosen == "reference":
-                self.last_stats = None
-                return [reference_run(expr, a, env=env, sigma=self.sigma) for a in args]
-            if chosen == "vectorized":
-                ev = self._vec()
-                before = ev.stats.copy()
-                out = ev.run_many(expr, args, env=env)
-                self.last_stats = ev.stats.since(before)
+            if chosen == "auto":
+                # Route from the first input (the batch shares one template);
+                # record the *per-input* runtime so batch and single runs
+                # feed the same adaptation scale.
+                first = args[0] if args else None
+                decision = self.router().route(expr, arg=first, env=env)
+                t0 = perf_counter()
+                out = self._execute_many(decision.backend, decision.expr, args, env)
+                if args:
+                    self.router().record_runtime(
+                        expr, decision.backend, (perf_counter() - t0) / len(args)
+                    )
                 return out
-            if chosen == "parallel":
-                pv = self._par()
-                before_par = pv.stats.copy()
-                out = pv.run_many(expr, args, env=env)
-                self.last_stats = pv.stats.since(before_par)
-                return out
-            evaluator = MemoEvaluator(self.sigma, self.interner)
-            out = [evaluator.run(expr, arg=a, env=env) for a in args]
-            self.last_stats = evaluator.stats
+            return self._execute_many(chosen, expr, args, env)
+
+    def _execute_many(
+        self, chosen: str, expr: Expr, args: list, env: Optional[dict]
+    ) -> list[Value]:
+        """Dispatch one batched evaluation (lock already held)."""
+        if chosen == "reference":
+            self.last_stats = None
+            return [reference_run(expr, a, env=env, sigma=self.sigma) for a in args]
+        if chosen == "vectorized":
+            ev = self._vec()
+            before = ev.stats.copy()
+            out = ev.run_many(expr, args, env=env)
+            self.last_stats = ev.stats.since(before)
             return out
+        if chosen == "parallel":
+            pv = self._par()
+            before_par = pv.stats.copy()
+            out = pv.run_many(expr, args, env=env)
+            self.last_stats = pv.stats.since(before_par)
+            return out
+        evaluator = MemoEvaluator(self.sigma, self.interner)
+        out = [evaluator.run(expr, arg=a, env=env) for a in args]
+        self.last_stats = evaluator.stats
+        return out
 
     # -- helpers ------------------------------------------------------------------
 
@@ -440,6 +532,69 @@ class Engine:
                     pool=self.pool,
                 )
             return self._parallel
+
+    def router(self) -> Router:
+        """The engine's adaptive router (created on first use, lock-scoped)."""
+        with self._lock:
+            if self._router is None:
+                self._router = Router(
+                    self.sigma, workers=self.workers, shards=self.shards
+                )
+            return self._router
+
+    def route(
+        self,
+        e: Expr,
+        arg: Optional[Value] = None,
+        env: Optional[dict] = None,
+        counts: Optional[dict] = None,
+        optimize: bool = True,
+    ) -> RouteDecision:
+        """Route ``e`` without running it (the session ``prepare`` path).
+
+        ``env`` may hold catalog *samples* with ``counts`` giving the full
+        cardinalities -- the decision is then made from statistics alone,
+        before any execution.  The decision is cached per optimized template;
+        subsequent ``run(backend="auto")`` calls reuse and adapt it.
+        """
+        with self._lock:
+            expr = self.optimize(e).optimized if optimize else e
+            return self.router().route(expr, arg=arg, env=env, counts=counts)
+
+    def router_stats(self) -> Optional[dict]:
+        """Routing counters and per-backend template counts (None if unused).
+
+        Never blocks: the engine lock is held for the full duration of a
+        ``run``, and the service ``status`` probe must stay responsive while
+        a query sits on a slow external oracle.  Takes the lock only if it
+        is free; otherwise reads unsynchronized -- the counters are plain
+        ints, and if the decision table mutates mid-iteration the counters
+        are reported without the per-backend breakdown.
+        """
+        locked = self._lock.acquire(blocking=False)
+        try:
+            router = self._router
+            if router is None:
+                return None
+            try:
+                return router.as_dict()
+            except RuntimeError:  # records dict mutated under our feet
+                out = router.stats.as_dict()
+                out["templates"] = len(router.records)
+                out["backends"] = {}
+                out["seconds_per_work"] = router.seconds_per_work
+                return out
+        finally:
+            if locked:
+                self._lock.release()
+
+    def router_counters(self) -> tuple[int, int]:
+        """Monotone ``(routes, reroutes)`` for per-call attribution (0 if unused)."""
+        with self._lock:
+            if self._router is None:
+                return (0, 0)
+            s = self._router.stats
+            return (s.routes, s.reroutes)
 
     def close(self) -> None:
         """Release the parallel worker pool (idempotent; other state is GC'd).

@@ -235,9 +235,16 @@ class ParallelEvaluator:
         e: Expr,
         arg: Optional[Value] = None,
         env: Optional[dict] = None,
+        shards: Optional[int] = None,
     ) -> Value:
+        """Evaluate ``e``; ``shards`` overrides the per-wave shard target.
+
+        The override is per-call plan input (the adaptive router sizes waves
+        from its cardinality estimate); ``None`` keeps the constructor-time
+        ``shard_count``.
+        """
         try:
-            return self._run(e, arg, env)
+            return self._run(e, arg, env, shards)
         finally:
             # Shipping counters accrue on the pool (shm encoders live
             # there); mirror them so ``stats.since`` sees them per call.
@@ -249,16 +256,18 @@ class ParallelEvaluator:
         e: Expr,
         arg: Optional[Value] = None,
         env: Optional[dict] = None,
+        shards: Optional[int] = None,
     ) -> Value:
+        shard_count = shards if shards is not None else self.shard_count
         env = intern_env(self.interner, env)
         spec = self._spec(e)
         if spec is None:
             self.stats.fallback_runs += 1
             return self.driver.run(e, arg=arg, env=env)
         if spec.kind == "fixpoint":
-            return self._run_fixpoint(e, spec.fixpoint, arg, env)
+            return self._run_fixpoint(e, spec.fixpoint, arg, env, shard_count)
         if spec.kind == "join":
-            return self._run_join(e, spec, arg, env)
+            return self._run_join(e, spec, arg, env, shard_count)
         if spec.kind == "arg":
             if arg is None:
                 # The result would be a function denotation; the driver
@@ -276,7 +285,7 @@ class ParallelEvaluator:
             # Unbound or non-set input: the driver's error paths are exact.
             self.stats.fallback_runs += 1
             return self.driver.run(e, arg=arg, env=env)
-        shards = hash_partition(value, min(self.shard_count, len(value.elements) or 1))
+        shards = hash_partition(value, min(shard_count, len(value.elements) or 1))
         tasks = [
             ShardTask(spec.body, {**env, spec.var: shard}) for shard in shards
         ]
@@ -337,7 +346,14 @@ class ParallelEvaluator:
 
     # -- the co-partitioned equi-join ---------------------------------------------
 
-    def _run_join(self, e: Expr, spec: ShardSpec, arg, env: dict) -> Value:
+    def _run_join(
+        self,
+        e: Expr,
+        spec: ShardSpec,
+        arg,
+        env: dict,
+        shard_count: Optional[int] = None,
+    ) -> Value:
         """Shard-aligned build/probe: both join sides partitioned by key hash.
 
         Matching pairs hash to the same shard index, so worker ``i`` builds
@@ -363,7 +379,7 @@ class ParallelEvaluator:
             return self._fallback(e, arg, env)
         if not lval.elements:
             return it.empty_set
-        k = min(self.shard_count, len(lval.elements))
+        k = min(shard_count or self.shard_count, len(lval.elements))
         lkey = self._driver_eval(js.left_key, {})
         rkey = self._driver_eval(js.right_key, {})
         lshards = hash_partition_aligned(lval, k, lkey)
@@ -396,6 +412,7 @@ class ParallelEvaluator:
         fix: FixpointSpec,
         arg: Optional[Value],
         env: dict,
+        shard_count: Optional[int] = None,
     ) -> Value:
         """Semi-naive rounds with the frontier hash-partitioned every round.
 
@@ -445,7 +462,7 @@ class ParallelEvaluator:
                 return flat
         while done < rounds and len(delta.elements):
             shards = hash_partition(
-                delta, min(self.shard_count, len(delta.elements))
+                delta, min(shard_count or self.shard_count, len(delta.elements))
             )
             base = {**env, fix.step_var: acc}
             tasks = [

@@ -50,6 +50,7 @@ from typing import Callable, Optional
 from ...nra import ast
 from ...nra.ast import Expr, free_variables, fresh_name
 from ...nra.errors import NRAEvalError
+from ...objects.types import Type
 from ...objects.values import PairVal, SetVal, Value
 from ...recursion.bounded import ps_intersect_values
 from ...recursion.forms import dcr as dcr_combinator, sri as sri_combinator
@@ -219,6 +220,87 @@ def match_join(lvar: str, body: Expr) -> Optional[tuple[str, Expr, Expr, Expr, E
     else:
         return None  # a key mixes both sides: no hash index applies
     return (rvar, lkey, rkey, inner.then.item, inner_src)
+
+
+@dataclass(frozen=True)
+class JoinShape:
+    """A whole equi-join application, decomposed (public analysis).
+
+    ``Apply(Ext(\\lvar. Apply(Ext(\\rvar. if lkey = rkey then {out} else {}),
+    right_source)), left_source)`` -- the shape :func:`match_join` recognises,
+    lifted to the outer ``Apply`` so callers that reason about *both* sides
+    (the backend router's join-order rewrite) see the sources and binder types
+    together.  The compiler streams the left source and builds the hash index
+    on the right source, so side choice is a performance decision the router
+    owns; :meth:`swapped` rebuilds the same join with the sides exchanged.
+    """
+
+    lvar: str
+    lvar_type: Type
+    rvar: str
+    rvar_type: Type
+    lkey: Expr
+    rkey: Expr
+    out: Expr
+    empty: Expr  # the typed EmptySet node of the non-matching branch
+    left_source: Expr
+    right_source: Expr
+
+    def swapped(self) -> Expr:
+        """The same join with streamed and indexed sides exchanged."""
+        inner = ast.If(
+            ast.Eq(self.rkey, self.lkey), ast.Singleton(self.out), self.empty
+        )
+        return ast.Apply(
+            ast.Ext(
+                ast.Lambda(
+                    self.rvar,
+                    self.rvar_type,
+                    ast.Apply(
+                        ast.Ext(ast.Lambda(self.lvar, self.lvar_type, inner)),
+                        self.left_source,
+                    ),
+                )
+            ),
+            self.right_source,
+        )
+
+
+def match_join_apply(e: Expr) -> Optional[JoinShape]:
+    """Decompose a full equi-join application, or return ``None``.
+
+    Sides may only be exchanged without capture when neither binder occurs
+    free in the *other* side's source; ``match_join`` already guarantees the
+    right source is uncorrelated (no free ``lvar``), and this helper refuses
+    the mirror case (a free variable merely *named* ``rvar`` in the left
+    source would be captured by the swap).
+    """
+    if not (
+        isinstance(e, ast.Apply)
+        and isinstance(e.func, ast.Ext)
+        and isinstance(e.func.func, ast.Lambda)
+    ):
+        return None
+    f = e.func.func
+    m = match_join(f.var, f.body)
+    if m is None:
+        return None
+    rvar, lkey, rkey, out, right_source = m
+    if rvar in free_variables(e.arg):
+        return None
+    inner_lambda = f.body.func.func  # the Ext's Lambda; shape checked by match_join
+    return JoinShape(
+        lvar=f.var,
+        lvar_type=f.var_type,
+        rvar=rvar,
+        rvar_type=inner_lambda.var_type,
+        lkey=lkey,
+        rkey=rkey,
+        out=out,
+        empty=inner_lambda.body.orelse,
+        left_source=e.arg,
+        right_source=right_source,
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -42,6 +42,10 @@ OPS = frozenset(
         # The fixpoint node's deletion strategy (delete/rederive), rendered
         # as explicit sub-steps under ivm-fixpoint.
         "ivm-dred-overdelete", "ivm-dred-rederive",
+        # The adaptive router's "why this backend" trace, wrapped around the
+        # routed backend's plan by Engine.explain_plan(backend="auto")
+        # (repro.engine.router).
+        "route", "route-estimate", "route-decision", "route-history",
     }
 )
 

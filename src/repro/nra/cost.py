@@ -32,6 +32,7 @@ their ``sri`` counterparts show Theta(n) depth growth on identical inputs.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Callable, Mapping, Optional, Union
 
@@ -359,3 +360,138 @@ def _cost_iterator(
 
     name = type(e).__name__.lower()
     return CostFunction(name, call), setup
+
+
+# -- cardinality-aware estimation -------------------------------------------------
+#
+# The backend router (:mod:`repro.engine.router`) needs the cost of a query
+# *at catalog scale* without paying for a full cost evaluation (which runs the
+# query under the cost semantics and is itself as slow as the reference
+# interpreter).  The trick: run the cost semantics twice on *truncated*
+# inputs -- the catalog samples capped at two small sizes -- fit a power law
+# ``work ~ n^k`` through the two observations, and extrapolate to the full
+# cardinalities the catalog reports.  When every input already fits under the
+# cap the "estimate" is exact and says so.
+
+
+def truncate_sets(v: Value, cap: int) -> Value:
+    """Recursively truncate every set in ``v`` to at most ``cap`` elements.
+
+    Canonical order is preserved (a prefix of a sorted tuple is sorted), so
+    the result is a legal complex object value representing a sub-instance of
+    the input -- exactly what sampled cost evaluation wants.
+    """
+    if isinstance(v, SetVal):
+        return SetVal([truncate_sets(x, cap) for x in v.elements[:cap]])
+    if isinstance(v, PairVal):
+        return PairVal(truncate_sets(v.fst, cap), truncate_sets(v.snd, cap))
+    return v
+
+
+def value_cardinality(v: Value) -> int:
+    """The top-level size of an input: set length, or 1 for scalars."""
+    return len(v) if isinstance(v, SetVal) else 1
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """An extrapolated parallel cost for a query at full catalog cardinality.
+
+    ``work``/``depth`` are the extrapolated PRAM costs; ``exponent`` is the
+    fitted power-law exponent for work (1 = linear, 2 = quadratic join, ...);
+    ``sample_n``/``full_n`` are the total input cardinalities the fit saw and
+    extrapolated to.  ``exact`` means the inputs fit under the sampling cap,
+    so no extrapolation happened and the numbers are the true cost.
+    """
+
+    work: float
+    depth: float
+    exponent: float
+    sample_n: int
+    full_n: int
+    exact: bool = False
+
+    @property
+    def parallelism(self) -> float:
+        """Average available parallelism (work / depth, >= 1)."""
+        return self.work / max(self.depth, 1.0)
+
+
+#: Exponent clips: sub-constant or beyond-cubic fits are sampling artifacts.
+_WORK_EXP_RANGE = (0.5, 3.5)
+_DEPTH_EXP_RANGE = (0.0, 2.0)
+
+
+def _fit_exponent(y1: float, y2: float, n1: int, n2: int, lo: float, hi: float) -> float:
+    if n2 <= n1 or y1 <= 0 or y2 <= 0:
+        return 1.0
+    k = math.log(y2 / y1) / math.log(n2 / n1)
+    return min(hi, max(lo, k))
+
+
+def estimate_cost(
+    e: Expr,
+    arg: Optional[Value] = None,
+    env: Optional[dict[str, CostDenotation]] = None,
+    sigma: Signature = EMPTY_SIGMA,
+    counts: Optional[Mapping[str, int]] = None,
+    caps: tuple[int, int] = (4, 8),
+) -> CostEstimate:
+    """Estimate the full-scale cost of ``e`` from truncated sample runs.
+
+    ``env`` maps free variables to (sample) values; ``counts`` gives the full
+    cardinality of each input collection (defaulting to the size of the value
+    actually present in ``env``/``arg`` -- the right default when the caller
+    passes full data, as the engine does at run time; the session layer passes
+    catalog samples plus catalog counts).  Raises :class:`NRAEvalError` when
+    the expression cannot be cost-evaluated (callers fall back to a static
+    decision).
+    """
+    env = dict(env or {})
+    lo_cap, hi_cap = caps
+
+    def sampled(cap: int) -> tuple[Cost, int]:
+        cut_env: dict[str, CostDenotation] = {}
+        n = 0
+        for name, d in env.items():
+            if isinstance(d, CostFunction):
+                cut_env[name] = d
+            else:
+                cut = truncate_sets(d, cap)
+                cut_env[name] = cut
+                n += value_cardinality(cut)
+        cut_arg = truncate_sets(arg, cap) if arg is not None else None
+        if cut_arg is not None:
+            n += value_cardinality(cut_arg)
+        _, cost = cost_run(e, cut_arg, cut_env, sigma)
+        return cost, n
+
+    c1, n1 = sampled(lo_cap)
+    c2, n2 = sampled(hi_cap)
+
+    full_n = 0
+    for name, d in env.items():
+        if isinstance(d, CostFunction):
+            continue
+        declared = counts.get(name) if counts else None
+        full_n += declared if declared is not None else value_cardinality(d)
+    if arg is not None:
+        declared = counts.get("$arg") if counts else None
+        full_n += declared if declared is not None else value_cardinality(arg)
+
+    if full_n <= n2:
+        # Everything fit under the cap: the sampled run *was* the real run.
+        return CostEstimate(
+            work=float(c2.work), depth=float(c2.depth),
+            exponent=1.0, sample_n=n2, full_n=full_n, exact=True,
+        )
+    k_work = _fit_exponent(c1.work, c2.work, n1, n2, *_WORK_EXP_RANGE)
+    k_depth = _fit_exponent(c1.depth, c2.depth, n1, n2, *_DEPTH_EXP_RANGE)
+    scale = full_n / max(n2, 1)
+    return CostEstimate(
+        work=float(c2.work) * scale**k_work,
+        depth=float(c2.depth) * scale**k_depth,
+        exponent=k_work,
+        sample_n=n2,
+        full_n=full_n,
+    )

@@ -32,7 +32,12 @@ on the same connection.
 Server errors re-raise typed: an ``NRATypeError`` over there is an
 ``NRATypeError`` here, admission refusals are :class:`ServerBusy`, and a
 deadline missed waiting for a frame is :class:`ServiceTimeout` (the
-connection stays usable; the late response is discarded on arrival).
+connection stays usable).  A timed-out request is *abandoned*, not
+forgotten: if its response arrives later and carries a server-side resource
+handle -- the cursor id of an ``execute``, the statement handle of a
+``prepare``, the view handle of a ``materialize`` -- the reader thread fires
+a best-effort close for it, so a client deadline never strands handles in
+the server's registries until session close.
 """
 
 from __future__ import annotations
@@ -97,6 +102,10 @@ class RemoteConnection:
         self._wlock = threading.Lock()
         self._ids = itertools.count(1)
         self._pending: dict[int, queue.Queue] = {}
+        # Requests that timed out client-side: request id -> session id (or
+        # None).  When the late response finally lands, the reader uses this
+        # to free any server-side handle it carries (see _reap_late).
+        self._abandoned: dict[int, Optional[str]] = {}
         self._plock = threading.Lock()
         self._notify: dict[tuple[str, str], queue.Queue] = {}
         self._closed = threading.Event()
@@ -146,8 +155,12 @@ class RemoteConnection:
                 rid = frame.get("id")
                 with self._plock:
                     q = self._pending.pop(rid, None)
+                    was_abandoned = q is None and rid in self._abandoned
+                    sid = self._abandoned.pop(rid, None)
                 if q is not None:
                     q.put(frame)
+                elif was_abandoned:
+                    self._reap_late(sid, frame)
         except (ConnectionClosed, OSError):
             pass
         finally:
@@ -155,6 +168,7 @@ class RemoteConnection:
             # Wake every waiter: the connection is gone, not slow.
             with self._plock:
                 pending, self._pending = self._pending, {}
+                self._abandoned.clear()
             for q in pending.values():
                 q.put(None)
 
@@ -175,16 +189,39 @@ class RemoteConnection:
             with self._plock:
                 self._pending.pop(rid, None)
             raise ConnectionClosed(str(exc)) from exc
-        return self._wait(rid, q, timeout if timeout is not None else self.timeout)
+        return self._wait(
+            rid, q,
+            timeout if timeout is not None else self.timeout,
+            sid=fields.get("session"),
+        )
 
-    def _wait(self, rid: int, q: queue.Queue, timeout: Optional[float]) -> dict:
+    def _wait(
+        self,
+        rid: int,
+        q: queue.Queue,
+        timeout: Optional[float],
+        sid: Optional[str] = None,
+    ) -> dict:
         try:
             frame = q.get(timeout=timeout)
         except queue.Empty:
-            # Abandon the request: if the response arrives later the reader
-            # finds no waiter and drops it; the connection stays usable.
+            # Abandon the request: the connection stays usable, and if the
+            # response arrives later the reader frees any server-side
+            # handle it carries (cursor/statement/view) via _reap_late.
             with self._plock:
                 self._pending.pop(rid, None)
+                self._abandoned[rid] = sid
+            # The reader may have delivered in the instant between the
+            # queue timing out and the bookkeeping above; in that case the
+            # frame is in the queue, not on the wire -- reap it here.
+            try:
+                late = q.get_nowait()
+            except queue.Empty:
+                late = None
+            if late is not None:
+                with self._plock:
+                    self._abandoned.pop(rid, None)
+                self._reap_late(sid, late)
             raise ServiceTimeout(
                 f"no response within {timeout}s (request {rid})"
             ) from None
@@ -193,6 +230,38 @@ class RemoteConnection:
         if frame.get("ok"):
             return frame
         raise exception_from_error(frame.get("error") or {})
+
+    #: Response fields that name server-side resources, and the op that
+    #: frees each one.
+    _LATE_HANDLES = (
+        ("cursor", "close_cursor"),
+        ("statement", "close_statement"),
+        ("view", "close_view"),
+    )
+
+    def _reap_late(self, sid: Optional[str], frame: Any) -> None:
+        """Free server-side resources named by an abandoned response.
+
+        A timed-out request may still have succeeded server-side, and its
+        late response can carry a cursor/statement/view handle that would
+        otherwise sit in the server's registries until the session closes.
+        Best-effort and fire-and-forget: this runs on the reader thread,
+        which must never wait for a response of its own (it would be waiting
+        on itself), so the close frames are written without a pending entry
+        and their acks are dropped on arrival like any unclaimed frame.
+        """
+        if not isinstance(frame, dict) or not frame.get("ok") or sid is None:
+            return
+        for key, op in self._LATE_HANDLES:
+            handle = frame.get(key)
+            if handle is None:
+                continue
+            reap = {"id": next(self._ids), "op": op, "session": sid, key: handle}
+            try:
+                with self._wlock:
+                    write_frame_sync(self._sock, reap)
+            except OSError:
+                return  # connection gone; the server reaps on disconnect
 
     def _subscribe(self, sid: str, vid: str) -> queue.Queue:
         q: queue.Queue = queue.Queue()
@@ -507,6 +576,17 @@ class RemotePreparedStatement:
             chunk=self._chunk,
         )
         return RemoteCursor(self.session, reply, self._chunk)
+
+    def close(self) -> None:
+        """Drop the server-side statement handle (idempotent, best-effort)."""
+        if self.pid is not None:
+            pid, self.pid = self.pid, None
+            try:
+                self.session.conn.request(
+                    "close_statement", session=self.session.sid, statement=pid
+                )
+            except (ConnectionClosed, ServiceTimeout):
+                pass
 
     def __repr__(self) -> str:
         ps = ", ".join(self.param_names)

@@ -541,6 +541,11 @@ class QueryServer:
             self._release(st)
         return self._cursor_reply(st, cursor, chunk)
 
+    async def _op_close_statement(self, conn, frame) -> dict:
+        st = self._state(conn, frame)
+        st.statements.pop(frame.get("statement"), None)
+        return {}
+
     async def _op_fetch(self, conn, frame) -> dict:
         st = self._state(conn, frame)
         cid = frame.get("cursor")
@@ -691,6 +696,9 @@ class QueryServer:
             "queue_depth": queue_depth,
             "max_queue_depth": self.config.max_queue_depth,
             "stats": stats,
+            # Adaptive-routing telemetry; null unless the engine has routed
+            # (backend="auto" somewhere) since its plans were last cleared.
+            "router": self.engine.router_stats(),
         }
 
     async def _op_sessions(self, conn, frame) -> dict:
@@ -734,6 +742,7 @@ class QueryServer:
         "execute": _op_execute,
         "prepare": _op_prepare,
         "execute_statement": _op_execute_statement,
+        "close_statement": _op_close_statement,
         "fetch": _op_fetch,
         "close_cursor": _op_close_cursor,
         "materialize": _op_materialize,

@@ -383,6 +383,106 @@ class TestErrorsAndTimeouts:
                 conn.request("execute", session=s.sid, query="edges")
 
 
+# -- late-response reaping: a client timeout must not leak server handles ---------
+
+#: Seven gated rows on the 8-node path graph (the edge sources): with a
+#: small chunk the reply carries a server-side cursor handle.
+GATE_MANY_QUERY = (
+    r"(ext(\x:D. {@gate(x)}))((ext(\e:D x D. {pi1(e)}))(edges))"
+)
+
+
+class TestLateResponseReaping:
+    def test_timed_out_execute_frees_server_cursor(self, gated_server):
+        """The leak: an abandoned execute reply carries a live cursor id."""
+        srv = gated_server
+        with connect(srv.host, srv.port) as conn:
+            s = conn.session()
+            # Sanity: with the gate open this query really needs a cursor.
+            _GATE.set()
+            cur = s.execute(GATE_MANY_QUERY, chunk=2)
+            assert cur._cid is not None
+            assert s.stats()["cursors"] == 1
+            cur.close()
+            assert s.stats()["cursors"] == 0
+            # Now time out client-side while the oracle blocks.
+            _GATE.clear()
+            with pytest.raises(ServiceTimeout):
+                s.execute(GATE_MANY_QUERY, chunk=2, timeout=0.2)
+            assert conn._abandoned  # the request is tracked for reaping
+            _GATE.set()
+            # The late response arrives, its cursor handle is reaped -- the
+            # registry drains to zero instead of holding it until close.
+            assert _poll(lambda: not conn._abandoned)
+            assert _poll(lambda: s.stats()["cursors"] == 0)
+            # And the connection stays usable.
+            assert len(s.execute("edges").fetchall()) == 7
+            s.close()
+
+    def test_timed_out_materialize_frees_server_view(self, gated_server):
+        srv = gated_server
+        with connect(srv.host, srv.port) as conn:
+            s = conn.session()
+            with pytest.raises(ServiceTimeout):
+                conn.request(
+                    "materialize", timeout=0.2, session=s.sid,
+                    query=GATE_QUERY, name="late", subscribe=True,
+                )
+            assert conn._abandoned
+            _GATE.set()
+            assert _poll(lambda: not conn._abandoned)
+            assert _poll(lambda: s.stats()["views"] == 0)
+            assert conn.views() == []
+            s.close()
+
+    def test_close_statement_frees_server_handle(self, server):
+        with connect(server.host, server.port) as conn, conn.session() as s:
+            stmt = s.prepare(reach_query())
+            assert s.stats()["statements"] == 1
+            stmt.close()
+            assert s.stats()["statements"] == 0
+            stmt.close()  # idempotent
+
+    def test_status_stays_responsive_and_reports_router(self, gated_server):
+        """status must answer while a query blocks (no engine-lock deadlock)."""
+        srv = gated_server
+        with connect(srv.host, srv.port) as conn:
+            s = conn.session()
+            t = threading.Thread(
+                target=lambda: s.execute(GATE_QUERY, timeout=30).fetchall()
+            )
+            t.start()
+            try:
+                assert _poll(lambda: conn.status()["inflight"] == 1)
+                status = conn.status()  # would hang if status took the engine lock
+                assert "router" in status
+            finally:
+                _GATE.set()
+                t.join(timeout=30)
+            s.close()
+
+
+class TestAutoBackendService:
+    def test_auto_server_routes_and_reports_stats(self):
+        srv = QueryServer(
+            db=graph_database(8, "path", mutable=True), backend="auto"
+        )
+        srv.start_in_thread()
+        try:
+            with connect(srv.host, srv.port) as conn:
+                assert conn.status()["router"] is None  # nothing routed yet
+                with conn.session() as s:
+                    stmt = s.prepare(reach_query())
+                    rows = stmt.execute(src=0).fetchall()
+                    assert set(rows) == expected_reach(0, 8)
+                    router = conn.status()["router"]
+                    assert router["routes"] >= 1
+                    assert sum(router["backends"].values()) >= 1
+                    assert s.stats()["stats"]["routes"] >= 1
+        finally:
+            srv.stop()
+
+
 # -- wire-level misbehaviour against the live listener ----------------------------
 
 def _raw_connect(srv) -> socket.socket:
