@@ -19,7 +19,9 @@
 # live-server integration, client SDK, CLI — all unmarked-slow, so
 # `test-fast` runs them too); `test-router` selects the router-marked
 # suites (cost estimation, catalog statistics, routing policy, join
-# reordering, adaptation, auto-backend integration); `serve` starts a
+# reordering, adaptation, auto-backend integration); `test-obs` selects
+# the obs-marked suites (span tracing, metrics registry, explain-analyze
+# profiling, service metrics/trace ops, slow-query log); `serve` starts a
 # network query server on
 # a demo graph (override WORKLOAD/PORT, e.g.
 # `make serve WORKLOAD=random:128 PORT=7433`); `bench-service` runs
@@ -33,7 +35,7 @@ export PYTHONPATH := src
 WORKLOAD ?= path:64
 PORT ?= 7432
 
-.PHONY: test test-fast test-ivm test-dred test-columnar test-service test-router serve bench bench-engine bench-all bench-all-quick bench-check bench-ivm bench-service docs-check
+.PHONY: test test-fast test-ivm test-dred test-columnar test-service test-router test-obs serve bench bench-engine bench-all bench-all-quick bench-check bench-ivm bench-service docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -55,6 +57,9 @@ test-service:
 
 test-router:
 	$(PYTHON) -m pytest -q -m router
+
+test-obs:
+	$(PYTHON) -m pytest -q -m obs
 
 serve:
 	$(PYTHON) -m repro.service.cli serve --workload $(WORKLOAD) --port $(PORT)

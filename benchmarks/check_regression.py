@@ -25,9 +25,10 @@ Beyond the vectorized/memo families the chain also holds the parallel
 backend to its overlap (1.5x) and flat-fixpoint (2x) bars, the PR-7 flat
 dense-id kernels to their 3x object-kernel bar, incremental view
 maintenance to its 5x recompute bars, the PR-8 network query service to
-its 25 q/s wire-throughput floor, and the PR-9 adaptive router to its
-hand-picked-backend regret bar -- every guard refuses to pass when its
-row is missing from the fresh run, so a silently dropped workload cannot
+its 25 q/s wire-throughput floor, the PR-9 adaptive router to its
+hand-picked-backend regret bar, and the PR-10 observability layer to its
+default-path overhead bar -- every guard refuses to pass when its row is
+missing from the fresh run, so a silently dropped workload cannot
 masquerade as a green check.
 
 Wired into ``make bench-check`` and the GitHub Actions workflow.
@@ -108,6 +109,17 @@ SERVICE_QPS_FLOOR = 25.0
 #: so 1.25 only trips on a real mis-route, not on jitter.
 ROUTER_ACCEPTANCE_NAME = "router-auto-regret"
 ROUTER_REGRET_BAR = 1.25
+
+#: The PR-10 observability bar: the shipped default path (metrics on,
+#: tracing off) held to an overhead ratio against the fully-disabled path.
+#: The full suite gates at 1.03; the quick workload's per-iteration time is
+#: small enough that scheduler noise alone moves the ratio by a few percent,
+#: so the quick guard allows 1.15 -- historically the quick ratio sits at
+#: ~1.01, so 1.15 only trips on a structural break (an instrument on the
+#: per-tuple path, tracing accidentally armed by default), not on jitter.
+#: The ``trace-overhead`` row is deliberately NOT gated: tracing is opt-in.
+OBS_ACCEPTANCE_NAME = "obs-overhead"
+OBS_OVERHEAD_BAR = 1.15
 
 
 def run_quick_suite(output: Path) -> None:
@@ -349,6 +361,42 @@ def check_router(fresh_rows: list[dict], baseline_rows: list[dict]) -> int:
         print(f"REGRESSION: auto-routing regret above {ROUTER_REGRET_BAR}x")
         return 1
     print(f"the adaptive router stays within the {ROUTER_REGRET_BAR}x regret bar")
+    return check_obs(fresh_rows, baseline_rows)
+
+
+def check_obs(fresh_rows: list[dict], baseline_rows: list[dict]) -> int:
+    """Hold the observability default path to its overhead bar."""
+    rows = [r for r in fresh_rows if r["name"] == OBS_ACCEPTANCE_NAME]
+    print(f"== observability guard (bar: default path within "
+          f"{OBS_OVERHEAD_BAR}x of fully disabled on {OBS_ACCEPTANCE_NAME})")
+    if not rows:
+        print(f"observability acceptance row missing from the fresh run "
+              f"({OBS_ACCEPTANCE_NAME}) -- refusing to pass")
+        return 1
+    committed = {
+        r["name"]: r.get("overhead")
+        for r in baseline_rows
+        if r.get("family") == "obs"
+    }
+    failures = []
+    for row in rows:
+        overhead = row.get("overhead", float("inf"))
+        committed_overhead = committed.get(row["name"])
+        drift = (
+            f"  (committed full-suite: {committed_overhead:.3f}x)"
+            if committed_overhead
+            else ""
+        )
+        verdict = "ok" if overhead <= OBS_OVERHEAD_BAR else "FAIL"
+        print(f"  {row['name']:>22} n={row['n']:<4} overhead {overhead:6.3f}x  "
+              f"{verdict}{drift}")
+        if overhead > OBS_OVERHEAD_BAR:
+            failures.append(row)
+    if failures:
+        print(f"REGRESSION: observability overhead above {OBS_OVERHEAD_BAR}x")
+        return 1
+    print(f"the observability default path stays within the "
+          f"{OBS_OVERHEAD_BAR}x overhead bar")
     return 0
 
 

@@ -775,6 +775,107 @@ SERVICE_QPS_FLOOR = 25.0
 #: so a fast leg cannot hide a slow one behind its own noise floor.
 ROUTER_REGRET_BAR = 1.10
 
+#: The PR-10 observability bar: the shipped default path (metrics on,
+#: tracing off) must stay within 3% of the fully-disabled path on a warm
+#: steady-state workload.  This is the cost every query pays for the
+#: observability layer existing; the traced path is measured alongside but
+#: ungated (turning tracing on is a deliberate choice, not a default).
+OBS_OVERHEAD_BAR = 1.03
+
+
+def _obs_overhead_workload(quick: bool) -> list[dict]:
+    """The PR-10 observability rows: default-path overhead (gated) + tracing cost.
+
+    One warm vectorized engine, the TC workload, three configurations
+    timed interleaved best-of-5 (the ratio is gated, so a contention
+    window must inflate both sides): everything off, the shipped default
+    (metrics on / tracing off), and tracing forced on.  The gated
+    ``obs-overhead`` ratio is default/off -- the per-query cost of the
+    metrics counter + latency histogram plus every ``TRACER.enabled``
+    check on the disabled fast path.  The ungated ``trace-overhead`` row
+    records what full span collection costs when a user opts in.
+    """
+    from repro.obs.metrics import METRICS
+    from repro.obs.trace import TRACER
+
+    n = 32 if quick else 64
+    iters = 15 if quick else 30
+    query = reachable_pairs_query("logloop")
+    value = path_graph(n).value()
+    eng = Engine(backend="vectorized")
+    want = eng.run(query, value)  # warm plans + compiled closures
+
+    def timed() -> tuple[float, object]:
+        r = None
+        t0 = time.perf_counter()
+        for _ in range(iters):
+            r = eng.run(query, value)
+        return time.perf_counter() - t0, r
+
+    t_off = t_default = t_traced = float("inf")
+    r_off = r_default = r_traced = None
+    prev_metrics = METRICS.enabled
+    try:
+        for _ in range(5):
+            METRICS.enabled = False
+            TRACER.disable()
+            t, r_off = timed()
+            t_off = min(t_off, t)
+
+            METRICS.enabled = True
+            t, r_default = timed()
+            t_default = min(t_default, t)
+
+            TRACER.enable()
+            t, r_traced = timed()
+            t_traced = min(t_traced, t)
+            TRACER.disable()
+    finally:
+        METRICS.enabled = prev_metrics
+        TRACER.disable()
+        TRACER.clear()
+
+    checked = r_off == want and r_default == want and r_traced == want
+    if not checked:
+        raise AssertionError("obs-overhead: instrumented runs changed the result")
+    overhead = t_default / t_off if t_off > 0 else float("inf")
+    trace_overhead = t_traced / t_off if t_off > 0 else float("inf")
+    return [
+        {
+            "name": "obs-overhead",
+            "family": "obs",
+            "n": n,
+            "acceptance": not quick,
+            "iters": iters,
+            "times_s": {"disabled": t_off, "default": t_default},
+            "speedups": {},
+            "overhead": overhead,
+            "checked": checked,
+        },
+        {
+            "name": "trace-overhead",
+            "family": "obs",
+            "n": n,
+            "acceptance": False,  # opt-in cost, recorded for drift
+            "iters": iters,
+            "times_s": {"disabled": t_off, "traced": t_traced},
+            "speedups": {},
+            "overhead": trace_overhead,
+            "checked": checked,
+        },
+    ]
+
+
+def _print_obs(rows: list[dict]) -> None:
+    for r in rows:
+        t = r["times_s"]
+        other = "default" if "default" in t else "traced"
+        print(f"  {r['name']:<22}  n={r['n']:>4}  "
+              f"disabled {t['disabled']*1e3:8.1f}ms  "
+              f"{other} {t[other]*1e3:8.1f}ms  "
+              f"overhead {r['overhead']:5.3f}x"
+              f"{'  *' if r['acceptance'] else ''}")
+
 
 def _router_regret_workload(quick: bool) -> dict:
     """The PR-9 router acceptance row: auto's regret vs hand-picked backends.
@@ -1179,6 +1280,8 @@ def main(argv: list[str] | None = None) -> int:
     rows.extend(router_rows)
     network_rows = _service_workloads(args.quick)
     rows.extend(network_rows)
+    obs_rows = _obs_overhead_workload(args.quick)
+    rows.extend(obs_rows)
 
     report = {
         "meta": {
@@ -1197,7 +1300,7 @@ def main(argv: list[str] | None = None) -> int:
     _print_table([r for r in rows
                   if r["family"] not in ("query-service", "parallel",
                                          "incremental", "columnar", "service",
-                                         "router")])
+                                         "router", "obs")])
     print("-- query-service (PR-3 API layer)")
     _print_query_service(service_rows)
     print("-- flat-column kernels (PR-7 dense-id arrays)")
@@ -1210,6 +1313,8 @@ def main(argv: list[str] | None = None) -> int:
     _print_router(router_rows)
     print("-- network query service (PR-8 asyncio server + wire protocol)")
     _print_service(network_rows)
+    print("-- observability (PR-10 tracing, metrics, profiling)")
+    _print_obs(obs_rows)
 
     if not args.quick:
         # Per-row bars inside the parallel family: the overlap row gates at
@@ -1221,7 +1326,7 @@ def main(argv: list[str] | None = None) -> int:
             if r["acceptance"]
             and r["family"] not in ("query-service", "parallel",
                                     "incremental", "columnar", "service",
-                                    "router")
+                                    "router", "obs")
             and r["speedups"].get("vectorized_vs_memo", 0.0) < 3.0
         ]
         failures += [
@@ -1261,6 +1366,12 @@ def main(argv: list[str] | None = None) -> int:
             and r["family"] == "service"
             and r.get("qps", 0.0) < SERVICE_QPS_FLOOR
         ]
+        failures += [
+            r for r in rows
+            if r["acceptance"]
+            and r["family"] == "obs"
+            and r.get("overhead", float("inf")) > OBS_OVERHEAD_BAR
+        ]
         if failures:
             names = [f"{r['name']} (n={r['n']})" for r in failures]
             print(f"ACCEPTANCE FAILED on {names}")
@@ -1273,7 +1384,8 @@ def main(argv: list[str] | None = None) -> int:
               f"service sustained >= {SERVICE_QPS_FLOOR:.0f} q/s "
               "over 8 concurrent wire clients; auto routing within "
               f"{(ROUTER_REGRET_BAR - 1.0):.0%} of the best hand-picked "
-              "backend per regret leg")
+              "backend per regret leg; observability default path within "
+              f"{(OBS_OVERHEAD_BAR - 1.0):.0%} of fully disabled")
     return 0
 
 

@@ -40,6 +40,7 @@ from ..engine.router import placeholder_value
 from ..nra.ast import Expr, Lambda, free_variables
 from ..nra.externals import EMPTY_SIGMA, Signature
 from ..objects.values import Value, from_python
+from ..obs.profile import QueryProfile
 from .catalog import Database
 from .cursor import Cursor
 from .prepare import PreparedStatement, lift_constants
@@ -222,6 +223,38 @@ class Session:
 
     def _execute_prepared(self, ps: PreparedStatement, params: dict) -> Cursor:
         return self.execute(ps, params=params)
+
+    def explain_analyze(
+        self,
+        query: Runnable,
+        params: Optional[dict] = None,
+        optimize: bool = True,
+    ) -> QueryProfile:
+        """Execute once with per-plan-node instrumentation (explain analyze).
+
+        Runs the query through :meth:`repro.engine.Engine.profile`: a
+        throwaway instrumented vectorized evaluator measures actual time,
+        rows, and call counts per plan node, rendered beside the
+        work/depth cost-semantics prediction -- ``print(profile)`` shows
+        the annotated tree.  Counts as one execute in the session stats
+        (profiled runs never touch the engine's steady-state compile
+        caches); the result is available as ``profile.result``.
+        """
+        self._check_open()
+        template, ptypes, defaults, _ = self._template_of(query)
+        env = dict(self._environment())
+        env.update(self._bind(ptypes, defaults, params))
+        with self.engine.lock:
+            before_misses = self.engine.plan_misses
+            before_hits = self.engine.plan_hits
+            profile = self.engine.profile(template, env=env, optimize=optimize)
+            misses = self.engine.plan_misses - before_misses
+            hits = self.engine.plan_hits - before_hits
+        with self._lock:
+            self.stats.executes += 1
+            self.stats.rewrites += misses
+            self.stats.plan_hits += hits
+        return profile
 
     def executemany(
         self,

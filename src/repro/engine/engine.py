@@ -65,6 +65,9 @@ from ..nra.eval import run as reference_run
 from ..nra.externals import EMPTY_SIGMA, Signature
 from ..nra.pretty import pretty
 from ..objects.values import Value, from_python
+from ..obs.metrics import METRICS
+from ..obs.profile import PlanProfiler, QueryProfile
+from ..obs.trace import TRACER
 from ..relational.relation import Relation
 from .interning import InternTable
 from .memo import MemoEvaluator, MemoStats
@@ -249,6 +252,18 @@ class Engine:
         # Serializes access to every engine-scoped cache; see the class
         # docstring's concurrency note.
         self._lock = threading.RLock()
+        # Observability: every engine shares the process-wide registry's
+        # direct query counter + latency histogram, and contributes a
+        # scrape-time collector (held by weak reference, so registration
+        # never outlives the engine) that flattens the per-subsystem stats
+        # bags into ``repro_``-prefixed metric names.
+        self._m_queries = METRICS.counter(
+            "repro_queries_total", "engine run/run_many calls"
+        )
+        self._m_latency = METRICS.histogram(
+            "repro_query_seconds", help="engine query wall time (seconds)"
+        )
+        METRICS.register_collector(self._metrics_sample)
 
     @property
     def lock(self) -> threading.RLock:
@@ -281,7 +296,12 @@ class Engine:
             plan = self._plans.get(e)
             if plan is None:
                 self.plan_misses += 1
-                optimized, firings = self.rewriter.rewrite(e)
+                if TRACER.enabled:
+                    with TRACER.span("rewrite") as sp:
+                        optimized, firings = self.rewriter.rewrite(e)
+                        sp.set(rules_fired=len(firings))
+                else:
+                    optimized, firings = self.rewriter.rewrite(e)
                 plan = Plan(e, optimized, firings)
                 self._plans[e] = plan
             else:
@@ -371,11 +391,20 @@ class Engine:
         Monotone; callers (the session stats layer) difference it around
         calls to attribute compile work.  Complements ``last_stats``, which
         only describes the most recent ``run``/``run_many``.
+
+        Includes compiles performed *inside* the parallel backend's worker
+        threads (mirrored into ``ParStats.worker_compiles`` at the end of
+        every parallel run), so a routed template that re-routes to the
+        parallel backend mid-stream still attributes its recompiles to the
+        session that triggered them.
         """
         with self._lock:
-            if self._vectorized is None:
-                return 0
-            return self._vectorized.stats.compiled_exprs
+            total = 0
+            if self._vectorized is not None:
+                total = self._vectorized.stats.compiled_exprs
+            if self._parallel is not None:
+                total += self._parallel.stats.worker_compiles
+            return total
 
     # -- evaluation ---------------------------------------------------------------
 
@@ -399,20 +428,33 @@ class Engine:
         """
         chosen = self._backend(backend)
         with self._lock:
-            expr = self.optimize(e).optimized if optimize else e
-            arg = self._to_value(db)
-            if chosen == "auto":
-                decision = self.router().route(expr, arg=arg, env=env)
-                t0 = perf_counter()
-                result = self._execute(
-                    decision.backend, decision.expr, arg, env,
-                    shards=decision.shards,
-                )
-                self.router().record_runtime(
-                    expr, decision.backend, perf_counter() - t0
-                )
+            with TRACER.span("query", backend=chosen) as sp:
+                t_start = perf_counter()
+                expr = self.optimize(e).optimized if optimize else e
+                arg = self._to_value(db)
+                if chosen == "auto":
+                    decision = self.router().route(expr, arg=arg, env=env)
+                    if sp is not None:
+                        sp.set(
+                            backend=decision.backend, route=decision.reason,
+                            shards=decision.shards,
+                        )
+                    t0 = perf_counter()
+                    result = self._execute(
+                        decision.backend, decision.expr, arg, env,
+                        shards=decision.shards,
+                    )
+                    self.router().record_runtime(
+                        expr, decision.backend, perf_counter() - t0
+                    )
+                else:
+                    result = self._execute(chosen, expr, arg, env)
+                if sp is not None:
+                    els = getattr(result, "elements", None)
+                    if isinstance(els, (frozenset, set, tuple, list)):
+                        sp.set(rows=len(els))
+                self._observe_query(perf_counter() - t_start)
                 return result
-            return self._execute(chosen, expr, arg, env)
 
     def _execute(
         self,
@@ -467,22 +509,36 @@ class Engine:
         """
         chosen = self._backend(backend)
         with self._lock:
-            expr = self.optimize(e).optimized if optimize else e
-            args = [self._to_value(db) for db in inputs]
-            if chosen == "auto":
-                # Route from the first input (the batch shares one template);
-                # record the *per-input* runtime so batch and single runs
-                # feed the same adaptation scale.
-                first = args[0] if args else None
-                decision = self.router().route(expr, arg=first, env=env)
-                t0 = perf_counter()
-                out = self._execute_many(decision.backend, decision.expr, args, env)
-                if args:
-                    self.router().record_runtime(
-                        expr, decision.backend, (perf_counter() - t0) / len(args)
+            with TRACER.span("query", backend=chosen) as sp:
+                t_start = perf_counter()
+                expr = self.optimize(e).optimized if optimize else e
+                args = [self._to_value(db) for db in inputs]
+                if sp is not None:
+                    sp.set(batch=len(args))
+                if chosen == "auto":
+                    # Route from the first input (the batch shares one
+                    # template); record the *per-input* runtime so batch and
+                    # single runs feed the same adaptation scale.
+                    first = args[0] if args else None
+                    decision = self.router().route(expr, arg=first, env=env)
+                    if sp is not None:
+                        sp.set(
+                            backend=decision.backend, route=decision.reason,
+                            shards=decision.shards,
+                        )
+                    t0 = perf_counter()
+                    out = self._execute_many(
+                        decision.backend, decision.expr, args, env
                     )
+                    if args:
+                        self.router().record_runtime(
+                            expr, decision.backend,
+                            (perf_counter() - t0) / len(args),
+                        )
+                else:
+                    out = self._execute_many(chosen, expr, args, env)
+                self._observe_query(perf_counter() - t_start)
                 return out
-            return self._execute_many(chosen, expr, args, env)
 
     def _execute_many(
         self, chosen: str, expr: Expr, args: list, env: Optional[dict]
@@ -506,6 +562,90 @@ class Engine:
         evaluator = MemoEvaluator(self.sigma, self.interner)
         out = [evaluator.run(expr, arg=a, env=env) for a in args]
         self.last_stats = evaluator.stats
+        return out
+
+    # -- profiling and metrics ----------------------------------------------------
+
+    def profile(
+        self,
+        e: Expr,
+        db=None,
+        env: Optional[dict] = None,
+        optimize: bool = True,
+    ) -> QueryProfile:
+        """Execute ``e`` with per-plan-node instrumentation (explain analyze).
+
+        Runs the query on a **fresh** vectorized evaluator whose compiler
+        wraps every cached closure with timing + cardinality accounting --
+        the engine's steady-state compile caches never see instrumented
+        closures, so profiling one query costs the other queries nothing.
+        The throwaway evaluator shares the engine's intern table (safe: we
+        hold the engine lock for the whole profiled run).
+
+        The returned :class:`~repro.obs.profile.QueryProfile` renders the
+        executed plan tree with actual per-node time (inclusive of
+        children), rows, and call counts next to the work/depth
+        cost-semantics prediction (externals stubbed, scaled by the
+        router's calibrated seconds-per-work).
+        """
+        with self._lock:
+            expr = self.optimize(e).optimized if optimize else e
+            arg = self._to_value(db)
+            profiler = PlanProfiler()
+            ev = VectorizedEvaluator(self.sigma, self.interner, flat=self.flat)
+            ev.ctx.profiler = profiler
+            t0 = perf_counter()
+            result = ev.run(expr, arg=arg, env=env)
+            seconds = perf_counter() - t0
+            plan = ev.compile(expr).plan
+            router = self.router()
+            estimate = router.estimate(expr, arg=arg, env=env)
+            predicted_s = (
+                estimate.work * router.seconds_per_work
+                if estimate is not None
+                else None
+            )
+            els = getattr(result, "elements", None)
+            rows = (
+                len(els) if isinstance(els, (frozenset, set, tuple, list))
+                else None
+            )
+            return QueryProfile(
+                plan=plan, result=result, seconds=seconds, rows=rows,
+                estimate=estimate, predicted_s=predicted_s, profiler=profiler,
+            )
+
+    def _observe_query(self, seconds: float) -> None:
+        """Fold one query into the shared registry (a flag check when off)."""
+        if METRICS.enabled:
+            self._m_queries.inc()
+            self._m_latency.observe(seconds)
+
+    def _metrics_sample(self) -> dict:
+        """Scrape-time collector: the per-subsystem stats bags, flattened.
+
+        Called by the registry *without* the engine lock: every value read
+        is a plain int/float attribute (atomic under the GIL), so a scrape
+        racing a run at worst observes a counter one increment stale.
+        """
+        out: dict[str, float] = {
+            "repro_plan_cache_hits_total": self.plan_hits,
+            "repro_plan_cache_misses_total": self.plan_misses,
+        }
+        ev = self._vectorized
+        if ev is not None:
+            s = ev.stats
+            for f in s.__dataclass_fields__:
+                out[f"repro_vec_{f}_total"] = getattr(s, f)
+        pv = self._parallel
+        if pv is not None:
+            s = pv.stats
+            for f in s.__dataclass_fields__:
+                out[f"repro_par_{f}_total"] = getattr(s, f)
+        router = self._router
+        if router is not None:
+            for k, v in router.stats.as_dict().items():
+                out[f"repro_router_{k}_total"] = v
         return out
 
     # -- helpers ------------------------------------------------------------------

@@ -53,6 +53,7 @@ from ...nra import ast
 from ...nra.ast import Expr
 from ...nra.errors import NRAEvalError
 from ...objects.values import SetVal, Value
+from ...obs.trace import TRACER
 from ..vectorized.batch import bind, unbind
 from ..vectorized.flat import CODE_BITS, CODE_MASK, accessor_path
 from .changeset import Changeset
@@ -308,22 +309,31 @@ class MaterializedView:
         if not changeset.touches(self.bases):
             return ViewDelta()
         with self.engine.lock:
-            self._refresh_env(changeset)
-            fallbacks_before = self.stats.fallback_recomputes
-            overdeletes_before = self.stats.dred_overdeletes
-            rederives_before = self.stats.dred_rederives
-            if self.recompute_only:
-                delta = self._recompute_value()
-                self.stats.fallback_recomputes += 1
-            else:
-                root_delta = self._apply_node(self.plan_ops, self._root, changeset)
-                delta = self._commit_root(root_delta)
-            fallback = self.stats.fallback_recomputes > fallbacks_before
-            delta.dred_overdeleted = self.stats.dred_overdeletes - overdeletes_before
-            delta.dred_rederived = self.stats.dred_rederives - rederives_before
-            self.stats.delta_applies += 1
-            self.stats.rows_inserted += len(delta.inserted)
-            self.stats.rows_deleted += len(delta.deleted)
+            with TRACER.span("ivm-apply", view=self.name) as sp:
+                self._refresh_env(changeset)
+                fallbacks_before = self.stats.fallback_recomputes
+                overdeletes_before = self.stats.dred_overdeletes
+                rederives_before = self.stats.dred_rederives
+                if self.recompute_only:
+                    delta = self._recompute_value()
+                    self.stats.fallback_recomputes += 1
+                else:
+                    root_delta = self._apply_node(self.plan_ops, self._root, changeset)
+                    delta = self._commit_root(root_delta)
+                fallback = self.stats.fallback_recomputes > fallbacks_before
+                delta.dred_overdeleted = self.stats.dred_overdeletes - overdeletes_before
+                delta.dred_rederived = self.stats.dred_rederives - rederives_before
+                self.stats.delta_applies += 1
+                self.stats.rows_inserted += len(delta.inserted)
+                self.stats.rows_deleted += len(delta.deleted)
+                if sp is not None:
+                    sp.set(
+                        inserted=len(delta.inserted),
+                        deleted=len(delta.deleted),
+                        dred_overdeleted=delta.dred_overdeleted,
+                        dred_rederived=delta.dred_rederived,
+                        fallback=fallback,
+                    )
         if self._on_apply is not None:
             self._on_apply(self, delta, fallback)
         for listener in list(self._listeners):

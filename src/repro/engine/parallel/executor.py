@@ -32,12 +32,14 @@ canonical representative ever leaks into engine state.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Optional
 
 from ...nra.ast import Expr
 from ...nra.errors import NRAEvalError
 from ...nra.externals import EMPTY_SIGMA, Signature
 from ...objects.values import PairVal, SetVal, Value
+from ...obs.trace import TRACER
 from ...recursion.iterators import log_iterations
 from ..interning import intern_env
 from ..vectorized import VectorizedEvaluator
@@ -67,6 +69,7 @@ class ParStats:
     flat_fixpoint_runs: int = 0  # fixpoints run on the flat-column path
     shm_ships: int = 0         # id-array payloads delivered to shm workers
     array_bytes_shipped: int = 0  # bytes of dense-id arrays across processes
+    worker_compiles: int = 0   # subexpression compiles inside pool workers
 
     def copy(self) -> "ParStats":
         return ParStats(**{f: getattr(self, f) for f in self.__dataclass_fields__})
@@ -197,6 +200,35 @@ class ParallelEvaluator:
         self._specs.clear()
         self.pool.reset()
 
+    def _mirror_worker_compiles(self) -> None:
+        """Fold worker-side compile counts into ``stats`` (stays monotone).
+
+        Thread-pool workers compile shard templates on their own private
+        evaluators; without this mirror, the session layer's differencing
+        of ``Engine.vectorized_compiles()`` misses recompiles a mid-stream
+        reroute triggers inside the pool.  Worker stats survive
+        ``pool.reset()`` (the worker objects live as long as the pool), so
+        assigning the sum is monotone; process/shm workers are invisible
+        across the process boundary and contribute zero -- their compiles
+        are deliberately dropped, never misattributed.
+        """
+        ws = self.pool.worker_stats()
+        if ws:
+            self.stats.worker_compiles = sum(s.compiled_exprs for s in ws)
+
+    def _run_wave(self, tasks: list, kind: str) -> list:
+        """One pool wave, with a driver-side span when tracing is on.
+
+        The driver blocks on the wave, so timing it here attributes all
+        worker activity to the driver's current span -- worker threads and
+        processes never open spans of their own (see the span-correctness
+        tests: merged or dropped, never misparented).
+        """
+        if TRACER.enabled:
+            with TRACER.span("shard-wave", kind=kind, tasks=len(tasks)):
+                return self.pool.run_tasks(tasks)
+        return self.pool.run_tasks(tasks)
+
     def close(self) -> None:
         self.pool.close()
 
@@ -250,6 +282,7 @@ class ParallelEvaluator:
             # there); mirror them so ``stats.since`` sees them per call.
             self.stats.shm_ships = self.pool.shm_ships
             self.stats.array_bytes_shipped = self.pool.array_bytes_shipped
+            self._mirror_worker_compiles()
 
     def _run(
         self,
@@ -289,7 +322,7 @@ class ParallelEvaluator:
         tasks = [
             ShardTask(spec.body, {**env, spec.var: shard}) for shard in shards
         ]
-        results = self.pool.run_tasks(tasks)
+        results = self._run_wave(tasks, "shard")
         self.stats.shard_runs += 1
         self.stats.tasks += len(tasks)
         self.stats.shards += len(shards)
@@ -315,6 +348,7 @@ class ParallelEvaluator:
         finally:
             self.stats.shm_ships = self.pool.shm_ships
             self.stats.array_bytes_shipped = self.pool.array_bytes_shipped
+            self._mirror_worker_compiles()
 
     def _run_many(
         self,
@@ -333,7 +367,7 @@ class ParallelEvaluator:
             ShardTask(e, env, args=tuple(values[i] for i in group))
             for group in groups
         ]
-        grouped = self.pool.run_tasks(tasks)
+        grouped = self._run_wave(tasks, "batch")
         self.stats.batch_runs += 1
         self.stats.batch_inputs += len(values)
         self.stats.tasks += len(tasks)
@@ -391,7 +425,7 @@ class ParallelEvaluator:
             ShardTask(spec.body, {**env, js.left_var: ls, js.right_var: rs})
             for ls, rs in pairs
         ]
-        results = self.pool.run_tasks(tasks)
+        results = self._run_wave(tasks, "join")
         self.stats.join_runs += 1
         self.stats.tasks += len(tasks)
         self.stats.shards += len(pairs)
@@ -469,7 +503,7 @@ class ParallelEvaluator:
                 ShardTask(fix.delta_union, {**base, fix.delta_var: shard})
                 for shard in shards
             ]
-            results = self.pool.run_tasks(tasks)
+            results = self._run_wave(tasks, "fixpoint-round")
             self.stats.fixpoint_rounds += 1
             self.stats.frontier_reshards += 1
             self.stats.tasks += len(tasks)
@@ -555,8 +589,12 @@ class ParallelEvaluator:
             if not shm.setup():
                 shm = None  # deep accessor paths: stay driver-local
         use_threads = self.pool.kind == "thread" and self.workers > 1
+        trace_on = TRACER.enabled  # captured once per fixpoint
         try:
             while done < rounds and loop.frontier:
+                if trace_on:
+                    frontier = loop.frontier_size
+                    rt0 = perf_counter()
                 if shm is not None:
                     shm.run_round()
                     self.stats.tasks += self.workers
@@ -568,6 +606,13 @@ class ParallelEvaluator:
                     self.stats.shards += len(tasks)
                 else:
                     loop.run_round()
+                if trace_on:
+                    TRACER.event(
+                        "fixpoint-round",
+                        seconds=perf_counter() - rt0,
+                        round=done, frontier=frontier,
+                        flat=True, pool=self.pool.kind,
+                    )
                 self.stats.fixpoint_rounds += 1
                 if shm is not None or use_threads:
                     self.stats.frontier_reshards += 1

@@ -55,6 +55,7 @@ from ..nra import ast
 from ..nra.ast import Expr, map_children, subexpressions
 from ..nra.cost import CostDenotation, CostEstimate, estimate_cost
 from ..nra.externals import ExternalFunction, Signature
+from ..nra.pretty import pretty
 from ..objects.types import BaseType, BoolType, ProdType, SetType, Type, UnitType
 from ..objects.values import BaseVal, BoolVal, PairVal, SetVal, UnitVal, Value
 from .vectorized.plan import PlanNode, leaf, node
@@ -180,6 +181,12 @@ class RouteRecord:
     """Everything the router knows about one template."""
 
     decision: RouteDecision
+    #: The cost model's *original* prediction (seconds) and backend for this
+    #: template, frozen at decision time.  ``record_runtime`` overwrites
+    #: ``decision.predicted_s`` with the measured EWMA as it adapts, so the
+    #: predicted-vs-actual accuracy report needs the pristine value here.
+    predicted_s0: Optional[float] = None
+    backend0: str = ""
     runs: int = 0
     total_s: float = 0.0
     #: EWMA of observed seconds per backend actually run.
@@ -295,19 +302,38 @@ class Router:
                 return rec.decision
         self.stats.routes += 1
         expr, swaps = self._reorder_joins(e, env, arg, counts)
-        estimate: Optional[CostEstimate] = None
+        estimate = self.estimate(expr, arg=arg, env=env, counts=counts)
+        decision = self._decide(expr, estimate, swaps)
+        if swaps:
+            self.stats.joins_reordered += swaps
+        self.records[e] = RouteRecord(
+            decision=decision,
+            predicted_s0=decision.predicted_s,
+            backend0=decision.backend,
+        )
+        return decision
+
+    def estimate(
+        self,
+        e: Expr,
+        arg: Optional[Value] = None,
+        env: Optional[Mapping[str, CostDenotation]] = None,
+        counts: Optional[Mapping[str, int]] = None,
+    ) -> Optional[CostEstimate]:
+        """The work/depth estimate for ``e`` with externals stubbed.
+
+        ``None`` (and an ``estimate_failures`` tick) when the cost
+        semantics cannot run the expression -- routing and profiling both
+        degrade gracefully.
+        """
         try:
-            estimate = self.estimator(
-                expr, arg=arg, env=dict(env or {}), sigma=self._stub_sigma,
+            return self.estimator(
+                e, arg=arg, env=dict(env or {}), sigma=self._stub_sigma,
                 counts=counts,
             )
         except Exception:
             self.stats.estimate_failures += 1
-        decision = self._decide(expr, estimate, swaps)
-        if swaps:
-            self.stats.joins_reordered += swaps
-        self.records[e] = RouteRecord(decision=decision)
-        return decision
+            return None
 
     def _decide(
         self, expr: Expr, est: Optional[CostEstimate], swaps: int
@@ -547,7 +573,44 @@ class Router:
         out["templates"] = len(self.records)
         out["backends"] = dict(sorted(by_backend.items()))
         out["seconds_per_work"] = self.seconds_per_work
+        out["accuracy"] = self._accuracy()
         return out
+
+    def _accuracy(self) -> list[dict]:
+        """Per-template predicted-vs-actual cost (the model's report card).
+
+        ``predicted_s`` is the *original* estimate-derived prediction
+        (``RouteRecord.predicted_s0``: adaptation overwrites the live
+        decision's prediction with measured EWMAs, which would make the
+        model grade its own homework); ``measured_s`` is the runtime EWMA
+        of the backend currently routed to (falling back to any measured
+        backend); ``ratio`` is predicted/measured, so 1.0 is a perfect
+        model, >1 overestimates, <1 underestimates.
+        """
+        report: list[dict] = []
+        for e, rec in self.records.items():
+            if rec.predicted_s0 is None or not rec.measured:
+                continue
+            measured = rec.measured.get(rec.decision.backend)
+            if measured is None:
+                measured = next(iter(rec.measured.values()))
+            if measured <= 0:
+                continue
+            label = pretty(e)
+            if len(label) > 80:
+                label = label[:77] + "..."
+            report.append(
+                {
+                    "template": label,
+                    "backend": rec.decision.backend,
+                    "predicted_backend": rec.backend0,
+                    "predicted_s": rec.predicted_s0,
+                    "measured_s": measured,
+                    "ratio": rec.predicted_s0 / measured,
+                    "runs": rec.runs,
+                }
+            )
+        return report
 
     def clear(self) -> None:
         """Forget all decisions (paired with ``Engine.clear_plans``)."""

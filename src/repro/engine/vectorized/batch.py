@@ -112,6 +112,12 @@ class BatchContext:
     #: Whether the flat (dense-id array) kernels may run.  Fixed at evaluator
     #: construction; the object kernels remain the fallback either way.
     use_flat: bool = True
+    #: When set (a :class:`repro.obs.profile.PlanProfiler`), the compiler
+    #: wraps every cached closure to record per-plan-node actual time and
+    #: rows.  Only ``Engine.profile`` sets this, on a throwaway evaluator:
+    #: steady-state contexts keep ``None`` and pay a single ``is None``
+    #: check per compile miss.
+    profiler: Optional[object] = None
     _indexes: dict[tuple, dict] = field(default_factory=dict)
     _columns: dict[tuple, object] = field(default_factory=dict)
 

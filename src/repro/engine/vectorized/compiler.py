@@ -45,6 +45,7 @@ the property suite enforce this.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Optional
 
 from ...nra import ast
@@ -78,6 +79,7 @@ from .flat import (
     analyze_flat_terms,
 )
 from .plan import PlanNode, leaf, node
+from ...obs.trace import TRACER
 
 
 class VFunction:
@@ -320,7 +322,14 @@ class PlanCompiler:
     def compile(self, e: Expr) -> Compiled:
         c = self._cache.get(e)
         if c is None:
-            c = self._compile(e)
+            if TRACER.enabled:
+                with TRACER.span("compile", expr=type(e).__name__):
+                    c = self._compile(e)
+            else:
+                c = self._compile(e)
+            profiler = self.ctx.profiler
+            if profiler is not None:
+                c = Compiled(c.plan, profiler.wrap(c.plan, c.fn))
             self._cache[e] = c
             self.ctx.stats.compiled_exprs += 1
         return c
@@ -1007,6 +1016,7 @@ class PlanCompiler:
                         # exact full-iteration path.
                         return _full_run(captured, start, rounds)
                     ctx.stats.seminaive_loops += 1
+                    trace_on = TRACER.enabled  # captured once per run
                     if rounds <= 0:
                         return start
                     vtok = bind(captured, var)
@@ -1029,11 +1039,25 @@ class PlanCompiler:
                             if loop is not None:
                                 while done < rounds and loop.frontier:
                                     ctx.stats.seminaive_rounds += 1
-                                    loop.run_round()
+                                    if trace_on:
+                                        frontier = loop.frontier_size
+                                        rt0 = perf_counter()
+                                        loop.run_round()
+                                        TRACER.event(
+                                            "fixpoint-round",
+                                            seconds=perf_counter() - rt0,
+                                            round=done, frontier=frontier,
+                                            flat=True,
+                                        )
+                                    else:
+                                        loop.run_round()
                                     done += 1
                                 return loop.materialize()
                         while done < rounds and delta.elements:
                             ctx.stats.seminaive_rounds += 1
+                            if trace_on:
+                                frontier = len(delta.elements)
+                                rt0 = perf_counter()
                             captured[var] = acc
                             captured[dv] = delta
                             derived = union_all(
@@ -1044,6 +1068,13 @@ class PlanCompiler:
                             delta = it.difference(nxt, acc)
                             acc = nxt
                             done += 1
+                            if trace_on:
+                                TRACER.event(
+                                    "fixpoint-round",
+                                    seconds=perf_counter() - rt0,
+                                    round=done - 1, frontier=frontier,
+                                    flat=False,
+                                )
                         return acc
                     finally:
                         unbind(captured, dv, dtok)

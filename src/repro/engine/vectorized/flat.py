@@ -437,6 +437,11 @@ class FlatLoop:
         """True while the last round derived something new."""
         return len(self._delta_f) > 0
 
+    @property
+    def frontier_size(self) -> int:
+        """Pairs in the current frontier (trace cardinality; O(1))."""
+        return len(self._delta_f)
+
     def frontier_codes(self) -> array:
         """The current frontier as packed codes (what shm workers receive)."""
         out = array("q", bytes(8 * len(self._delta_f)))

@@ -1,0 +1,176 @@
+"""Cost-vs-actual plan profiling.
+
+The vectorized compiler caches one :class:`Compiled` closure per
+sub-expression; when its :class:`BatchContext` carries a
+:class:`PlanProfiler`, every cached closure is wrapped to accumulate
+wall time, call count, and result cardinality against the *plan node* it
+implements.  ``Engine.profile`` builds a **fresh** instrumented
+evaluator per call (sharing the engine's intern table, under the engine
+lock), so instrumented closures never enter the engine's steady-state
+compile caches and un-profiled queries pay nothing.
+
+Timings are **inclusive**: a node's seconds include its children's,
+because the compiled closures nest (the hash-join closure calls the
+closures of its inputs).  Rows are the cardinality of the node's last
+result when the result is a set (functions and scalars show ``-``).
+
+:class:`QueryProfile` is what ``Session.explain_analyze`` returns: the
+executed plan tree annotated per node with actual time + rows, next to
+the work/depth cost-semantics prediction for the whole query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Callable, Optional
+
+__all__ = ["NodeProfile", "PlanProfiler", "QueryProfile"]
+
+
+class NodeProfile:
+    """Accumulated actuals for one plan node."""
+
+    __slots__ = ("calls", "seconds", "rows")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.seconds = 0.0
+        self.rows: Optional[int] = None
+
+    def as_dict(self) -> dict:
+        return {"calls": self.calls, "seconds": self.seconds, "rows": self.rows}
+
+
+def _cardinality(v: Any) -> Optional[int]:
+    """Set results report their size; functions/scalars report nothing.
+
+    Duck-typed on ``elements`` so this module needs no import from the
+    value layer (and keeps working for both object and interned sets).
+    """
+    els = getattr(v, "elements", None)
+    if isinstance(els, (frozenset, set, tuple, list)):
+        return len(els)
+    return None
+
+
+class PlanProfiler:
+    """Per-plan-node actuals, keyed by plan-node *identity*.
+
+    Identity, not equality: ``PlanNode`` is a frozen dataclass with
+    structural equality, and two different sub-expressions can compile
+    to equal plan trees that must not share measurements.
+    """
+
+    def __init__(self) -> None:
+        # id(plan) -> (plan, profile); the plan reference keeps the id stable.
+        self._records: dict[int, tuple[Any, NodeProfile]] = {}
+
+    def wrap(self, plan: Any, fn: Callable) -> Callable:
+        rec = self._records.get(id(plan))
+        if rec is None:
+            rec = (plan, NodeProfile())
+            self._records[id(plan)] = rec
+        prof = rec[1]
+
+        def profiled(*args: Any, **kwargs: Any) -> Any:
+            t0 = perf_counter()
+            out = fn(*args, **kwargs)
+            prof.seconds += perf_counter() - t0
+            prof.calls += 1
+            rows = _cardinality(out)
+            if rows is not None:
+                prof.rows = rows
+            return out
+
+        return profiled
+
+    def lookup(self, plan: Any) -> Optional[NodeProfile]:
+        rec = self._records.get(id(plan))
+        return rec[1] if rec is not None else None
+
+    def profiled_nodes(self) -> int:
+        return len(self._records)
+
+
+def _node_lines(node: Any, depth: int, profiler: PlanProfiler) -> list[str]:
+    label = node.op
+    if node.detail:
+        label += f" [{node.detail}]"
+    if node.annotations:
+        label += " (" + ", ".join(node.annotations) + ")"
+    rec = profiler.lookup(node)
+    if rec is not None:
+        rows = "-" if rec.rows is None else str(rec.rows)
+        label += (
+            f"  -- actual {rec.seconds * 1e3:.3f}ms"
+            f" rows={rows} calls={rec.calls}"
+        )
+    lines = ["  " * depth + label]
+    for child in node.children:
+        lines.extend(_node_lines(child, depth + 1, profiler))
+    return lines
+
+
+@dataclass
+class QueryProfile:
+    """An executed plan tree with per-node actuals beside the prediction."""
+
+    plan: Any  # PlanNode
+    result: Any  # the query's denotation (a Value)
+    seconds: float  # total wall time of the profiled execution
+    rows: Optional[int]
+    estimate: Optional[Any]  # CostEstimate from the work/depth semantics
+    predicted_s: Optional[float]  # estimate.work * calibrated seconds-per-work
+    profiler: PlanProfiler
+
+    def render(self) -> str:
+        rows = "-" if self.rows is None else str(self.rows)
+        lines = [
+            f"actual: {self.seconds * 1e3:.3f}ms total, {rows} rows",
+        ]
+        if self.estimate is not None:
+            pred = (
+                f"~{self.predicted_s * 1e3:.3f}ms"
+                if self.predicted_s is not None
+                else "uncalibrated"
+            )
+            lines.append(
+                f"predicted: work={self.estimate.work:.0f}"
+                f" depth={self.estimate.depth:.0f} ({pred})"
+            )
+            if self.predicted_s:
+                lines.append(
+                    f"accuracy: predicted/actual ="
+                    f" {self.predicted_s / max(self.seconds, 1e-12):.2f}x"
+                )
+        else:
+            lines.append("predicted: unavailable (cost estimation failed)")
+        lines.append("")
+        lines.extend(_node_lines(self.plan, 0, self.profiler))
+        return "\n".join(lines)
+
+    __str__ = render
+
+    def as_dict(self) -> dict:
+        def node_dict(node: Any) -> dict:
+            rec = self.profiler.lookup(node)
+            return {
+                "op": node.op,
+                "detail": node.detail,
+                "annotations": list(node.annotations),
+                "actual": rec.as_dict() if rec is not None else None,
+                "children": [node_dict(c) for c in node.children],
+            }
+
+        return {
+            "seconds": self.seconds,
+            "rows": self.rows,
+            "predicted_s": self.predicted_s,
+            "estimate": (
+                {"work": self.estimate.work, "depth": self.estimate.depth}
+                if self.estimate is not None
+                else None
+            ),
+            "plan": node_dict(self.plan),
+        }

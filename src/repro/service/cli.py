@@ -8,6 +8,8 @@ Subcommands::
     status     server health: sessions, queue depth, counters
     sessions   per-session stats as the server attributes them
     views      materialized views across all live sessions
+    metrics    metrics registry snapshot plus the slow-query log
+    trace      execute one query with tracing on, print the span tree
 
 Every read-side command takes ``--json`` for machine consumption; tables
 otherwise.  The implementation is frontend-split on purpose: when `typer`
@@ -134,6 +136,7 @@ def cmd_serve(
     max_sessions: int = 32,
     max_inflight: int = 4,
     max_queue_depth: int = 64,
+    slow_query_s: Optional[float] = None,
 ) -> int:
     db = _demo_database(workload)
     server = QueryServer(
@@ -145,6 +148,7 @@ def cmd_serve(
             max_sessions=max_sessions,
             max_inflight=max_inflight,
             max_queue_depth=max_queue_depth,
+            slow_query_s=slow_query_s,
         ),
     )
     bound_host, bound_port = server.start_in_thread()
@@ -317,6 +321,62 @@ def cmd_views(host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
     return 0
 
 
+def cmd_metrics(host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
+                as_json: bool = False, prometheus: bool = False) -> int:
+    with connect(host, port) as conn:
+        payload = conn.metrics(prometheus=prometheus)
+    if prometheus:
+        print(payload.get("prometheus", ""), end="")
+        return 0
+    if as_json:
+        _emit_json(payload)
+        return 0
+    metrics = payload.get("metrics", {})
+    rows = sorted([[k, v] for k, v in metrics.get("counters", {}).items()])
+    rows += sorted([[k, v] for k, v in metrics.get("gauges", {}).items()])
+    rows += sorted(
+        [[k, f"count={h['count']} sum={h['sum']:.6f}s"]
+         for k, h in metrics.get("histograms", {}).items()]
+    )
+    _emit_table(f"metrics @ {host}:{port}", ["metric", "value"], rows)
+    slow = payload.get("slow_queries", [])
+    threshold = payload.get("slow_query_s")
+    if threshold is None:
+        print("slow-query log: disabled (serve with --slow-query-s)")
+    else:
+        print(f"slow-query log (threshold {threshold}s): {len(slow)} entries")
+        for entry in slow:
+            hot = ", ".join(
+                f"{n['name']} {n['seconds'] * 1e3:.1f}ms"
+                for n in entry.get("hot_nodes", [])
+            )
+            print(f"  {entry['seconds'] * 1e3:.1f}ms  {entry['query']!r} "
+                  f"route={entry.get('route', {})} hot=[{hot}]")
+    return 0
+
+
+def cmd_trace(
+    query: str,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    params: Optional[list[str]] = None,
+    backend: Optional[str] = None,
+    as_json: bool = False,
+) -> int:
+    bindings = _parse_bindings(params or [])
+    with connect(host, port) as conn, conn.session(backend=backend) as s:
+        result = s.trace(query, params=bindings)
+        cur = result["cursor"]
+        total = cur.total
+        cur.close()
+    if as_json:
+        _emit_json({"total": total, "trace": result["trace"]})
+    else:
+        print(f"{total} row(s)")
+        print(result["rendered"])
+    return 0
+
+
 # -- argparse frontend (always available) -----------------------------------------
 
 def _build_argparse():
@@ -339,6 +399,8 @@ def _build_argparse():
     p.add_argument("--max-sessions", type=int, default=32)
     p.add_argument("--max-inflight", type=int, default=4)
     p.add_argument("--max-queue-depth", type=int, default=64)
+    p.add_argument("--slow-query-s", type=float, default=None,
+                   help="arm the slow-query log at this threshold (seconds)")
 
     p = sub.add_parser("query", help="execute one query and stream rows")
     common(p)
@@ -368,6 +430,19 @@ def _build_argparse():
         common(p)
         p.add_argument("--json", action="store_true")
 
+    p = sub.add_parser("metrics", help="metrics snapshot + slow-query log")
+    common(p)
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--prometheus", action="store_true",
+                   help="print the Prometheus text exposition instead")
+
+    p = sub.add_parser("trace", help="execute one query with tracing on")
+    common(p)
+    p.add_argument("query", help="NRA concrete syntax, e.g. 'edges'")
+    p.add_argument("--param", action="append", default=[], metavar="NAME=JSON")
+    p.add_argument("--backend", default=None)
+    p.add_argument("--json", action="store_true")
+
     return parser
 
 
@@ -381,6 +456,7 @@ def main(argv: Optional[list[str]] = None) -> int:
                 backend=args.backend, max_sessions=args.max_sessions,
                 max_inflight=args.max_inflight,
                 max_queue_depth=args.max_queue_depth,
+                slow_query_s=args.slow_query_s,
             )
         if args.command == "query":
             return cmd_query(
@@ -400,6 +476,13 @@ def main(argv: Optional[list[str]] = None) -> int:
             return cmd_sessions(args.host, args.port, args.json)
         if args.command == "views":
             return cmd_views(args.host, args.port, args.json)
+        if args.command == "metrics":
+            return cmd_metrics(args.host, args.port, args.json, args.prometheus)
+        if args.command == "trace":
+            return cmd_trace(
+                args.query, host=args.host, port=args.port,
+                params=args.param, backend=args.backend, as_json=args.json,
+            )
     except (ServiceError, ValueError, OSError) as exc:
         print(f"repro-cli: error: {exc}", file=sys.stderr)
         return 1
@@ -458,6 +541,21 @@ if typer is not None:  # pragma: no cover - needs the optional dependency
     def views(host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
               json_out: bool = typer.Option(False, "--json")):
         raise typer.Exit(cmd_views(host, port, json_out))
+
+    @app.command()
+    def metrics(host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
+                json_out: bool = typer.Option(False, "--json"),
+                prometheus: bool = typer.Option(False, "--prometheus")):
+        raise typer.Exit(cmd_metrics(host, port, json_out, prometheus))
+
+    @app.command()
+    def trace(
+        query: str, host: str = DEFAULT_HOST, port: int = DEFAULT_PORT,
+        param: list[str] = typer.Option([], "--param"),
+        backend: Optional[str] = None,
+        json_out: bool = typer.Option(False, "--json"),
+    ):
+        raise typer.Exit(cmd_trace(query, host, port, param, backend, json_out))
 
 
 if __name__ == "__main__":

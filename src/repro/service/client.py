@@ -288,6 +288,16 @@ class RemoteConnection:
         reply = self.request("status")
         return {k: v for k, v in reply.items() if k not in ("id", "ok")}
 
+    def metrics(self, prometheus: bool = False) -> dict:
+        """The server's metrics snapshot plus its slow-query log.
+
+        With ``prometheus=True`` the reply also carries the text
+        exposition under ``"prometheus"``.
+        """
+        fields = {"format": "prometheus"} if prometheus else {}
+        reply = self.request("metrics", **fields)
+        return {k: v for k, v in reply.items() if k not in ("id", "ok")}
+
     def sessions(self) -> list[dict]:
         return self.request("sessions")["sessions"]
 
@@ -416,6 +426,39 @@ class RemoteSession:
         vid = reply["view"]
         notify_q = self.conn._subscribe(self.sid, vid) if subscribe else None
         return RemoteView(self, vid, reply["name"], reply["rows"], notify_q)
+
+    def trace(
+        self,
+        query: Shippable,
+        params: Optional[dict] = None,
+        chunk: int = 512,
+        timeout: Optional[float] = None,
+        **named,
+    ) -> dict:
+        """Execute once with tracing forced on; returns the span tree.
+
+        The reply dict carries ``"trace"`` (the nested span tree as plain
+        data), ``"rendered"`` (an indented text rendering), and
+        ``"cursor"`` (a :class:`RemoteCursor` over the result).  Lifted
+        constants travel as ordinary parameter bindings since the trace
+        op takes template text only.
+        """
+        text, types, defaults, _ = self._ship(query)
+        payload = dict(defaults)
+        payload.update(self._params_payload(params, named))
+        reply = self.conn.request(
+            "trace",
+            timeout=timeout,
+            session=self.sid,
+            query=text,
+            params=payload,
+            chunk=chunk,
+        )
+        return {
+            "trace": reply["trace"],
+            "rendered": reply["rendered"],
+            "cursor": RemoteCursor(self, reply, chunk),
+        }
 
     # -- updates ------------------------------------------------------------------
 

@@ -11,6 +11,12 @@ payload shape:
   ``{"id": n, "ok": false, "error": {...}}``, and unsolicited **push
   frames** ``{"push": "notify", ...}`` carrying materialized-view deltas.
 
+Observability rides on the same request/response shapes -- ``op:
+"metrics"`` returns the metrics-registry snapshot plus the slow-query
+log, and ``op: "trace"`` executes one query with tracing forced on and
+replies with the span tree beside the usual cursor fields -- so neither
+needed a framing or version change.
+
 The first exchange is the handshake: the client sends ``op: "hello"`` with
 its ``protocol`` pair and the server either accepts (echoing the negotiated
 version, the database schema, and its frame-size limit) or rejects with

@@ -42,9 +42,12 @@ Admission control is three independent gates, all answering with the typed
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import threading
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Optional
 
 from ..api.catalog import Database
@@ -57,6 +60,8 @@ from ..nra.parser import parse
 from ..objects.encoding import from_jsonable, to_jsonable
 from ..objects.types import format_type, parse_type
 from ..objects.values import SetVal
+from ..obs.metrics import METRICS
+from ..obs.trace import TRACER
 from .protocol import (
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -84,6 +89,10 @@ class ServerConfig:
     max_frame_bytes: int = MAX_FRAME_BYTES
     chunk_rows: int = 512
     workers: int = 4
+    #: Slow-query log threshold (seconds).  ``None`` disables the log and
+    #: its per-query span entirely; setting it enables the process tracer
+    #: so logged entries carry the route decision and hottest plan nodes.
+    slow_query_s: Optional[float] = None
 
 
 @dataclass
@@ -160,6 +169,13 @@ class QueryServer:
         self.stats = ServerStats()
         self.host: Optional[str] = None
         self.port: Optional[int] = None
+        #: Bounded slow-query log (newest last); served by the ``metrics``
+        #: op.  Armed by ``ServerConfig.slow_query_s``, which also turns
+        #: the process tracer on so entries carry real span trees.
+        self.slow_queries: deque = deque(maxlen=64)
+        if self.config.slow_query_s is not None:
+            TRACER.enable()
+        METRICS.register_collector(self._metrics_sample)
         self._lock = threading.Lock()
         self._sessions: dict[str, _SessionState] = {}
         self._next_sid = 0
@@ -398,10 +414,55 @@ class QueryServer:
                 )
             self._queue_depth += 1
         try:
-            return await self._loop.run_in_executor(self._executor, fn)
+            # Run under a copy of the calling task's context so tracer
+            # spans opened around the await parent spans opened inside
+            # the executor thread (contextvars do not cross threads).
+            ctx = contextvars.copy_context()
+            return await self._loop.run_in_executor(self._executor, ctx.run, fn)
         finally:
             with self._lock:
                 self._queue_depth -= 1
+
+    async def _offload_query(self, st: _SessionState, label: str, fn):
+        """Offload a query, feeding the slow-query log when armed."""
+        threshold = self.config.slow_query_s
+        if threshold is None:
+            return await self._offload(fn)
+        with TRACER.span("request", query=label, session=st.sid) as span:
+            t0 = perf_counter()
+            result = await self._offload(fn)
+            seconds = perf_counter() - t0
+        if seconds >= threshold:
+            self._record_slow(st, label, seconds, span)
+        return result
+
+    def _record_slow(self, st, label: str, seconds: float, span) -> None:
+        entry = {
+            "query": label,
+            "session": st.sid,
+            "seconds": seconds,
+        }
+        query_span = span.find("query") if hasattr(span, "find") else None
+        if query_span is not None:
+            entry["route"] = {
+                k: query_span.attrs[k]
+                for k in ("backend", "route", "shards")
+                if k in query_span.attrs
+            }
+        if hasattr(span, "hottest"):
+            entry["hot_nodes"] = [
+                {"name": s.name, "seconds": s.seconds, "attrs": dict(s.attrs)}
+                for s in span.hottest(3)
+            ]
+        with self._lock:
+            self.slow_queries.append(entry)
+
+    def _metrics_sample(self) -> dict:
+        """Scrape-time collector: server counters as prometheus names."""
+        return {
+            f"repro_service_{f}_total": getattr(self.stats, f)
+            for f in self.stats.__dataclass_fields__
+        }
 
     def _admit(self, st: _SessionState) -> None:
         with self._lock:
@@ -507,7 +568,8 @@ class QueryServer:
                     backend=frame.get("backend", st.backend),
                 )
 
-            cursor = await self._offload(work)
+            cursor = await self._offload_query(
+                st, frame.get("query", "execute"), work)
         finally:
             self._release(st)
         return self._cursor_reply(st, cursor, chunk)
@@ -536,7 +598,8 @@ class QueryServer:
         params = self._decode_params(frame)
         self._admit(st)
         try:
-            cursor = await self._offload(lambda: ps.execute(params=params))
+            cursor = await self._offload_query(
+                st, ps.label, lambda: ps.execute(params=params))
         finally:
             self._release(st)
         return self._cursor_reply(st, cursor, chunk)
@@ -735,6 +798,46 @@ class QueryServer:
     async def _op_schema(self, conn, frame) -> dict:
         return {"schema": self._schema_payload()}
 
+    async def _op_metrics(self, conn, frame) -> dict:
+        reply: dict = {"metrics": METRICS.as_dict()}
+        if frame.get("format") == "prometheus":
+            reply["prometheus"] = METRICS.render_prometheus()
+        with self._lock:
+            reply["slow_queries"] = list(self.slow_queries)
+        reply["slow_query_s"] = self.config.slow_query_s
+        return reply
+
+    async def _op_trace(self, conn, frame) -> dict:
+        """Execute one query with tracing forced on; reply carries the tree."""
+        st = self._state(conn, frame)
+        chunk = int(frame.get("chunk", self.config.chunk_rows))
+        params = self._decode_params(frame)
+        self._admit(st)
+        prev = TRACER.enabled
+        TRACER.enable()
+        try:
+            def work() -> Cursor:
+                template = parse(frame["query"])
+                return st.session.execute(
+                    template, params=params,
+                    backend=frame.get("backend", st.backend),
+                )
+
+            with TRACER.span(
+                "request", query=frame.get("query"), session=st.sid,
+            ) as span:
+                cursor = await self._offload(work)
+        finally:
+            # Restore the steady state: on only if the slow-query log (or
+            # someone else before us) had armed the tracer.
+            if not (prev or self.config.slow_query_s is not None):
+                TRACER.disable()
+            self._release(st)
+        reply = self._cursor_reply(st, cursor, chunk)
+        reply["trace"] = span.as_dict()
+        reply["rendered"] = span.render()
+        return reply
+
     _HANDLERS = {
         "ping": _op_ping,
         "open_session": _op_open_session,
@@ -754,4 +857,6 @@ class QueryServer:
         "sessions": _op_sessions,
         "views": _op_views,
         "schema": _op_schema,
+        "metrics": _op_metrics,
+        "trace": _op_trace,
     }
